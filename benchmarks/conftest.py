@@ -1,0 +1,21 @@
+"""Shared benchmark fixtures.
+
+``REPRO_BENCH_SCALE`` selects the workload sizes (``tiny`` default so the
+whole suite stays minutes-fast; ``small``/``full`` for the EXPERIMENTS.md
+numbers).
+"""
+
+import os
+
+import pytest
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "tiny")
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALE
+
+
+def pytest_report_header(config):
+    return f"repro bench scale: {SCALE} (set REPRO_BENCH_SCALE to change)"

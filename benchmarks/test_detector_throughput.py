@@ -1,0 +1,79 @@
+"""Raw detector throughput on large synthetic traces.
+
+Not a paper table, but the scaling sanity behind all of them: events per
+second for each detector on identical pre-generated traces, plus the
+linearity check for the lazy detector's memoized traversal (each sync cell
+applied at most once per live lockset).
+"""
+
+import pytest
+
+from repro.baselines import (
+    EraserDetector,
+    FastTrackDetector,
+    RaceTrackDetector,
+    VectorClockDetector,
+)
+from repro.core import EagerGoldilocksRW, LazyGoldilocks
+from repro.trace import RandomTraceGenerator
+
+BIG_TRACE = RandomTraceGenerator(
+    max_threads=8, steps_per_thread=400, p_discipline=0.7, n_objects=6, n_fields=3
+).generate(seed=7)
+
+
+@pytest.mark.parametrize(
+    "detector_cls",
+    [
+        LazyGoldilocks,
+        EagerGoldilocksRW,
+        VectorClockDetector,
+        FastTrackDetector,
+        EraserDetector,
+        RaceTrackDetector,
+    ],
+    ids=lambda c: c.__name__,
+)
+def test_throughput_on_large_trace(benchmark, detector_cls):
+    benchmark.group = f"throughput:{len(BIG_TRACE)}-events"
+
+    def replay():
+        detector = detector_cls()
+        detector.process_all(BIG_TRACE)
+        return detector
+
+    detector = benchmark(replay)
+    benchmark.extra_info["events"] = len(BIG_TRACE)
+    benchmark.extra_info["races"] = detector.stats.races
+
+
+def test_memoized_lazy_traversal_is_linear_in_trace_length():
+    """Doubling the ownership-transfer chain should roughly double (not
+
+    quadruple) the cells traversed -- the memoization guarantee."""
+    from repro.core import Obj, Tid
+    from repro.trace import TraceBuilder
+
+    def chain(n):
+        tb = TraceBuilder()
+        o = Obj(1)
+        tb.alloc(Tid(1), o)
+        tb.write(Tid(1), o, "data")
+        for i in range(n):
+            owner, successor, lock = Tid(i + 1), Tid(i + 2), Obj(100 + i)
+            tb.acq(owner, lock)
+            tb.rel(owner, lock)
+            tb.acq(successor, lock)
+            tb.write(successor, o, "data")
+            tb.rel(successor, lock)
+        return tb.build()
+
+    def cells_for(n):
+        detector = LazyGoldilocks(sc_alock=False, sc_thread_restricted=False)
+        assert detector.process_all(chain(n)) == []
+        return detector.stats.cells_traversed
+
+    small, large = cells_for(100), cells_for(200)
+    assert large < 2.6 * small, (
+        f"traversal grew superlinearly: {small} -> {large}"
+    )

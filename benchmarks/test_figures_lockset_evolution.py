@@ -1,0 +1,89 @@
+"""Figures 6 and 7: the lockset-evolution walkthroughs, as benchmarks.
+
+The figures are traces, not plots: they show ``LS(o.data)`` after every
+event of Examples 2 and 3.  The correctness of every intermediate lockset
+is pinned in ``tests/core/test_paper_figures.py``; here the same replays are
+timed (eager vs lazy vs vector clock) and the final locksets re-asserted,
+so the figures stay regenerable from one command
+(``python -m repro.bench figures`` prints them in full).
+"""
+
+import pytest
+
+from repro.baselines import VectorClockDetector
+from repro.core import EagerGoldilocks, EagerGoldilocksRW, LazyGoldilocks, Tid
+from repro.core.actions import DataVar, Obj
+
+from tests.core.test_paper_figures import build_figure6_trace, build_figure7_trace
+
+T3 = Tid(3)
+
+
+@pytest.mark.parametrize(
+    "detector_cls",
+    [EagerGoldilocks, EagerGoldilocksRW, LazyGoldilocks, VectorClockDetector],
+    ids=lambda c: c.__name__,
+)
+def test_figure6_replay(benchmark, detector_cls):
+    events, o, ma, mb = build_figure6_trace()
+    benchmark.group = "figure6"
+
+    def replay():
+        detector = detector_cls()
+        reports = detector.process_all(events)
+        return detector, reports
+
+    detector, reports = benchmark(replay)
+    assert reports == []
+    if isinstance(detector, EagerGoldilocks):
+        assert detector.lockset_of(DataVar(o, "data")).elements == {T3}
+
+
+@pytest.mark.parametrize(
+    "detector_cls",
+    [EagerGoldilocks, EagerGoldilocksRW, LazyGoldilocks, VectorClockDetector],
+    ids=lambda c: c.__name__,
+)
+def test_figure7_replay(benchmark, detector_cls):
+    events, o_data, head, o_nxt = build_figure7_trace()
+    benchmark.group = "figure7"
+
+    def replay():
+        detector = detector_cls()
+        reports = detector.process_all(events)
+        return detector, reports
+
+    detector, reports = benchmark(replay)
+    assert reports == []
+    if isinstance(detector, EagerGoldilocks):
+        assert detector.lockset_of(o_data).elements == {T3}
+
+
+def test_figure6_scaled_replay(benchmark):
+    """The Figure 6 ownership-transfer chain, lengthened 200x: the lazy
+
+    detector must stay linear thanks to memoized lockset advancement."""
+    from repro.trace import TraceBuilder
+
+    tb = TraceBuilder()
+    o = tb.new_obj()
+    locks = [tb.new_obj() for _ in range(200)]
+    tb.alloc(Tid(1), o)
+    tb.write(Tid(1), o, "data")
+    # A chain of 200 ownership transfers through 200 different locks.
+    for i, lock in enumerate(locks):
+        owner, successor = Tid(i + 1), Tid(i + 2)
+        tb.acq(owner, lock)
+        tb.rel(owner, lock)
+        tb.acq(successor, lock)
+        tb.write(successor, o, "data")
+        tb.rel(successor, lock)
+    events = tb.build()
+    benchmark.group = "figure6-scaled"
+
+    def replay():
+        detector = LazyGoldilocks()
+        return detector.process_all(events)
+
+    reports = benchmark(replay)
+    assert reports == []

@@ -1,0 +1,103 @@
+"""Table 1: runtime of each benchmark under each instrumentation setting.
+
+One pytest-benchmark entry per (workload, configuration); the slowdown
+ratios of the paper's Table 1 are the ratios between the ``goldilocks*``
+entries and the matching ``uninstrumented`` entry (pytest-benchmark's
+``--benchmark-group-by=param:name`` view lines them up).
+
+Correctness is asserted alongside timing: the racy benchmarks report their
+documented race exactly once (disable-after-first-race policy), the clean
+ones report none.
+"""
+
+import pytest
+
+from repro.bench.harness import run_workload, static_filters
+from repro.core import LazyGoldilocks
+from repro.workloads import table1_workloads
+
+WORKLOADS = {w.name: w for w in table1_workloads()}
+NAMES = list(WORKLOADS)
+
+#: cache: the static analyses run once per workload, like the paper's
+#: ahead-of-time annotation step
+_FILTERS = {}
+
+
+def filters_for(name):
+    if name not in _FILTERS:
+        _FILTERS[name] = static_filters(WORKLOADS[name])
+    return _FILTERS[name]
+
+
+def _check(workload, result):
+    assert result.uncaught == [], f"{workload.name}: {result.uncaught}"
+    if workload.expect_races:
+        assert len(result.races) >= 1
+    else:
+        assert result.races == [], f"{workload.name}: {result.races}"
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_uninstrumented(benchmark, scale, name):
+    workload = WORKLOADS[name]
+    benchmark.group = f"table1:{name}"
+    result, _ = benchmark.pedantic(
+        lambda: run_workload(workload, scale, detector=None),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.counts.accesses_checked == 0
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_goldilocks_no_static(benchmark, scale, name):
+    workload = WORKLOADS[name]
+    benchmark.group = f"table1:{name}"
+    result, _ = benchmark.pedantic(
+        lambda: run_workload(workload, scale, detector=LazyGoldilocks()),
+        rounds=3,
+        iterations=1,
+    )
+    _check(workload, result)
+    detector = result.interpreter.runtime.detector
+    benchmark.extra_info["short_circuit_pct"] = round(
+        100 * detector.stats.short_circuit_rate, 2
+    )
+    benchmark.extra_info["races"] = len(result.races)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_goldilocks_with_chord(benchmark, scale, name):
+    workload = WORKLOADS[name]
+    chord_filter, _ = filters_for(name)
+    benchmark.group = f"table1:{name}"
+    result, _ = benchmark.pedantic(
+        lambda: run_workload(
+            workload, scale, detector=LazyGoldilocks(), check_filter=chord_filter
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.uncaught == []
+    benchmark.extra_info["accesses_checked_pct"] = round(
+        result.counts.accesses_checked_pct, 2
+    )
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_goldilocks_with_rccjava(benchmark, scale, name):
+    workload = WORKLOADS[name]
+    _, rcc_filter = filters_for(name)
+    benchmark.group = f"table1:{name}"
+    result, _ = benchmark.pedantic(
+        lambda: run_workload(
+            workload, scale, detector=LazyGoldilocks(), check_filter=rcc_filter
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.uncaught == []
+    benchmark.extra_info["accesses_checked_pct"] = round(
+        result.counts.accesses_checked_pct, 2
+    )

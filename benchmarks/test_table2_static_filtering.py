@@ -1,0 +1,72 @@
+"""Table 2: static check elimination -- percentages and analysis cost.
+
+The table's content (percentage of variables/accesses still checked) is
+recorded as ``extra_info`` on each benchmark entry; the timed quantity is
+the static analysis itself, which the paper runs ahead of time.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisModel, run_chord, run_rccjava
+from repro.bench.harness import run_workload
+from repro.core import LazyGoldilocks
+from repro.workloads import table1_workloads
+
+WORKLOADS = {w.name: w for w in table1_workloads()}
+NAMES = list(WORKLOADS)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_chord_analysis(benchmark, scale, name):
+    workload = WORKLOADS[name]
+    program = workload.program()
+    benchmark.group = f"table2:{name}"
+
+    report = benchmark(lambda: run_chord(program))
+    result, _ = run_workload(
+        workload, scale, detector=LazyGoldilocks(), check_filter=report.to_filter()
+    )
+    benchmark.extra_info["vars_checked_pct"] = round(result.counts.vars_checked_pct, 2)
+    benchmark.extra_info["accesses_checked_pct"] = round(
+        result.counts.accesses_checked_pct, 2
+    )
+    benchmark.extra_info["may_race_fields"] = len(report.may_race_fields)
+    # Soundness guard: racy workloads must keep their racy field flagged.
+    if workload.expect_races:
+        assert report.may_race_fields
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_rccjava_analysis(benchmark, scale, name):
+    workload = WORKLOADS[name]
+    program = workload.program()
+    benchmark.group = f"table2:{name}"
+
+    report = benchmark(lambda: run_rccjava(program))
+    result, _ = run_workload(
+        workload, scale, detector=LazyGoldilocks(), check_filter=report.to_filter()
+    )
+    benchmark.extra_info["vars_checked_pct"] = round(result.counts.vars_checked_pct, 2)
+    benchmark.extra_info["accesses_checked_pct"] = round(
+        result.counts.accesses_checked_pct, 2
+    )
+    benchmark.extra_info["may_race_fields"] = len(report.may_race_fields)
+    if workload.expect_races:
+        assert report.may_race_fields
+
+
+@pytest.mark.parametrize("name", ["moldyn", "sor2", "raytracer"])
+def test_barrier_benchmarks_split_the_tools(benchmark, name):
+    """The Table 1/2 punchline, benchmarked: model + both analyses."""
+    workload = WORKLOADS[name]
+    program = workload.program()
+    benchmark.group = "table2:barrier-split"
+
+    def both():
+        model = AnalysisModel(program)
+        return run_chord(program, model), run_rccjava(program, model)
+
+    chord_report, rcc_report = benchmark(both)
+    chord_arrays = {k for k in chord_report.may_race_fields if k[1] == "[]"}
+    rcc_arrays = {k for k in rcc_report.may_race_fields if k[1] == "[]"}
+    assert chord_arrays and not rcc_arrays

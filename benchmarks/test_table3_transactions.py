@@ -1,0 +1,62 @@
+"""Table 3: the transactional Multiset thread sweep.
+
+One uninstrumented + one instrumented benchmark per thread count; the
+paper's slowdown column is their ratio, and the access/transaction counts
+are recorded as ``extra_info``.  The paper's headline -- overhead roughly
+flat (1.2x-1.5x) as threads scale from 5 to 500 -- is asserted on the
+deterministic counters: detector work per transactional access stays
+bounded.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.harness import run_workload
+from repro.core import LazyGoldilocks
+from repro.workloads import get, table3_args
+
+#: full sweep at higher scales; trimmed by default to keep CI quick
+THREAD_COUNTS = (
+    (5, 10, 20, 50, 100, 200, 500)
+    if os.environ.get("REPRO_BENCH_SCALE") in ("small", "full")
+    else (5, 10, 20, 50)
+)
+
+MULTISET = get("multiset")
+
+
+@pytest.mark.parametrize("threads", THREAD_COUNTS)
+def test_multiset_uninstrumented(benchmark, threads):
+    benchmark.group = f"table3:{threads}-threads"
+    result, _ = benchmark.pedantic(
+        lambda: run_workload(
+            MULTISET, detector=None, main_args=table3_args(threads)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.uncaught == []
+
+
+@pytest.mark.parametrize("threads", THREAD_COUNTS)
+def test_multiset_goldilocks_with_transactions(benchmark, threads):
+    benchmark.group = f"table3:{threads}-threads"
+    result, _ = benchmark.pedantic(
+        lambda: run_workload(
+            MULTISET, detector=LazyGoldilocks(), main_args=table3_args(threads)
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.uncaught == []
+    assert result.races == []
+    assert result.stm_commits > 0
+    benchmark.extra_info["accesses"] = result.stm_accesses
+    benchmark.extra_info["transactions"] = result.stm_commits
+    detector = result.interpreter.runtime.detector
+    # The flat-overhead claim, timing-free: detector work per transactional
+    # access is bounded (it does not blow up with the thread count).
+    work_per_access = detector.stats.detector_work / max(1, result.stm_accesses)
+    benchmark.extra_info["work_per_access"] = round(work_per_access, 2)
+    assert work_per_access < 60, f"detector work blew up: {work_per_access}"

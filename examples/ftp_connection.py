@@ -1,0 +1,56 @@
+"""Example 1 / Figure 1: graceful shutdown of a racy ftp connection.
+
+The scenario from the Apache ftp-server benchmark: a service thread runs
+the command loop, a timeout thread closes idle connections.  The original
+code races on the connection's fields and crashes with a
+``NullPointerException`` far from its cause; under the race-aware runtime
+the service thread catches the ``DataRaceException`` at the racy access and
+closes the connection cleanly.
+
+The script runs both configurations across a few schedules and tabulates
+the outcomes.
+
+Run:  python examples/ftp_connection.py
+"""
+
+from collections import Counter
+
+from repro.core import LazyGoldilocks
+from repro.workloads import run_ftpserver
+
+
+def sweep(detector_factory, label, seeds=range(10)):
+    outcomes = Counter()
+    for seed in seeds:
+        detector = detector_factory() if detector_factory else None
+        result = run_ftpserver(detector, seed=seed)
+        status = result.main_result[0]
+        outcomes[status] += 1
+        assert result.uncaught == [], "no exception may escape a thread"
+    print(f"{label}:")
+    for status, count in sorted(outcomes.items()):
+        print(f"  {status:<16} x{count}")
+    print()
+    return outcomes
+
+
+def main() -> None:
+    print("Example 1: the ftp connection race, 10 schedules each")
+    print("=" * 56)
+    with_detector = sweep(LazyGoldilocks, "race-aware runtime (Goldilocks)")
+    without = sweep(None, "plain runtime (no detection)")
+
+    assert "null-observed" not in with_detector, (
+        "with the detector on, the torn-down field can never be read"
+    )
+    assert with_detector.get("closed-by-race", 0) > 0
+    assert without.get("null-observed", 0) > 0, (
+        "without detection some schedule reads the nulled field"
+    )
+    print("With the detector, every schedule ends in a graceful close;")
+    print("without it, some schedules observe the nulled field -- the")
+    print("original NullPointerException failure mode.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+"""Example 3 / Figure 7: transactions and thread-locality protecting one field.
+
+A ``Foo`` object is (1) initialized while thread-local to Thread 1,
+(2) published into a linked list inside an atomic transaction,
+(3) mutated by Thread 2's transactional sweep over the list,
+(4) unlinked by Thread 3's transaction, and
+(5) finally mutated by Thread 3 with no synchronization at all.
+
+Every access to ``o.data`` is race-free -- but only a detector that treats
+transactions as first-class synchronization can see it.  The script replays
+the paper's exact execution under the generalized Goldilocks algorithm
+(printing Figure 7's lockset evolution), then shows that a
+transaction-oblivious checker wrongly reports a race.
+
+Run:  python examples/transactional_list.py
+"""
+
+from repro.baselines import TransactionObliviousAdapter
+from repro.core import EagerGoldilocks, LazyGoldilocks, Obj, Tid
+from repro.core.actions import DataVar
+from repro.trace import TraceBuilder
+
+T1, T2, T3 = Tid(1), Tid(2), Tid(3)
+
+
+def build_trace():
+    tb = TraceBuilder()
+    o, glob = Obj(1), Obj(2)
+    head = DataVar(glob, "head")
+    o_nxt = DataVar(o, "nxt")
+    o_data = DataVar(o, "data")
+
+    steps = [
+        ("Thread 1: t1 = new Foo()", lambda: tb.alloc(T1, o)),
+        ("Thread 1: t1.data = 42   (thread-local)", lambda: tb.write(T1, o, "data")),
+        (
+            "Thread 1: atomic { t1.nxt = head; head = t1 }",
+            lambda: tb.commit(T1, reads=[head], writes=[o_nxt, head]),
+        ),
+        (
+            "Thread 2: atomic { for iter: iter.data = 0 }",
+            lambda: tb.commit(T2, reads=[head, o_nxt], writes=[o_data]),
+        ),
+        (
+            "Thread 3: atomic { t3 = head; head = t3.nxt }",
+            lambda: tb.commit(T3, reads=[head, o_nxt], writes=[head]),
+        ),
+        ("Thread 3: t3.data++   (no synchronization!)", lambda: tb.write(T3, o, "data")),
+    ]
+    labels = []
+    for label, emit in steps:
+        emit()
+        labels.append(label)
+    return tb.build(), labels, o_data
+
+
+def main() -> None:
+    events, labels, o_data = build_trace()
+
+    print("Generalized Goldilocks: LS(o.data) after every event (Figure 7)")
+    print("=" * 72)
+    detector = EagerGoldilocks()
+    for label, event in zip(labels, events):
+        reports = detector.process(event)
+        marker = "  ** RACE **" if reports else ""
+        print(f"  {label:<48} LS = {detector.lockset_of(o_data)}{marker}")
+    assert detector.stats.races == 0
+    print()
+    print("No race: the commits' footprints intersect, so the transactions")
+    print("synchronize, and the final plain access is owned by Thread 3.")
+    print()
+
+    # A checker that ignores the transactions' happens-before edges sees the
+    # three o.data accesses as unordered and cries wolf.  (We model the
+    # oblivious view by dropping the commits' synchronization entirely:
+    # replay only the plain accesses.)
+    plain_only = [e for i, e in enumerate(events) if i in (0, 1, 5)]
+    oblivious = LazyGoldilocks()
+    reports = oblivious.process_all(plain_only)
+    assert reports, "without the transactional edges this looks racy"
+    print("Transaction-oblivious view (commit edges dropped):")
+    for report in reports:
+        print(f"  FALSE ALARM: {report}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Goldilocks: a race- and transaction-aware runtime, reproduced in Python.
+
+This package reproduces Elmas, Qadeer & Tasiran, *"Goldilocks: A Race and
+Transaction-Aware Java Runtime"* (PLDI 2007): the precise lockset-based
+dynamic race detection algorithm, its optimized lazy implementation, the
+``DataRaceException`` runtime mechanism, the formalization of races in the
+presence of software transactions, and the full evaluation harness
+(Tables 1-3 and the Figure 6/7 lockset walkthroughs).
+
+Quick start
+-----------
+
+Detect races on a hand-built trace::
+
+    from repro import LazyGoldilocks, TraceBuilder
+
+    tb = TraceBuilder()
+    obj = tb.new_obj()
+    tb.write(1, obj, "data")   # thread 1 writes o.data
+    tb.write(2, obj, "data")   # thread 2 writes, no synchronization between
+    reports = LazyGoldilocks().process_all(tb.build())
+    assert reports, "that was a race"
+
+Or run a simulated multithreaded program under the race-aware runtime
+(``repro.runtime``) and catch the ``DataRaceException`` it throws -- see
+``examples/quickstart.py``.
+"""
+
+from .core import (
+    TL,
+    AccessRef,
+    DataRaceException,
+    DataVar,
+    DeadlockError,
+    Detector,
+    DetectorStats,
+    EagerGoldilocks,
+    EagerGoldilocksRW,
+    Event,
+    FirstRacePolicy,
+    LazyGoldilocks,
+    Lockset,
+    Obj,
+    RaceReport,
+    ReproError,
+    SynchronizationError,
+    Tid,
+    TransactionAborted,
+    TransactionError,
+)
+from .oracle import HappensBeforeOracle
+from .trace import RandomTraceGenerator, TraceBuilder, dump_trace, load_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TL",
+    "AccessRef",
+    "DataRaceException",
+    "DataVar",
+    "DeadlockError",
+    "Detector",
+    "DetectorStats",
+    "EagerGoldilocks",
+    "EagerGoldilocksRW",
+    "Event",
+    "FirstRacePolicy",
+    "HappensBeforeOracle",
+    "LazyGoldilocks",
+    "Lockset",
+    "Obj",
+    "RaceReport",
+    "RandomTraceGenerator",
+    "ReproError",
+    "SynchronizationError",
+    "Tid",
+    "TraceBuilder",
+    "TransactionAborted",
+    "TransactionError",
+    "dump_trace",
+    "load_trace",
+    "__version__",
+]

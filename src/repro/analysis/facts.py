@@ -1,0 +1,62 @@
+"""Shared output format of the static analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Set, Tuple
+
+from ..runtime.filters import RaceFreeFieldsFilter
+
+
+@dataclass(frozen=True)
+class AccessPair:
+    """A may-race pair of access sites, Chord-style (line numbers)."""
+
+    class_name: str
+    field_name: str   # static field key; array elements are "[]"
+    line1: int
+    line2: int
+
+    def __repr__(self) -> str:
+        return f"{self.class_name}.{self.field_name}@({self.line1},{self.line2})"
+
+
+@dataclass
+class StaticRaceReport:
+    """What a static race analysis concluded about one program.
+
+    ``may_race_fields`` is the interface the runtime consumes (the paper
+    derives field sets from Chord's pair output too); ``pairs`` carries the
+    pair-level detail for Chord-style reporting; ``analyzed_classes`` scopes
+    the guarantee: anything outside stays dynamically checked.
+    """
+
+    tool: str
+    may_race_fields: Set[Tuple[str, str]] = field(default_factory=set)
+    pairs: List[AccessPair] = field(default_factory=list)
+    analyzed_classes: Set[str] = field(default_factory=set)
+    #: every (class, field) the analysis saw, racing or not -- used by the
+    #: Table 2 accounting
+    all_fields: Set[Tuple[str, str]] = field(default_factory=set)
+    notes: List[str] = field(default_factory=list)
+
+    def race_free_fields(self) -> Set[Tuple[str, str]]:
+        """Fields the analysis *proved* race-free."""
+        return self.all_fields - self.may_race_fields
+
+    def to_filter(self) -> RaceFreeFieldsFilter:
+        """The runtime check filter implementing this report."""
+        return RaceFreeFieldsFilter(
+            may_race=self.may_race_fields,
+            analyzed_classes=self.analyzed_classes,
+            name=self.tool,
+        )
+
+    def summary(self) -> str:
+        total = len(self.all_fields)
+        racy = len(self.may_race_fields)
+        return (
+            f"[{self.tool}] {racy}/{total} fields may race; "
+            f"{len(self.pairs)} may-race pairs; "
+            f"{len(self.analyzed_classes)} classes analyzed"
+        )

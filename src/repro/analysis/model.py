@@ -1,0 +1,650 @@
+"""The shared static-analysis model of a MiniLang program.
+
+One pass of infrastructure feeds both analysis tools:
+
+* **allocation-site points-to** (Andersen-style, flow-insensitive,
+  field-sensitive on abstract objects, context-insensitive): iterated to a
+  fixpoint by re-walking the program until nothing grows;
+* **allocation-site multiplicity**: a site is *single* iff it executes at
+  most once (top level of ``main``, outside loops) -- must-alias facts (for
+  must-held locks) are only drawn from single sites;
+* **thread roots**: ``main`` plus every ``spawn`` target, with root
+  multiplicity (spawned more than once, or inside a loop);
+* **a call graph** (free calls, method calls resolved through points-to,
+  constructors) giving which roots can reach which code;
+* **escape analysis**: objects reachable from ``spawn`` arguments, closed
+  under field reachability, are thread-shared;
+* **access sites**: every data field/element read and write with its line,
+  enclosing locks (syntactic expression + points-to), atomic context, loop
+  context, and -- for array accesses -- the canonical index expression
+  (the barrier checker keys on it);
+* **fork/join ordering in main**: statements of ``main`` before the first
+  ``spawn`` are ordered before every thread; statements after the last
+  ``join`` are ordered after every thread when every spawn is joined.
+
+Everything here is deliberately *conservative*: when the model cannot prove
+a fact it reports the weaker one (may-alias, may-escape, may-run-in-
+parallel), so the analyses built on top stay sound for check elimination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..lang import ast
+
+#: the pseudo-lock held by every access inside an ``atomic`` block; two
+#: transactional accesses never race (extended-race definition), which is
+#: exactly "both hold the transaction lock"
+ATOMIC_LOCK = "<TL>"
+
+#: the pseudo-lock of sites that hold the monitor of the object they access
+#: (``sync (x) { x.f = ... }``, synchronized methods).  Sound for pair
+#: pruning: if both sites lock their own receiver and the receivers can be
+#: the same object, then in any execution where they touch the same variable
+#: they hold the same monitor -- mutual exclusion, no race.
+SELF_LOCK = "<SELF>"
+
+
+@dataclass(frozen=True)
+class AbstractObject:
+    """An allocation site."""
+
+    site_id: int
+    class_name: str
+    line: int
+    single: bool  # executes at most once
+
+    def __repr__(self) -> str:
+        mark = "!" if self.single else "*"
+        return f"<{self.class_name}@{self.line}{mark}>"
+
+
+@dataclass(frozen=True)
+class LockEntry:
+    """One enclosing lock at an access site."""
+
+    render: str                       # canonical source text of the lock expr
+    objects: FrozenSet[AbstractObject]
+
+    def must_object(self) -> Optional[AbstractObject]:
+        """The single concrete object this lock must be, if provable."""
+        if len(self.objects) == 1:
+            (obj,) = self.objects
+            if obj.single:
+                return obj
+        return None
+
+
+@dataclass
+class AccessSite:
+    """One static occurrence of a data access."""
+
+    scope: str                        # "main", "worker", "Account.withdraw", ...
+    line: int
+    field_key: str                    # field name, or "[]" for array elements
+    is_write: bool
+    classes: FrozenSet[str]           # possible receiver classes
+    receiver_objects: FrozenSet[AbstractObject]
+    locks: Tuple[LockEntry, ...]
+    in_atomic: bool
+    in_loop: bool
+    index_render: Optional[str] = None  # canonical index expr for elements
+    receiver_render: str = ""           # canonical text of the receiver expr
+    #: first line of the outermost enclosing loop, if any; fork/join
+    #: ordering compares whole loops, not single lines
+    loop_start_line: Optional[int] = None
+
+    def keys(self) -> Set[Tuple[str, str]]:
+        return {(cls, self.field_key) for cls in self.classes}
+
+    def must_locks(self) -> Set[object]:
+        """Identities usable for must-lock intersection.
+
+        Single concrete lock objects, the transaction pseudo-lock, and the
+        self-lock marker (monitor of the accessed object held -- see
+        ``SELF_LOCK`` for why intersecting markers is sound).
+        """
+        out: Set[object] = set()
+        for entry in self.locks:
+            obj = entry.must_object()
+            if obj is not None:
+                out.add(obj)
+            if self.receiver_render and entry.render == self.receiver_render:
+                out.add(SELF_LOCK)
+        if self.in_atomic:
+            out.add(ATOMIC_LOCK)
+        return out
+
+    def __repr__(self) -> str:
+        rw = "W" if self.is_write else "R"
+        return f"<{rw} {sorted(self.classes)}.{self.field_key} @{self.scope}:{self.line}>"
+
+
+def render_expr(expr: ast.Expr) -> str:
+    """Canonical source text of an expression (syntactic lock/index equality)."""
+    if isinstance(expr, ast.Literal):
+        return repr(expr.value)
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.Unary):
+        return f"{expr.op}{render_expr(expr.operand)}"
+    if isinstance(expr, ast.Binary):
+        return f"({render_expr(expr.left)}{expr.op}{render_expr(expr.right)})"
+    if isinstance(expr, ast.FieldGet):
+        return f"{render_expr(expr.target)}.{expr.field_name}"
+    if isinstance(expr, ast.Index):
+        return f"{render_expr(expr.array)}[{render_expr(expr.index)}]"
+    if isinstance(expr, ast.Call):
+        return f"{expr.func}(...)"
+    if isinstance(expr, ast.MethodCall):
+        return f"{render_expr(expr.target)}.{expr.method}(...)"
+    if isinstance(expr, ast.NewObject):
+        return f"new {expr.class_name}@{expr.line}"
+    if isinstance(expr, ast.NewArrayExpr):
+        return f"new[]@{expr.line}"
+    if isinstance(expr, ast.SpawnExpr):
+        return f"spawn {expr.func}@{expr.line}"
+    return f"<expr@{expr.line}>"
+
+
+def array_class_name(line: int) -> str:
+    """The runtime class name of arrays allocated at ``line``.
+
+    Must match what the interpreter passes to ``th.new_array`` so that
+    static facts and runtime filtering agree.
+    """
+    return f"arr{line}[]"
+
+
+class _Scope:
+    """A function or method body under analysis."""
+
+    def __init__(self, scope_id: str, params: List[str], body: List[ast.Stmt],
+                 implicit_this_lock: bool) -> None:
+        self.scope_id = scope_id
+        self.params = params
+        self.body = body
+        self.implicit_this_lock = implicit_this_lock
+
+
+class AnalysisModel:
+    """Build every shared static fact for one program."""
+
+    def __init__(self, program: ast.Program, max_iterations: int = 50) -> None:
+        self.program = program
+        self._next_site_id = 0
+        #: alloc AST node id -> abstract object (stable across passes)
+        self._alloc_cache: Dict[int, AbstractObject] = {}
+        #: points-to of locals/params/returns: (scope, name) -> objects
+        self.var_pts: Dict[Tuple[str, str], Set[AbstractObject]] = {}
+        #: points-to of fields: (abstract object, field key) -> objects
+        self.field_pts: Dict[Tuple[AbstractObject, str], Set[AbstractObject]] = {}
+        #: call graph edges scope -> scopes
+        self.calls: Dict[str, Set[str]] = {}
+        #: spawn sites: (func name, line, in_loop)
+        self.spawns: List[Tuple[str, int, bool]] = []
+        #: join statement lines inside main
+        self.main_join_lines: List[int] = []
+        #: barrier statement lines per scope
+        self.barrier_lines: Dict[str, List[int]] = {}
+        self.access_sites: List[AccessSite] = []
+        self.escaping: Set[AbstractObject] = set()
+        #: spawn target names, maintained during fixpoint (spawns list is
+        #: rebuilt only in the final collect pass)
+        self._spawn_targets: Set[Tuple[str, int, bool]] = set()
+
+        self._scopes = self._collect_scopes()
+        self._changed = True
+        iterations = 0
+        while self._changed and iterations < max_iterations:
+            self._changed = False
+            iterations += 1
+            self._pass(collect_sites=False)
+        # Final pass with stable points-to: record sites, spawns, barriers.
+        self.calls = {}
+        self.spawns = []
+        self.main_join_lines = []
+        self.barrier_lines = {}
+        self.access_sites = []
+        self._pass(collect_sites=True)
+        self._compute_escape()
+        self._compute_roots()
+
+    # -- scope collection ----------------------------------------------------------
+
+    def _collect_scopes(self) -> List[_Scope]:
+        scopes = []
+        for func in self.program.functions.values():
+            scopes.append(_Scope(func.name, func.params, func.body, False))
+        for cls in self.program.classes.values():
+            for method in cls.methods:
+                scopes.append(
+                    _Scope(
+                        f"{cls.name}.{method.name}",
+                        ["this"] + method.params,
+                        method.body,
+                        method.synchronized,
+                    )
+                )
+        return scopes
+
+    # -- the fixpoint pass --------------------------------------------------------------
+
+    def _pass(self, collect_sites: bool) -> None:
+        for scope in self._scopes:
+            locks: List[LockEntry] = []
+            if scope.implicit_this_lock:
+                locks.append(
+                    LockEntry("this", frozenset(self._var(scope.scope_id, "this")))
+                )
+            self._walk_block(
+                scope, scope.body, locks, in_atomic=False, loop_start=None,
+                collect=collect_sites,
+            )
+
+    # points-to helpers ---------------------------------------------------------------
+
+    def _var(self, scope_id: str, name: str) -> Set[AbstractObject]:
+        return self.var_pts.setdefault((scope_id, name), set())
+
+    def _field(self, obj: AbstractObject, key: str) -> Set[AbstractObject]:
+        return self.field_pts.setdefault((obj, key), set())
+
+    def _flow(self, target: Set[AbstractObject], source: Set[AbstractObject]) -> None:
+        before = len(target)
+        target |= source
+        if len(target) != before:
+            self._changed = True
+
+    def _alloc(self, node: ast.Expr, scope: _Scope, loop_start) -> AbstractObject:
+        cached = self._alloc_cache.get(id(node))
+        if cached is not None:
+            return cached
+        if isinstance(node, ast.NewObject):
+            class_name = node.class_name
+        else:
+            class_name = array_class_name(node.line)
+        single = scope.scope_id == "main" and loop_start is None
+        obj = AbstractObject(self._next_site_id, class_name, node.line, single)
+        self._next_site_id += 1
+        self._alloc_cache[id(node)] = obj
+        return obj
+
+    # statement walk -----------------------------------------------------------------------
+
+    def _walk_block(self, scope, stmts, locks, in_atomic, loop_start, collect) -> None:
+        for stmt in stmts:
+            self._walk_stmt(scope, stmt, locks, in_atomic, loop_start, collect)
+
+    def _walk_stmt(self, scope, stmt, locks, in_atomic, loop_start, collect) -> None:
+        sid = scope.scope_id
+        if isinstance(stmt, ast.VarDecl):
+            pts = self._eval(scope, stmt.init, locks, in_atomic, loop_start, collect)
+            self._flow(self._var(sid, stmt.name), pts)
+        elif isinstance(stmt, ast.Assign):
+            self._walk_assign(scope, stmt, locks, in_atomic, loop_start, collect)
+        elif isinstance(stmt, ast.ExprStmt):
+            self._eval(scope, stmt.expr, locks, in_atomic, loop_start, collect)
+        elif isinstance(stmt, ast.If):
+            self._eval(scope, stmt.cond, locks, in_atomic, loop_start, collect)
+            self._walk_block(scope, stmt.then_body, locks, in_atomic, loop_start, collect)
+            self._walk_block(scope, stmt.else_body, locks, in_atomic, loop_start, collect)
+        elif isinstance(stmt, ast.While):
+            inner = loop_start if loop_start is not None else stmt.line
+            self._eval(scope, stmt.cond, locks, in_atomic, inner, collect)
+            self._walk_block(scope, stmt.body, locks, in_atomic, inner, collect)
+        elif isinstance(stmt, ast.For):
+            pts = self._eval(scope, stmt.init, locks, in_atomic, loop_start, collect)
+            self._flow(self._var(sid, stmt.var), pts)
+            inner = loop_start if loop_start is not None else stmt.line
+            self._eval(scope, stmt.cond, locks, in_atomic, inner, collect)
+            update = self._eval(scope, stmt.update, locks, in_atomic, inner, collect)
+            self._flow(self._var(sid, stmt.var), update)
+            self._walk_block(scope, stmt.body, locks, in_atomic, inner, collect)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                pts = self._eval(scope, stmt.value, locks, in_atomic, loop_start, collect)
+                self._flow(self._var(sid, "@ret"), pts)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            pass
+        elif isinstance(stmt, ast.SyncBlock):
+            lock_pts = self._eval(scope, stmt.lock, locks, in_atomic, loop_start, collect)
+            entry = LockEntry(self._render_in(scope, stmt.lock), frozenset(lock_pts))
+            self._walk_block(
+                scope, stmt.body, locks + [entry], in_atomic, loop_start, collect
+            )
+        elif isinstance(stmt, ast.AtomicBlock):
+            self._walk_block(scope, stmt.body, locks, True, loop_start, collect)
+        elif isinstance(stmt, ast.JoinStmt):
+            self._eval(scope, stmt.thread, locks, in_atomic, loop_start, collect)
+            if collect and sid == "main":
+                self.main_join_lines.append(stmt.line)
+        elif isinstance(stmt, ast.BarrierStmt):
+            self._eval(scope, stmt.barrier, locks, in_atomic, loop_start, collect)
+            if collect:
+                self.barrier_lines.setdefault(sid, []).append(stmt.line)
+        elif isinstance(stmt, ast.WaitStmt):
+            self._eval(scope, stmt.target, locks, in_atomic, loop_start, collect)
+        elif isinstance(stmt, ast.NotifyStmt):
+            self._eval(scope, stmt.target, locks, in_atomic, loop_start, collect)
+
+    def _walk_assign(self, scope, stmt, locks, in_atomic, loop_start, collect) -> None:
+        sid = scope.scope_id
+        value_pts = self._eval(scope, stmt.value, locks, in_atomic, loop_start, collect)
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            self._flow(self._var(sid, target.ident), value_pts)
+        elif isinstance(target, ast.FieldGet):
+            recv = self._eval(scope, target.target, locks, in_atomic, loop_start, collect)
+            for obj in recv:
+                self._flow(self._field(obj, target.field_name), value_pts)
+            if collect and not self._is_volatile_field(recv, target.field_name):
+                self._record_site(
+                    scope, target.line, target.field_name, True, recv,
+                    locks, in_atomic, loop_start, None,
+                    render_expr(target.target),
+                )
+        elif isinstance(target, ast.Index):
+            recv = self._eval(scope, target.array, locks, in_atomic, loop_start, collect)
+            self._eval(scope, target.index, locks, in_atomic, loop_start, collect)
+            for obj in recv:
+                self._flow(self._field(obj, "[]"), value_pts)
+            if collect:
+                self._record_site(
+                    scope, target.line, "[]", True, recv, locks, in_atomic,
+                    loop_start, self._render_in(scope, target.index),
+                    render_expr(target.array),
+                )
+
+    # expression walk ----------------------------------------------------------------------------
+
+    def _eval(self, scope, expr, locks, in_atomic, loop_start, collect) -> Set[AbstractObject]:
+        sid = scope.scope_id
+        if isinstance(expr, ast.Literal):
+            return set()
+        if isinstance(expr, ast.Name):
+            return self._var(sid, expr.ident)
+        if isinstance(expr, ast.Unary):
+            self._eval(scope, expr.operand, locks, in_atomic, loop_start, collect)
+            return set()
+        if isinstance(expr, ast.Binary):
+            self._eval(scope, expr.left, locks, in_atomic, loop_start, collect)
+            self._eval(scope, expr.right, locks, in_atomic, loop_start, collect)
+            return set()
+        if isinstance(expr, ast.FieldGet):
+            recv = self._eval(scope, expr.target, locks, in_atomic, loop_start, collect)
+            if collect and not self._is_volatile_field(recv, expr.field_name):
+                self._record_site(
+                    scope, expr.line, expr.field_name, False, recv, locks,
+                    in_atomic, loop_start, None, render_expr(expr.target),
+                )
+            out: Set[AbstractObject] = set()
+            for obj in recv:
+                out |= self._field(obj, expr.field_name)
+            return out
+        if isinstance(expr, ast.Index):
+            recv = self._eval(scope, expr.array, locks, in_atomic, loop_start, collect)
+            self._eval(scope, expr.index, locks, in_atomic, loop_start, collect)
+            if collect:
+                self._record_site(
+                    scope, expr.line, "[]", False, recv, locks, in_atomic,
+                    loop_start, self._render_in(scope, expr.index),
+                    render_expr(expr.array),
+                )
+            out = set()
+            for obj in recv:
+                out |= self._field(obj, "[]")
+            return out
+        if isinstance(expr, ast.Call):
+            arg_pts = [
+                self._eval(scope, arg, locks, in_atomic, loop_start, collect)
+                for arg in expr.args
+            ]
+            callee = self.program.functions.get(expr.func)
+            if callee is None:
+                if expr.func == "result":
+                    # result(handle) returns some spawned root's return
+                    # value; statically: the union over all spawn targets.
+                    out: Set[AbstractObject] = set()
+                    for func_name in {name for name, _l, _il in self._spawn_targets}:
+                        if func_name in self.program.functions:
+                            out |= self._var(func_name, "@ret")
+                    return out
+                return set()  # other builtins return no tracked objects
+            if collect:
+                self.calls.setdefault(sid, set()).add(callee.name)
+            for param, pts in zip(callee.params, arg_pts):
+                self._flow(self._var(callee.name, param), pts)
+            return set(self._var(callee.name, "@ret"))
+        if isinstance(expr, ast.MethodCall):
+            recv = self._eval(scope, expr.target, locks, in_atomic, loop_start, collect)
+            arg_pts = [
+                self._eval(scope, arg, locks, in_atomic, loop_start, collect)
+                for arg in expr.args
+            ]
+            out = set()
+            for cls_name in {o.class_name for o in recv}:
+                cls = self.program.classes.get(cls_name)
+                method = cls.method(expr.method) if cls else None
+                if method is None:
+                    continue
+                mid = f"{cls_name}.{expr.method}"
+                if collect:
+                    self.calls.setdefault(sid, set()).add(mid)
+                self._flow(
+                    self._var(mid, "this"),
+                    {o for o in recv if o.class_name == cls_name},
+                )
+                for param, pts in zip(method.params, arg_pts):
+                    self._flow(self._var(mid, param), pts)
+                out |= self._var(mid, "@ret")
+            return out
+        if isinstance(expr, ast.NewObject):
+            obj = self._alloc(expr, scope, loop_start)
+            arg_pts = [
+                self._eval(scope, arg, locks, in_atomic, loop_start, collect)
+                for arg in expr.args
+            ]
+            cls = self.program.classes.get(expr.class_name)
+            init = cls.method("init") if cls else None
+            if init is not None:
+                mid = f"{expr.class_name}.init"
+                if collect:
+                    self.calls.setdefault(sid, set()).add(mid)
+                self._flow(self._var(mid, "this"), {obj})
+                for param, pts in zip(init.params, arg_pts):
+                    self._flow(self._var(mid, param), pts)
+            return {obj}
+        if isinstance(expr, ast.NewArrayExpr):
+            self._eval(scope, expr.length, locks, in_atomic, loop_start, collect)
+            if expr.fill is not None:
+                self._eval(scope, expr.fill, locks, in_atomic, loop_start, collect)
+            return {self._alloc(expr, scope, loop_start)}
+        if isinstance(expr, ast.SpawnExpr):
+            arg_pts = [
+                self._eval(scope, arg, locks, in_atomic, loop_start, collect)
+                for arg in expr.args
+            ]
+            callee = self.program.functions.get(expr.func)
+            if callee is not None:
+                self._spawn_targets.add((expr.func, expr.line, loop_start is not None))
+                for param, pts in zip(callee.params, arg_pts):
+                    self._flow(self._var(callee.name, param), pts)
+                if collect:
+                    effective = loop_start if loop_start is not None else expr.line
+                    self.spawns.append((expr.func, effective, loop_start is not None))
+            return set()
+        return set()  # pragma: no cover
+
+    # -- site recording -------------------------------------------------------------------------
+
+    def _is_volatile_field(self, receivers: Set[AbstractObject], field_name: str) -> bool:
+        """Volatile fields are synchronization, not data: no race sites."""
+        for obj in receivers:
+            cls = self.program.classes.get(obj.class_name)
+            if cls is not None and field_name in cls.volatile_names():
+                return True
+        return False
+
+    def _record_site(self, scope, line, field_key, is_write, receivers, locks,
+                     in_atomic, loop_start, index_render,
+                     receiver_render: str = "") -> None:
+        if field_key == "[]":
+            classes = frozenset(o.class_name for o in receivers)
+        else:
+            classes = frozenset(
+                o.class_name
+                for o in receivers
+                if self.program.classes.get(o.class_name) is not None
+                and field_key in self.program.classes[o.class_name].field_names()
+            ) or frozenset(o.class_name for o in receivers)
+        self.access_sites.append(
+            AccessSite(
+                scope=scope.scope_id,
+                line=line,
+                field_key=field_key,
+                is_write=is_write,
+                classes=classes,
+                receiver_objects=frozenset(receivers),
+                locks=tuple(locks),
+                in_atomic=in_atomic,
+                in_loop=loop_start is not None,
+                loop_start_line=loop_start,
+                index_render=index_render,
+                receiver_render=receiver_render,
+            )
+        )
+
+    def _render_in(self, scope, expr: ast.Expr) -> str:
+        return render_expr(expr)
+
+    # -- escape analysis --------------------------------------------------------------------------
+
+    def _compute_escape(self) -> None:
+        """Objects reachable from spawn arguments -- or returned by spawned
+        threads (readable via ``result``) -- are shared across threads."""
+        worklist: List[AbstractObject] = []
+
+        def seed(obj: AbstractObject) -> None:
+            if obj not in self.escaping:
+                self.escaping.add(obj)
+                worklist.append(obj)
+
+        for func_name, _line, _in_loop in self.spawns:
+            callee = self.program.functions.get(func_name)
+            if callee is None:
+                continue
+            for param in callee.params:
+                for obj in self._var(callee.name, param):
+                    seed(obj)
+            for obj in self._var(callee.name, "@ret"):
+                seed(obj)
+        while worklist:
+            obj = worklist.pop()
+            for (owner, _key), targets in self.field_pts.items():
+                if owner != obj:
+                    continue
+                for target in targets:
+                    if target not in self.escaping:
+                        self.escaping.add(target)
+                        worklist.append(target)
+
+    # -- thread roots -------------------------------------------------------------------------------
+
+    def _compute_roots(self) -> None:
+        spawn_counts: Dict[str, int] = {}
+        spawn_in_loop: Dict[str, bool] = {}
+        first_spawn_line: Dict[str, int] = {}
+        for func_name, line, in_loop in self.spawns:
+            spawn_counts[func_name] = spawn_counts.get(func_name, 0) + 1
+            spawn_in_loop[func_name] = spawn_in_loop.get(func_name, False) or in_loop
+            first_spawn_line[func_name] = min(
+                first_spawn_line.get(func_name, line), line
+            )
+        self.root_multi: Dict[str, bool] = {
+            name: (count > 1 or spawn_in_loop[name])
+            for name, count in spawn_counts.items()
+        }
+        self.root_multi["main"] = False
+        self.first_spawn_line = first_spawn_line
+        self.first_spawn_overall = min(first_spawn_line.values(), default=None)
+        total_spawns = len(self.spawns)
+        if self.main_join_lines and len(self.main_join_lines) >= total_spawns:
+            self.last_join_line: Optional[int] = max(self.main_join_lines)
+        else:
+            self.last_join_line = None
+
+        #: scope -> roots that can reach it
+        self.roots_of: Dict[str, Set[str]] = {}
+        reach: Dict[str, Set[str]] = {}
+        for root in ["main"] + list(spawn_counts):
+            seen: Set[str] = set()
+            stack = [root]
+            while stack:
+                scope = stack.pop()
+                if scope in seen:
+                    continue
+                seen.add(scope)
+                stack.extend(self.calls.get(scope, ()))
+            reach[root] = seen
+        all_scopes = {s.scope_id for s in self._scopes}
+        for scope in all_scopes:
+            self.roots_of[scope] = {r for r, seen in reach.items() if scope in seen}
+
+    # -- parallelism queries ---------------------------------------------------------------------------
+
+    def may_run_in_parallel(self, s1: AccessSite, s2: AccessSite) -> bool:
+        """Can the two sites execute concurrently in different threads?"""
+        roots1 = self.roots_of.get(s1.scope, {"main"})
+        roots2 = self.roots_of.get(s2.scope, {"main"})
+        for r1 in roots1:
+            for r2 in roots2:
+                if r1 == r2:
+                    if self.root_multi.get(r1, False):
+                        return True
+                    continue
+                if self._ordered_main_vs_root(s1, r1, s2, r2):
+                    continue
+                if self._ordered_main_vs_root(s2, r2, s1, r1):
+                    continue
+                return True
+        return False
+
+    def _ordered_main_vs_root(self, s_main, r_main, s_thr, r_thr) -> bool:
+        """True iff ``s_main`` (in main) is fork/join-ordered w.r.t. ``r_thr``.
+
+        Spawn positions are *loop-effective*: a spawn inside a loop counts
+        from the loop's first line, so only code strictly before the whole
+        spawning loop is pre-spawn.  Symmetrically, a main site inside a
+        loop is post-join only if its whole loop starts after the last join.
+        """
+        if r_main != "main" or s_main.scope != "main":
+            return False
+        first = self.first_spawn_line.get(r_thr)
+        if first is not None and s_main.line < first:
+            return True  # before the thread exists (loops are contiguous)
+        if self.last_join_line is not None:
+            site_start = (
+                s_main.loop_start_line
+                if s_main.loop_start_line is not None
+                else s_main.line
+            )
+            if site_start > self.last_join_line:
+                return True  # after every thread was joined
+        return False
+
+    # -- reporting helpers -------------------------------------------------------------------------------
+
+    def all_field_keys(self) -> Set[Tuple[str, str]]:
+        keys: Set[Tuple[str, str]] = set()
+        for site in self.access_sites:
+            keys |= site.keys()
+        return keys
+
+    def analyzed_classes(self) -> Set[str]:
+        out = set(self.program.classes)
+        for site in self.access_sites:
+            out |= site.classes
+        return out

@@ -1,0 +1,261 @@
+"""An RccJava-style type/annotation checker (Abadi, Flanagan, Freund).
+
+RccJava is *annotation driven*: programmers declare each field's protection
+discipline and the tool checks the declaration; fields whose declarations
+do not check out (or that have none that fits) are reported as possibly
+racy.  Our MiniLang annotations::
+
+    //@ field Account.bal: guarded_by(this)
+    //@ field Shared.total: atomic_only
+    //@ field Config.size: readonly
+    //@ field Worker.scratch: thread_local
+    //@ field main.grid[]: barrier_owned(me)
+
+``Class.field[]`` (or ``func.local[]``) targets the *elements of arrays
+stored in* that field/local.  The checker also infers the four common
+disciplines for unannotated fields (consistent lock, thread-local,
+atomic-only, read-only-after-fork), so annotations are usually only needed
+for the interesting cases.
+
+The ``barrier_owned(p)`` rule is the capability that distinguishes RccJava
+in the paper's Table 1: array elements written only at the owner index
+``p`` (the spawned thread's index parameter) and read at other indices only
+in barrier-separated phases are race-free.  Structural requirements
+checked: every write indexes exactly ``p``; the accessing scope contains
+barrier statements; non-owner reads are separated from the writes by a
+barrier line, with a trailing barrier when the accesses sit in a loop
+(protecting the wrap-around).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..lang import ast
+from .facts import StaticRaceReport
+from .model import AccessSite, AnalysisModel
+
+
+def run_rccjava(program: ast.Program, model: AnalysisModel = None) -> StaticRaceReport:
+    """Run the checker; returns the may-race report (field granularity)."""
+    model = model or AnalysisModel(program)
+    report = StaticRaceReport(tool="rccjava")
+    report.analyzed_classes = model.analyzed_classes()
+    report.all_fields = model.all_field_keys()
+
+    sites_by_key: Dict[Tuple[str, str], List[AccessSite]] = {}
+    for site in model.access_sites:
+        for key in site.keys():
+            sites_by_key.setdefault(key, []).append(site)
+
+    annotations = _resolve_annotations(program, model)
+
+    for key, sites in sorted(sites_by_key.items()):
+        annotation = annotations.get(key)
+        if annotation is not None:
+            verified, note = _check_annotation(model, key, sites, annotation)
+        else:
+            verified, note = _infer(model, key, sites)
+        if not verified:
+            report.may_race_fields.add(key)
+        if note:
+            report.notes.append(f"{key[0]}.{key[1]}: {note}")
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Annotation resolution
+# ---------------------------------------------------------------------------
+
+
+def _resolve_annotations(
+    program: ast.Program, model: AnalysisModel
+) -> Dict[Tuple[str, str], ast.Annotation]:
+    """Map annotations to the runtime field keys they govern.
+
+    ``Class.field`` governs ``(Class, field)``.  ``Holder.field[]`` governs
+    the elements of every array the points-to analysis finds in
+    ``Holder.field`` (similarly ``func.local[]`` for a local variable),
+    whose runtime keys are per-allocation-site array class names.
+    """
+    out: Dict[Tuple[str, str], ast.Annotation] = {}
+    for annotation in program.annotations:
+        if not annotation.field_name.endswith("[]"):
+            out[(annotation.class_name, annotation.field_name)] = annotation
+            continue
+        holder_field = annotation.field_name[:-2]
+        arrays = set()
+        # Arrays held in an object field of the named class...
+        for (obj, field_key), targets in model.field_pts.items():
+            if obj.class_name == annotation.class_name and field_key == holder_field:
+                arrays |= targets
+        # ... or in a local/parameter of the named function.
+        arrays |= model.var_pts.get((annotation.class_name, holder_field), set())
+        for array_obj in arrays:
+            out[(array_obj.class_name, "[]")] = annotation
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Discipline checks
+# ---------------------------------------------------------------------------
+
+
+def _check_annotation(model, key, sites, annotation) -> Tuple[bool, Optional[str]]:
+    check = {
+        "guarded_by": _check_consistent_lock,
+        "thread_local": _check_thread_local,
+        "atomic_only": _check_atomic_only,
+        "readonly": _check_readonly,
+        "barrier_owned": _check_barrier_owned,
+    }.get(annotation.key)
+    if check is None:
+        return False, f"unknown annotation {annotation.key!r} -- treated as may-race"
+    ok = check(model, sites, annotation.arg)
+    if ok:
+        return True, None
+    return False, f"annotation {annotation.key} did not verify"
+
+
+def _infer(model, key, sites) -> Tuple[bool, Optional[str]]:
+    """Unannotated fields: try the standard disciplines in order."""
+    if _check_thread_local(model, sites, None):
+        return True, None
+    if _check_consistent_lock(model, sites, None):
+        return True, None
+    if _check_atomic_only(model, sites, None):
+        return True, None
+    if _check_readonly(model, sites, None):
+        return True, None
+    return False, None
+
+
+def _pre_fork_init(model, site: AccessSite) -> bool:
+    """Main accesses ordered by fork/join need no protection discipline.
+
+    RccJava's type system has the same escape: objects are unshared until
+    they become reachable by a second thread (pre-fork initialization), and
+    exclusive again once every thread is joined (post-join readback).
+    """
+    if site.scope != "main":
+        return False
+    first_spawn = model.first_spawn_overall
+    if first_spawn is None or site.line < first_spawn:
+        return True
+    if model.last_join_line is not None:
+        start = (
+            site.loop_start_line if site.loop_start_line is not None else site.line
+        )
+        if start > model.last_join_line:
+            return True
+    return False
+
+
+def _check_consistent_lock(model, sites: List[AccessSite], arg) -> bool:
+    """One single concrete lock object must be held at every site.
+
+    Pre-fork initialization writes in main are exempt (see
+    :func:`_pre_fork_init`).
+    """
+    common: Optional[Set[object]] = None
+    for site in sites:
+        if _pre_fork_init(model, site):
+            continue
+        locks = site.must_locks()
+        if not locks:
+            return False
+        common = locks if common is None else (common & locks)
+        if not common:
+            return False
+    return common is None or bool(common)
+
+
+def _check_thread_local(model, sites: List[AccessSite], arg) -> bool:
+    """No site touches an object shared across threads.
+
+    Receivers must not escape; additionally, sites reachable from two
+    different roots (or from a multiply-spawned root) on a non-escaping
+    object would mean the object is passed without spawn (impossible), so
+    escape alone is the test -- with the main-only special case kept for
+    clarity.
+    """
+    for site in sites:
+        if site.receiver_objects & model.escaping:
+            return False
+    return True
+
+
+def _check_atomic_only(model, sites: List[AccessSite], arg) -> bool:
+    return all(
+        site.in_atomic or _pre_fork_init(model, site) for site in sites
+    )
+
+
+def _check_readonly(model, sites: List[AccessSite], arg) -> bool:
+    """Writes only in main before the first spawn; reads anywhere."""
+    first_spawn = model.first_spawn_overall
+    for site in sites:
+        if not site.is_write:
+            continue
+        if site.scope != "main":
+            return False
+        # Spawn positions are loop-effective (outermost loop start), so a
+        # plain line comparison is safe even for writes inside init loops.
+        if first_spawn is not None and site.line >= first_spawn:
+            return False
+    return True
+
+
+def _check_barrier_owned(model, sites: List[AccessSite], arg) -> bool:
+    """Owner-computes arrays with barrier-separated phases (see module doc)."""
+    if not arg:
+        return False
+    owner = arg.strip()
+    writes = [s for s in sites if s.is_write]
+    reads = [s for s in sites if not s.is_write]
+    if not writes:
+        return True  # never written: nothing to race with
+
+    # Initialization writes in main before the first spawn are always fine.
+    first_spawn = model.first_spawn_overall
+
+    def is_init(site: AccessSite) -> bool:
+        return (
+            site.scope == "main"
+            and first_spawn is not None
+            and site.line < first_spawn
+        )
+
+    phase_writes = [s for s in writes if not is_init(s)]
+    for site in phase_writes:
+        if site.field_key != "[]" or site.index_render != owner:
+            return False
+        if not model.barrier_lines.get(site.scope):
+            return False
+    # Non-owner reads must be barrier-separated from the writes.
+    foreign_reads = [
+        s for s in reads if not is_init(s) and s.index_render != owner
+    ]
+    for read in foreign_reads:
+        barriers = model.barrier_lines.get(read.scope, [])
+        if not barriers:
+            return False
+        scope_writes = [w for w in phase_writes if w.scope == read.scope]
+        if not scope_writes:
+            # Writes happen in another scope (another root): require that
+            # every involved scope has barriers; the paper's workloads keep
+            # writers and readers in the same function, so stay conservative.
+            return False
+        last_write = max(w.line for w in scope_writes)
+        first_write = min(w.line for w in scope_writes)
+        if read.line > last_write:
+            separated = any(last_write < b < read.line for b in barriers)
+            wraps = read.in_loop or any(w.in_loop for w in scope_writes)
+            trailing = (not wraps) or any(b > read.line for b in barriers)
+        else:
+            separated = any(read.line < b < first_write for b in barriers)
+            wraps = read.in_loop or any(w.in_loop for w in scope_writes)
+            trailing = (not wraps) or any(b > last_write for b in barriers)
+        if not (separated and trailing):
+            return False
+    return True

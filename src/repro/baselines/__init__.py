@@ -1,0 +1,35 @@
+"""Baseline detectors the paper compares against (Sections 4.1 and 7).
+
+* :class:`~repro.baselines.eraser.EraserDetector` -- the classic
+  Eraser lockset algorithm with its per-variable state machine: efficient
+  but imprecise (false alarms on ownership transfer, lock rotation,
+  container protection, barriers) and, because of the initialization states,
+  not fully sound either.
+* :class:`~repro.baselines.vectorclock.VectorClockDetector` -- a
+  Djit+-style pure happens-before detector: precise like Goldilocks, with
+  the O(#threads) vector operations the paper cites as the cost motivation.
+* :class:`~repro.baselines.fasttrack.FastTrackDetector` -- the epoch-based
+  refinement published after Goldilocks (FastTrack, PLDI 2009), included as
+  the natural "future work" comparison point for the ablation benches.
+* :class:`~repro.baselines.racetrack.RaceTrackDetector` -- the hybrid
+  threadset/lockset family of Section 7 ("neither sound nor precise"):
+  with exact clocks ours never false-alarms but provably misses races.
+* :class:`~repro.baselines.oblivious.TransactionObliviousAdapter` -- the
+  Section 6.1 ablation: commits expanded into the lock-based STM
+  implementation's own events.
+"""
+
+from .eraser import EraserDetector
+from .vectorclock import VectorClock, VectorClockDetector
+from .fasttrack import FastTrackDetector
+from .oblivious import TransactionObliviousAdapter
+from .racetrack import RaceTrackDetector
+
+__all__ = [
+    "EraserDetector",
+    "RaceTrackDetector",
+    "FastTrackDetector",
+    "TransactionObliviousAdapter",
+    "VectorClock",
+    "VectorClockDetector",
+]

@@ -1,0 +1,182 @@
+"""The Eraser lockset algorithm (Savage et al., TOCS 1997).
+
+The baseline the paper positions Goldilocks against (Sections 4.1 and 7):
+Eraser enforces the *locking discipline* that every shared variable is
+protected by a fixed set of locks.  Each variable carries a candidate
+lockset ``C(v)`` that can only ever *shrink* -- the fundamental limitation
+the paper calls out ("the lockset of a variable only becomes smaller with
+time") -- plus the well-known per-variable state machine that tolerates
+initialization and read sharing:
+
+* ``VIRGIN``: never accessed;
+* ``EXCLUSIVE``: accessed by a single thread so far (no lockset refinement,
+  tolerating unsynchronized initialization);
+* ``SHARED``: read by multiple threads (lockset refined, races not yet
+  reported -- this is where Eraser silently *misses* write-read races);
+* ``SHARED_MODIFIED``: written by multiple threads (lockset refined, an
+  empty lockset reports a race).
+
+Eraser predates volatiles-as-synchronization, fork/join reasoning, and
+transactions, so those events only maintain the held-locks bookkeeping (for
+``acq``/``rel``) and are otherwise ignored -- exactly the behaviour that
+makes it declare false races on the paper's Examples 2 and 3 and on
+barrier-synchronized benchmarks like ``moldyn`` and ``raytracer``.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, FrozenSet, List, Optional, Set
+
+from ..core.actions import (
+    Acquire,
+    Alloc,
+    Commit,
+    DataVar,
+    Event,
+    Obj,
+    Read,
+    Release,
+    Tid,
+    Write,
+)
+from ..core.detector import Detector
+from ..core.report import AccessRef, RaceReport
+
+
+class State(enum.Enum):
+    """The Eraser per-variable state machine."""
+
+    VIRGIN = "virgin"
+    EXCLUSIVE = "exclusive"
+    SHARED = "shared"
+    SHARED_MODIFIED = "shared-modified"
+
+
+class _VarState:
+    """Per-variable tracking record."""
+
+    __slots__ = ("state", "owner", "lockset", "last")
+
+    def __init__(self) -> None:
+        self.state = State.VIRGIN
+        self.owner: Optional[Tid] = None
+        #: candidate lockset; None encodes "all locks" (not yet refined)
+        self.lockset: Optional[FrozenSet[Obj]] = None
+        self.last: Optional[AccessRef] = None
+
+
+class EraserDetector(Detector):
+    """Classic Eraser, adapted to the library's event stream.
+
+    ``commit`` events are handled *transaction-obliviously*: their
+    constituent accesses are checked like plain accesses with whatever locks
+    the committing thread happens to hold (none, at the specification
+    level).  This mirrors what running Eraser on a transactional program
+    would do and demonstrates the false alarms that motivated the paper's
+    Section 3 formalization.
+    """
+
+    name = "eraser"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._vars: Dict[DataVar, _VarState] = {}
+        self._held: Dict[Tid, List[Obj]] = {}
+
+    def process(self, event: Event) -> List[RaceReport]:
+        action = event.action
+        if isinstance(action, Acquire):
+            self.stats.sync_events += 1
+            self._held.setdefault(event.tid, []).append(action.obj)
+            return []
+        if isinstance(action, Release):
+            self.stats.sync_events += 1
+            held = self._held.get(event.tid, [])
+            for i in range(len(held) - 1, -1, -1):
+                if held[i] == action.obj:
+                    del held[i]
+                    break
+            return []
+        if isinstance(action, Alloc):
+            for var in [v for v in self._vars if v.obj == action.obj]:
+                del self._vars[var]
+            return []
+        if isinstance(action, Read):
+            self.stats.accesses_checked += 1
+            return self._access(event, action.var, is_write=False)
+        if isinstance(action, Write):
+            self.stats.accesses_checked += 1
+            return self._access(event, action.var, is_write=True)
+        if isinstance(action, Commit):
+            self.stats.sync_events += 1
+            reports: List[RaceReport] = []
+            for var in sorted(action.footprint, key=lambda v: (v.obj.value, v.field)):
+                self.stats.accesses_checked += 1
+                reports.extend(
+                    self._access(event, var, is_write=var in action.writes)
+                )
+            return reports
+        # Volatiles, fork, join: invisible to Eraser.
+        self.stats.sync_events += 1
+        return []
+
+    def _access(self, event: Event, var: DataVar, is_write: bool) -> List[RaceReport]:
+        tid = event.tid
+        held = frozenset(self._held.get(tid, ()))
+        record = self._vars.setdefault(var, _VarState())
+        reports: List[RaceReport] = []
+
+        if record.state is State.VIRGIN:
+            record.state = State.EXCLUSIVE
+            record.owner = tid
+        elif record.state is State.EXCLUSIVE:
+            if record.owner != tid:
+                # First access by a second thread: refinement begins.
+                record.lockset = held
+                if is_write:
+                    record.state = State.SHARED_MODIFIED
+                    if not record.lockset:
+                        reports.append(self._report(var, record, event, is_write))
+                else:
+                    record.state = State.SHARED
+        elif record.state is State.SHARED:
+            assert record.lockset is not None
+            record.lockset = record.lockset & held
+            self.stats.rule_applications += 1
+            if is_write:
+                record.state = State.SHARED_MODIFIED
+                if not record.lockset:
+                    reports.append(self._report(var, record, event, is_write))
+        else:  # SHARED_MODIFIED
+            assert record.lockset is not None
+            record.lockset = record.lockset & held
+            self.stats.rule_applications += 1
+            if not record.lockset:
+                reports.append(self._report(var, record, event, is_write))
+
+        record.last = AccessRef(tid, event.index, "write" if is_write else "read")
+        return reports
+
+    def _report(
+        self, var: DataVar, record: _VarState, event: Event, is_write: bool
+    ) -> RaceReport:
+        self.stats.races += 1
+        return RaceReport(
+            var=var,
+            first=record.last,
+            second=AccessRef(event.tid, event.index, "write" if is_write else "read"),
+            detector=self.name,
+        )
+
+    def state_of(self, var: DataVar) -> State:
+        """The state-machine state of ``var`` (for tests and demos)."""
+        record = self._vars.get(var)
+        return record.state if record else State.VIRGIN
+
+    def candidate_lockset(self, var: DataVar) -> Optional[Set[Obj]]:
+        """Eraser's candidate lockset ``C(var)``; ``None`` before refinement."""
+        record = self._vars.get(var)
+        if record is None or record.lockset is None:
+            return None
+        return set(record.lockset)

@@ -1,0 +1,122 @@
+"""A FastTrack-style epoch-based happens-before detector.
+
+FastTrack (Flanagan & Freund, PLDI 2009) post-dates Goldilocks and is the
+canonical follow-up the paper's line of work led to; we include it as an
+extension baseline for the detector-cost ablation.  The key idea: most
+variables are read and written in a totally ordered way, so the full read
+vector clock of Djit+ can usually be replaced by a single *epoch*
+``(thread, clock)`` -- O(1) per access instead of O(#threads) -- promoting
+to a full read map only while reads are genuinely concurrent.
+
+Synchronization handling (locks, volatiles, fork/join, transaction commits)
+is shared with :class:`~repro.baselines.vectorclock.VectorClockDetector`;
+only the per-variable access state differs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.actions import DataVar, Event, Tid
+from ..core.report import AccessRef, RaceReport
+from .vectorclock import Epoch, VectorClockDetector
+
+
+class _FastVarState:
+    """Adaptive per-variable state: write epoch + epoch-or-map read state."""
+
+    __slots__ = ("write_epoch", "write_ref", "read_epoch", "read_ref", "read_map", "read_refs")
+
+    def __init__(self) -> None:
+        self.write_epoch: Optional[Epoch] = None
+        self.write_ref: Optional[AccessRef] = None
+        #: the common case: the single last-read epoch
+        self.read_epoch: Optional[Epoch] = None
+        self.read_ref: Optional[AccessRef] = None
+        #: the promoted case: concurrent readers
+        self.read_map: Optional[Dict[Tid, int]] = None
+        self.read_refs: Dict[Tid, AccessRef] = {}
+
+
+class FastTrackDetector(VectorClockDetector):
+    """Epoch-optimized happens-before detection."""
+
+    name = "fasttrack"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._fast_vars: Dict[DataVar, _FastVarState] = {}
+
+    # The inherited dispatcher calls _read/_write for plain and transactional
+    # accesses alike; only those two methods (and object clearing) change.
+
+    def _clear_object(self, obj) -> None:
+        super()._clear_object(obj)
+        for var in [v for v in self._fast_vars if v.obj == obj]:
+            del self._fast_vars[var]
+
+    def _read(self, event: Event, var: DataVar, xact: bool) -> List[RaceReport]:
+        tid = event.tid
+        clock = self._clock(tid)
+        state = self._fast_vars.setdefault(var, _FastVarState())
+        reports: List[RaceReport] = []
+        if state.write_epoch is not None:
+            writer, at = state.write_epoch
+            if not clock.covers(writer, at):
+                reports.append(self._report(var, state.write_ref, event, "read", xact))
+        if reports and self.suppress_racy_updates:
+            return reports  # the access is being suppressed
+        now = clock.get(tid)
+        ref = AccessRef(tid, event.index, "read", xact)
+        if state.read_map is not None:
+            # Already promoted: stay a map.
+            state.read_map[tid] = now
+            state.read_refs[tid] = ref
+            self.stats.rule_applications += 1
+        elif state.read_epoch is None:
+            state.read_epoch = (tid, now)
+            state.read_ref = ref
+        else:
+            reader, at = state.read_epoch
+            if reader == tid or clock.covers(reader, at):
+                # The previous read is ordered below this one: keep an epoch.
+                state.read_epoch = (tid, now)
+                state.read_ref = ref
+            else:
+                # Concurrent readers: promote to a read map (the slow path).
+                state.read_map = {reader: at, tid: now}
+                state.read_refs = {reader: state.read_ref, tid: ref}
+                state.read_epoch = None
+                state.read_ref = None
+                self.stats.rule_applications += 2
+        return reports
+
+    def _write(self, event: Event, var: DataVar, xact: bool) -> List[RaceReport]:
+        tid = event.tid
+        clock = self._clock(tid)
+        state = self._fast_vars.setdefault(var, _FastVarState())
+        reports: List[RaceReport] = []
+        if state.write_epoch is not None:
+            writer, at = state.write_epoch
+            if not clock.covers(writer, at):
+                reports.append(self._report(var, state.write_ref, event, "write", xact))
+        if state.read_map is not None:
+            for reader, at in state.read_map.items():
+                self.stats.rule_applications += 1
+                if not clock.covers(reader, at):
+                    reports.append(
+                        self._report(var, state.read_refs.get(reader), event, "write", xact)
+                    )
+        elif state.read_epoch is not None:
+            reader, at = state.read_epoch
+            if not clock.covers(reader, at):
+                reports.append(self._report(var, state.read_ref, event, "write", xact))
+        if reports and self.suppress_racy_updates:
+            return reports  # the access is being suppressed
+        state.write_epoch = (tid, clock.get(tid))
+        state.write_ref = AccessRef(tid, event.index, "write", xact)
+        state.read_epoch = None
+        state.read_ref = None
+        state.read_map = None
+        state.read_refs = {}
+        return reports

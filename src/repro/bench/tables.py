@@ -1,0 +1,61 @@
+"""Plain-text rendering of the reproduction's Tables 1-3."""
+
+from __future__ import annotations
+
+from typing import List
+
+from .harness import Table1Row, Table2Row, Table3Row
+
+
+def render_table1(rows: List[Table1Row]) -> str:
+    """The reproduction of Table 1 (runtimes in seconds, slowdown ratios)."""
+    header = (
+        f"{'Benchmark':<12} {'Thr':>3} {'Uninstr':>8} "
+        f"{'NoStatic':>9} {'slow':>5} "
+        f"{'Chord':>8} {'slow':>5} "
+        f"{'RccJava':>8} {'slow':>5} "
+        f"{'SC%(C)':>7} {'SC%(R)':>7} {'races':>5}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<12} {row.threads:>3} {row.uninstrumented:>8.3f} "
+            f"{row.plain:>9.3f} {row.slowdown_plain:>5.1f} "
+            f"{row.with_chord:>8.3f} {row.slowdown_chord:>5.1f} "
+            f"{row.with_rccjava:>8.3f} {row.slowdown_rccjava:>5.1f} "
+            f"{row.sc_chord:>7.2f} {row.sc_rccjava:>7.2f} {row.races:>5}"
+        )
+    return "\n".join(lines)
+
+
+def render_table2(rows: List[Table2Row]) -> str:
+    """The reproduction of Table 2 (static elimination percentages)."""
+    header = (
+        f"{'Benchmark':<12} {'Vars%(Chord)':>13} {'Vars%(Rcc)':>11} "
+        f"{'Acc%(Chord)':>12} {'Acc%(Rcc)':>10}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.name:<12} {row.vars_checked_chord:>13.1f} "
+            f"{row.vars_checked_rccjava:>11.1f} "
+            f"{row.accesses_checked_chord:>12.1f} "
+            f"{row.accesses_checked_rccjava:>10.1f}"
+        )
+    return "\n".join(lines)
+
+
+def render_table3(rows: List[Table3Row]) -> str:
+    """The reproduction of Table 3 (transactional Multiset sweep)."""
+    header = (
+        f"{'#Threads':>8} {'Uninstr(s)':>11} {'Goldilocks(s)':>14} "
+        f"{'Slowdown':>9} {'#Accesses':>10} {'#Txns':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row.threads:>8} {row.uninstrumented:>11.3f} "
+            f"{row.instrumented:>14.3f} {row.slowdown:>9.2f} "
+            f"{row.accesses:>10} {row.transactions:>7}"
+        )
+    return "\n".join(lines)

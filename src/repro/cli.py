@@ -1,0 +1,207 @@
+"""``repro-race``: run race detectors over recorded trace files.
+
+Usage::
+
+    repro-race analyze trace.txt                      # goldilocks
+    repro-race analyze trace.txt --detector eraser --detector vectorclock
+    repro-race analyze trace.txt --commit-sync atomic-order
+    repro-race oracle trace.txt                       # ground truth
+    repro-race fuzz --seed 7 --out trace.txt          # generate a trace
+    repro-race explain trace.txt --var 1.data         # lockset evolution
+
+The trace format is the line-based one of :mod:`repro.trace.io` (see that
+module's docstring); ``fuzz`` emits it, the runtime's
+:class:`~repro.trace.TraceRecorder` + :func:`~repro.trace.dump_trace`
+produce it from live executions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .baselines import (
+    EraserDetector,
+    FastTrackDetector,
+    RaceTrackDetector,
+    VectorClockDetector,
+)
+from .core import EagerGoldilocks, EagerGoldilocksRW, LazyGoldilocks
+from .core.actions import DataVar, Obj
+from .oracle import HappensBeforeOracle
+from .trace import RandomTraceGenerator, dump_trace, load_trace
+
+DETECTORS = {
+    "goldilocks": LazyGoldilocks,
+    "goldilocks-eager": EagerGoldilocksRW,
+    "goldilocks-norw": EagerGoldilocks,
+    "eraser": EraserDetector,
+    "racetrack": RaceTrackDetector,
+    "vectorclock": VectorClockDetector,
+    "fasttrack": FastTrackDetector,
+}
+
+
+def _make_detector(name: str, commit_sync: str):
+    factory = DETECTORS[name]
+    if name.startswith("goldilocks"):
+        return factory(commit_sync=commit_sync)
+    return factory()
+
+
+def cmd_analyze(args) -> int:
+    events = load_trace(args.trace)
+    status = 0
+    for name in args.detector or ["goldilocks"]:
+        try:
+            detector = _make_detector(name, args.commit_sync)
+        except ValueError as exc:
+            # e.g. --commit-sync writes: supported by the oracle only (the
+            # online algorithm's last-access compression cannot express it).
+            print(f"error: {exc}; use `repro-race oracle` for this policy")
+            return 2
+        reports = detector.process_all(events)
+        print(f"[{name}] {len(reports)} race(s) over {len(events)} events")
+        for report in reports:
+            print(f"  {report}")
+        if args.stats:
+            for key, value in detector.stats.as_dict().items():
+                if value:
+                    print(f"    {key}: {value}")
+        if reports:
+            status = 1
+    return status
+
+
+def cmd_oracle(args) -> int:
+    events = load_trace(args.trace)
+    oracle = HappensBeforeOracle(events, commit_sync=args.commit_sync)
+    races = oracle.races()
+    print(f"[oracle] {len(races)} racy pair(s) over {len(events)} events")
+    for i, j, var in races:
+        print(f"  {var!r}: events #{i} and #{j} are unordered")
+    firsts = oracle.first_race_per_var()
+    for var, (i, j) in sorted(firsts.items(), key=lambda kv: kv[1][1]):
+        print(f"  first race on {var!r}: completed by event #{j}")
+    return 1 if races else 0
+
+
+def cmd_fuzz(args) -> int:
+    generator = RandomTraceGenerator(
+        max_threads=args.threads,
+        steps_per_thread=args.steps,
+        p_discipline=args.discipline,
+        with_transactions=not args.no_transactions,
+    )
+    events = generator.generate(args.seed)
+    if args.out:
+        dump_trace(events, args.out)
+        print(f"wrote {len(events)} events to {args.out}")
+    else:
+        dump_trace(events, sys.stdout)
+    return 0
+
+
+def cmd_shrink(args) -> int:
+    """Delta-debug a racy trace down to a locally minimal reproducer."""
+    from .trace.minimize import minimize_race, races_on
+
+    events = load_trace(args.trace)
+    if args.var:
+        obj_part, _, field = args.var.partition(".")
+        var = DataVar(Obj(int(obj_part)), field)
+    else:
+        reports = LazyGoldilocks().process_all(events)
+        if not reports:
+            print("no race found in the trace; nothing to shrink")
+            return 1
+        var = reports[0].var
+    if not races_on(events, var):
+        print(f"the detector reports no race on {var!r}; nothing to shrink")
+        return 1
+    minimal = minimize_race(events, var)
+    print(
+        f"# shrunk {len(events)} -> {len(minimal)} events; "
+        f"race on {var!r} preserved"
+    )
+    if args.out:
+        dump_trace(minimal, args.out)
+        print(f"wrote {args.out}")
+    else:
+        dump_trace(minimal, sys.stdout)
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """Print the Figure 6/7-style lockset evolution for one variable."""
+    events = load_trace(args.trace)
+    obj_part, _, field = args.var.partition(".")
+    var = DataVar(Obj(int(obj_part)), field)
+    try:
+        detector = EagerGoldilocks(commit_sync=args.commit_sync)
+    except ValueError as exc:
+        print(f"error: {exc}; use `repro-race oracle` for this policy")
+        return 2
+    print(f"LS({var!r}) evolution:")
+    for event in events:
+        reports = detector.process(event)
+        marker = "  ** RACE **" if any(r.var == var for r in reports) else ""
+        print(f"  {str(event):<46} {detector.lockset_of(var)}{marker}")
+    return 0
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-race",
+        description="Goldilocks race detection over recorded traces",
+    )
+    parser.add_argument(
+        "--commit-sync",
+        default="footprint",
+        choices=["footprint", "atomic-order", "writes"],
+        help="strong-atomicity interpretation for transactions",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="run detectors over a trace file")
+    analyze.add_argument("trace")
+    analyze.add_argument(
+        "--detector",
+        action="append",
+        choices=sorted(DETECTORS),
+        help="detector(s) to run (default: goldilocks)",
+    )
+    analyze.add_argument("--stats", action="store_true", help="print counters")
+    analyze.set_defaults(func=cmd_analyze)
+
+    oracle = sub.add_parser("oracle", help="ground-truth happens-before analysis")
+    oracle.add_argument("trace")
+    oracle.set_defaults(func=cmd_oracle)
+
+    fuzz = sub.add_parser("fuzz", help="generate a random feasible trace")
+    fuzz.add_argument("--seed", type=int, default=0)
+    fuzz.add_argument("--threads", type=int, default=4)
+    fuzz.add_argument("--steps", type=int, default=12)
+    fuzz.add_argument("--discipline", type=float, default=0.55)
+    fuzz.add_argument("--no-transactions", action="store_true")
+    fuzz.add_argument("--out", default=None)
+    fuzz.set_defaults(func=cmd_fuzz)
+
+    shrink = sub.add_parser("shrink", help="delta-debug a racy trace to a minimal one")
+    shrink.add_argument("trace")
+    shrink.add_argument("--var", default=None, help="variable as <obj>.<field> (default: first racy)")
+    shrink.add_argument("--out", default=None)
+    shrink.set_defaults(func=cmd_shrink)
+
+    explain = sub.add_parser("explain", help="print one variable's lockset evolution")
+    explain.add_argument("trace")
+    explain.add_argument("--var", required=True, help="variable as <obj>.<field>")
+    explain.set_defaults(func=cmd_explain)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

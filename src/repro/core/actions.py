@@ -1,0 +1,345 @@
+"""The action vocabulary of Goldilocks executions (paper Section 3).
+
+An execution is a sequence of *actions* performed by *threads*.  The paper
+partitions action kinds into
+
+* ``SyncKind`` -- lock acquires/releases, volatile reads/writes, thread
+  fork/join, and transaction commits ``commit(R, W)``;
+* ``DataKind`` -- reads and writes of data (non-volatile) fields;
+* ``AllocKind`` -- object allocations.
+
+This module defines value types for the participants (thread ids, objects,
+data variables, synchronization variables) and one class per action kind.
+Everything is immutable and hashable so that actions can live inside
+locksets, dictionaries, and recorded traces.  All value types are distinct
+under equality even when their payloads coincide (``Tid(3) != Obj(3)``),
+which matters because locksets mix thread ids, locks, and variables.
+
+Identity conventions
+--------------------
+
+* A *thread id* is wrapped in :class:`Tid` so that a lockset can contain
+  thread ids, locks, and variables without ambiguity.
+* An *object* is an opaque address wrapped in :class:`Obj`.  The special
+  volatile field ``l`` that the paper uses to model an object's monitor is
+  represented by :class:`LockVar` rather than a string field name, keeping
+  monitors distinct from user-declared volatile fields.
+* A *data variable* ``(o, d)`` is a :class:`DataVar`; a *synchronization
+  variable* ``(o, v)`` is a :class:`VolatileVar`.
+* ``TL`` is the singleton *transaction lock* lockset element of the
+  generalized algorithm (paper Section 4).
+
+Array elements are modelled the way the paper's implementation treats them
+("arrays were checked by treating each array element as a separate
+variable"): an element access is a :class:`DataVar` whose field name is the
+decimal index in brackets, e.g. ``DataVar(obj, "[3]")``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Tid:
+    """A thread identifier (an element of the paper's ``Tid`` set)."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"T{self.value}"
+
+
+@dataclass(frozen=True)
+class Obj:
+    """An object identifier (an element of the paper's ``Addr`` set)."""
+
+    value: int
+
+    def __repr__(self) -> str:
+        return f"o{self.value}"
+
+
+@dataclass(frozen=True)
+class DataVar:
+    """A data variable ``(o, d)``: object ``o`` paired with data field ``d``."""
+
+    obj: Obj
+    field: str
+
+    def __repr__(self) -> str:
+        return f"{self.obj!r}.{self.field}"
+
+
+@dataclass(frozen=True)
+class VolatileVar:
+    """A synchronization variable ``(o, v)``: object ``o``, volatile field ``v``."""
+
+    obj: Obj
+    field: str
+
+    def __repr__(self) -> str:
+        return f"{self.obj!r}.{self.field}(v)"
+
+
+@dataclass(frozen=True)
+class LockVar:
+    """The monitor of object ``o`` -- the paper's special volatile field ``l``."""
+
+    obj: Obj
+
+    def __repr__(self) -> str:
+        return f"{self.obj!r}.l"
+
+
+class _TransactionLock:
+    """The fictitious global transaction lock ``TL`` (paper Section 4).
+
+    ``TL`` in a variable's lockset records that the most recent access to the
+    variable happened inside a transaction, so the next access is race-free
+    if it, too, happens inside a transaction.
+    """
+
+    _instance: "_TransactionLock" = None  # type: ignore[assignment]
+
+    def __new__(cls) -> "_TransactionLock":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "TL"
+
+    def __reduce__(self):
+        return (_TransactionLock, ())
+
+
+TL = _TransactionLock()
+
+#: Anything that may appear in a lockset ``LS(o, d)``.
+LocksetElement = Union[Tid, LockVar, VolatileVar, DataVar, _TransactionLock]
+
+
+def element_sort_key(element: LocksetElement) -> Tuple[int, Tuple]:
+    """Deterministic ordering of lockset elements, used for stable printing."""
+    if isinstance(element, Tid):
+        return (0, (element.value,))
+    if isinstance(element, LockVar):
+        return (1, (element.obj.value,))
+    if isinstance(element, VolatileVar):
+        return (2, (element.obj.value, element.field))
+    if isinstance(element, DataVar):
+        return (3, (element.obj.value, element.field))
+    return (4, ())  # TL sorts last
+
+
+# ---------------------------------------------------------------------------
+# Actions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Alloc:
+    """``alloc(o)``: allocation of a fresh object ``o`` (resets its locksets)."""
+
+    obj: Obj
+
+    def __repr__(self) -> str:
+        return f"alloc({self.obj!r})"
+
+
+@dataclass(frozen=True)
+class Read:
+    """``read(o, d)``: a read of data variable ``(o, d)``."""
+
+    var: DataVar
+
+    def __repr__(self) -> str:
+        return f"read({self.var!r})"
+
+
+@dataclass(frozen=True)
+class Write:
+    """``write(o, d)``: a write of data variable ``(o, d)``."""
+
+    var: DataVar
+
+    def __repr__(self) -> str:
+        return f"write({self.var!r})"
+
+
+@dataclass(frozen=True)
+class VolatileRead:
+    """``read(o, v)``: a read of volatile variable ``(o, v)`` (synchronization)."""
+
+    var: VolatileVar
+
+    def __repr__(self) -> str:
+        return f"vread({self.var!r})"
+
+
+@dataclass(frozen=True)
+class VolatileWrite:
+    """``write(o, v)``: a write of volatile variable ``(o, v)`` (synchronization)."""
+
+    var: VolatileVar
+
+    def __repr__(self) -> str:
+        return f"vwrite({self.var!r})"
+
+
+@dataclass(frozen=True)
+class Acquire:
+    """``acq(o)``: acquisition of the monitor of object ``o``."""
+
+    obj: Obj
+
+    def __repr__(self) -> str:
+        return f"acq({self.obj!r})"
+
+
+@dataclass(frozen=True)
+class Release:
+    """``rel(o)``: release of the monitor of object ``o``."""
+
+    obj: Obj
+
+    def __repr__(self) -> str:
+        return f"rel({self.obj!r})"
+
+
+@dataclass(frozen=True)
+class Fork:
+    """``fork(u)``: creation of thread ``u``.
+
+    Everything the forking thread did before the fork happens-before every
+    action of ``u``.
+    """
+
+    child: Tid
+
+    def __repr__(self) -> str:
+        return f"fork({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Join:
+    """``join(u)``: blocks until thread ``u`` terminates.
+
+    Every action of ``u`` happens-before everything the joining thread does
+    after the join.
+    """
+
+    child: Tid
+
+    def __repr__(self) -> str:
+        return f"join({self.child!r})"
+
+
+@dataclass(frozen=True)
+class Commit:
+    """``commit(R, W)``: commit point of a transaction that read ``R``, wrote ``W``.
+
+    ``R`` and ``W`` are sets of :class:`DataVar` -- the paper forbids
+    synchronization inside transaction bodies, so only data variables occur.
+    The commit participates in the *extended synchronization order*; two
+    commits synchronize iff their footprints ``R ∪ W`` intersect.
+    """
+
+    reads: FrozenSet[DataVar]
+    writes: FrozenSet[DataVar]
+
+    @property
+    def footprint(self) -> FrozenSet[DataVar]:
+        """``R ∪ W``: every data variable the transaction touched."""
+        return self.reads | self.writes
+
+    def __repr__(self) -> str:
+        reads = "{" + ", ".join(sorted(repr(v) for v in self.reads)) + "}"
+        writes = "{" + ", ".join(sorted(repr(v) for v in self.writes)) + "}"
+        return f"commit(R={reads}, W={writes})"
+
+
+#: Actions that participate in the extended synchronization order.
+SyncAction = Union[Acquire, Release, VolatileRead, VolatileWrite, Fork, Join, Commit]
+#: Data accesses subject to race checking.
+DataAction = Union[Read, Write]
+#: Every action kind.
+Action = Union[SyncAction, DataAction, Alloc]
+
+_SYNC_KINDS = (Acquire, Release, VolatileRead, VolatileWrite, Fork, Join, Commit)
+_DATA_KINDS = (Read, Write)
+
+
+def is_sync(action: Action) -> bool:
+    """True iff ``action`` belongs to the paper's ``SyncKind``."""
+    return isinstance(action, _SYNC_KINDS)
+
+
+def is_data_access(action: Action) -> bool:
+    """True iff ``action`` is a data read or write (``DataKind``)."""
+    return isinstance(action, _DATA_KINDS)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One step of an execution: thread ``tid`` performs ``action``.
+
+    ``index`` is the action's position in its thread's program order -- the
+    ``n`` of the paper's ``(t, n)`` pairs.  A recorded trace is a list of
+    events forming a linearization of the extended happens-before relation.
+    """
+
+    tid: Tid
+    index: int
+    action: Action
+
+    def __repr__(self) -> str:
+        return f"{self.tid!r}#{self.index}:{self.action!r}"
+
+
+def commit(reads: Iterable[DataVar] = (), writes: Iterable[DataVar] = ()) -> Commit:
+    """Convenience constructor for :class:`Commit` from any iterables."""
+    return Commit(frozenset(reads), frozenset(writes))
+
+
+def accesses_of(action: Action) -> FrozenSet[DataVar]:
+    """The set of data variables *accessed* by ``action``.
+
+    Following Theorem 1's convention, an event accesses ``(o, d)`` if it is a
+    ``read``/``write`` of ``(o, d)`` or a ``commit(R, W)`` with
+    ``(o, d) ∈ R ∪ W``.
+    """
+    if isinstance(action, (Read, Write)):
+        return frozenset((action.var,))
+    if isinstance(action, Commit):
+        return action.footprint
+    return frozenset()
+
+
+def conflict(first: Action, second: Action) -> FrozenSet[DataVar]:
+    """The data variables on which two actions *conflict* (extended races, Sec. 3).
+
+    Two actions conflict on ``(o, d)`` iff one of the three clauses of the
+    extended-race definition applies:
+
+    1. a write of ``(o, d)`` against a read or write of ``(o, d)``;
+    2. a write of ``(o, d)`` against a ``commit(R, W)`` with
+       ``(o, d) ∈ R ∪ W``;
+    3. a read of ``(o, d)`` against a ``commit(R, W)`` with ``(o, d) ∈ W``.
+
+    Two commits never conflict (transactions are atomic w.r.t. each other);
+    two plain reads never conflict.
+    """
+    out = set()
+    for a, b in ((first, second), (second, first)):
+        if isinstance(a, Write):
+            if isinstance(b, (Read, Write)) and b.var == a.var:
+                out.add(a.var)
+            elif isinstance(b, Commit) and a.var in b.footprint:
+                out.add(a.var)
+        elif isinstance(a, Read):
+            if isinstance(b, Commit) and a.var in b.writes:
+                out.add(a.var)
+    return frozenset(out)

@@ -1,0 +1,71 @@
+"""Exception types of the race-aware runtime.
+
+The headline user-visible mechanism of the paper is ``DataRaceException``: a
+runtime exception raised *precisely* when an access that would create an
+actual data race is about to execute.  Because the detector is sound and
+precise, a program that never observes a :class:`DataRaceException` is
+guaranteed a sequentially consistent (and, with transactions, strongly
+atomic) execution; a program that catches one can terminate the offending
+operation, thread, or program gracefully, or treat it as an optimistic
+conflict-detection signal.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from .report import RaceReport
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DataRaceException(ReproError):
+    """Raised when an access about to execute would complete a data race.
+
+    Mirrors the paper's ``DataRaceException``: it is raised *before* the
+    racy access takes effect, so the access it reports has not happened yet
+    and the execution observed so far is sequentially consistent.
+
+    Attributes
+    ----------
+    report:
+        The :class:`~repro.core.report.RaceReport` describing the racing
+        pair (variable, both accesses, both threads).
+    """
+
+    def __init__(self, report: "RaceReport"):
+        self.report = report
+        super().__init__(str(report))
+
+
+class SynchronizationError(ReproError):
+    """An ill-formed synchronization action (e.g. releasing an unheld lock).
+
+    The paper's ``rel(o)`` by thread ``t`` *fails* if ``o.l != t``; this is
+    the failure it maps to, and the runtime raises it for any misuse of
+    monitors, joins of unknown threads, or malformed transactions.
+    """
+
+
+class DeadlockError(ReproError):
+    """Every runnable thread is blocked; the simulated execution cannot proceed."""
+
+
+class TransactionError(ReproError):
+    """Misuse of the transaction interface (nesting, sync inside atomic, ...).
+
+    The paper's model forbids synchronization operations inside transaction
+    bodies (``R, W ⊆ Addr × Data``); attempting one raises this error.
+    """
+
+
+class TransactionAborted(ReproError):
+    """Internal control-flow signal: the current transaction must roll back.
+
+    Raised by the STM when conflict detection forces an abort; the runtime
+    catches it, undoes the transaction's effects, and retries the body.
+    User programs never observe it unless they request bounded retries.
+    """

@@ -1,0 +1,134 @@
+"""Locksets: the central data structure of the Goldilocks algorithm.
+
+A lockset ``LS(o, d)`` is a set drawn from
+``(Addr × Volatile) ∪ (Addr × Data) ∪ Tid ∪ {TL}`` -- thread ids, monitor
+locks, volatile variables, data variables, and the transaction lock.  The
+paper's reading of a lockset (Section 4):
+
+* empty: ``(o, d)`` is fresh, any access is race-free;
+* contains thread ``t``: ``t`` is an *owner*, its accesses are race-free;
+* contains lock ``(o', l)``: acquiring that lock makes a thread an owner;
+* contains volatile ``(o', v)``: reading it makes a thread an owner;
+* contains ``TL``: the last access was transactional, so another
+  transactional access is race-free;
+* contains data variable ``(o', d')``: accessing it *inside a transaction*
+  makes a thread an owner.
+
+Unlike Eraser-style locksets, these sets *grow* as synchronization happens,
+and shrink to a singleton only at accesses.
+"""
+
+from __future__ import annotations
+
+from typing import AbstractSet, Iterable, Iterator, Optional, Set
+
+from .actions import (
+    TL,
+    DataVar,
+    LocksetElement,
+    LockVar,
+    Tid,
+    VolatileVar,
+    element_sort_key,
+)
+
+
+class Lockset:
+    """A mutable lockset with the update vocabulary of Figure 5.
+
+    Thin wrapper over a ``set`` that adds domain-specific queries and a
+    deterministic string rendering (used by the Figure 6/7 reproductions).
+    """
+
+    __slots__ = ("elements",)
+
+    def __init__(self, elements: Iterable[LocksetElement] = ()):
+        self.elements: Set[LocksetElement] = set(elements)
+
+    # -- basic set protocol -------------------------------------------------
+
+    def __contains__(self, element: LocksetElement) -> bool:
+        return element in self.elements
+
+    def __iter__(self) -> Iterator[LocksetElement]:
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    def __bool__(self) -> bool:
+        return bool(self.elements)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Lockset):
+            return self.elements == other.elements
+        if isinstance(other, (set, frozenset)):
+            return self.elements == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            repr(e) for e in sorted(self.elements, key=element_sort_key)
+        )
+        return "{" + inner + "}"
+
+    def copy(self) -> "Lockset":
+        return Lockset(self.elements)
+
+    # -- updates used by the rules of Figure 5 ------------------------------
+
+    def add(self, element: LocksetElement) -> None:
+        """Add one element (rules 2-7: grow on synchronization)."""
+        self.elements.add(element)
+
+    def update(self, elements: Iterable[LocksetElement]) -> None:
+        """Add many elements (rule 9: add ``R ∪ W``)."""
+        self.elements.update(elements)
+
+    def reset(self, elements: Iterable[LocksetElement]) -> None:
+        """Shrink to exactly ``elements`` (rules 1 and 9: after an access)."""
+        self.elements = set(elements)
+
+    def clear(self) -> None:
+        """Empty the lockset (rule 8: allocation makes the variable fresh)."""
+        self.elements.clear()
+
+    def intersects(self, others: AbstractSet[LocksetElement]) -> bool:
+        """True iff this lockset shares an element with ``others``."""
+        if len(self.elements) > len(others):
+            return any(e in self.elements for e in others)
+        return any(e in others for e in self.elements)
+
+    # -- domain queries ------------------------------------------------------
+
+    def owns(self, tid: Tid) -> bool:
+        """True iff thread ``tid`` is currently an owner of the variable."""
+        return tid in self.elements
+
+    def transactional(self) -> bool:
+        """True iff the transaction lock ``TL`` is present."""
+        return TL in self.elements
+
+    def any_lock(self) -> Optional[LockVar]:
+        """Some monitor lock in the set, if any (used by the *alock* short circuit).
+
+        The paper stores "a random element of ``LS(o, d)``... held by the
+        current thread"; any deterministic choice is equally valid, so we
+        return the first lock in sorted order for reproducibility.
+        """
+        locks = [e for e in self.elements if isinstance(e, LockVar)]
+        if not locks:
+            return None
+        return min(locks, key=element_sort_key)
+
+    def threads(self) -> Set[Tid]:
+        """All thread ids in the set (the current owners)."""
+        return {e for e in self.elements if isinstance(e, Tid)}
+
+    def volatiles(self) -> Set[VolatileVar]:
+        """All volatile variables in the set."""
+        return {e for e in self.elements if isinstance(e, VolatileVar)}
+
+    def data_vars(self) -> Set[DataVar]:
+        """All data variables in the set (placed there by transaction commits)."""
+        return {e for e in self.elements if isinstance(e, DataVar)}

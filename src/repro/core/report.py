@@ -1,0 +1,110 @@
+"""Race reports and reporting policies.
+
+A detector that finds a race produces a :class:`RaceReport` naming the data
+variable and both conflicting accesses.  What happens next is policy:
+
+* the race-aware runtime converts the report into a
+  :class:`~repro.core.exceptions.DataRaceException` thrown into the thread
+  that is *about to* perform the second access;
+* the benchmark harness follows the paper's Section 6 protocol -- "when a
+  race was detected on a variable, race checking for that variable was
+  turned off during the rest of the execution" (and for a whole array when
+  any element races) -- implemented here as :class:`FirstRacePolicy`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from .actions import Action, Commit, DataVar, Obj, Read, Tid
+
+
+@dataclass(frozen=True)
+class AccessRef:
+    """One side of a racing pair.
+
+    ``kind`` is ``"read"``, ``"write"``, or ``"commit"``; ``xact`` records
+    whether the access happened inside a transaction (a commit's constituent
+    accesses are transactional by construction).
+    """
+
+    tid: Tid
+    index: int
+    kind: str
+    xact: bool = False
+
+    def __repr__(self) -> str:
+        suffix = " (in txn)" if self.xact and self.kind != "commit" else ""
+        return f"{self.kind} by {self.tid!r} at #{self.index}{suffix}"
+
+
+def access_kind(action: Action) -> str:
+    """Classify an action for reporting purposes."""
+    if isinstance(action, Read):
+        return "read"
+    if isinstance(action, Commit):
+        return "commit"
+    return "write"
+
+
+@dataclass(frozen=True)
+class RaceReport:
+    """An actual (not potential) data race on ``var``.
+
+    ``first`` is the prior access the detector proved unordered with
+    ``second``, the access about to execute.  ``detector`` names the
+    algorithm that found it.
+    """
+
+    var: DataVar
+    first: Optional[AccessRef]
+    second: AccessRef
+    detector: str = "goldilocks"
+
+    def __str__(self) -> str:
+        if self.first is None:
+            return f"data race on {self.var!r}: {self.second!r} [{self.detector}]"
+        return (
+            f"data race on {self.var!r}: {self.first!r} is unordered with "
+            f"{self.second!r} [{self.detector}]"
+        )
+
+
+class FirstRacePolicy:
+    """Disable checking of a variable after its first reported race.
+
+    The paper: "To provide a reasonable idea of race checking overhead ...
+    when a race was detected on a variable, race checking for that variable
+    was turned off during the rest of the execution.  Checks for all the
+    indices of an array were disabled when a race is detected on any index
+    of the array."
+
+    The policy tracks disabled variables and whole objects (for arrays).
+    """
+
+    def __init__(self) -> None:
+        self.disabled_vars: Set[DataVar] = set()
+        self.disabled_objects: Set[Obj] = set()
+        self.reports: List[RaceReport] = []
+
+    def should_check(self, var: DataVar) -> bool:
+        """True iff ``var`` has not yet been disabled by an earlier race."""
+        return var not in self.disabled_vars and var.obj not in self.disabled_objects
+
+    def record(self, report: RaceReport, whole_object: bool = False) -> None:
+        """Record a race and disable the variable (or its whole object)."""
+        self.reports.append(report)
+        if whole_object or report.var.field.startswith("["):
+            # Array element: the paper disables every index of the array.
+            self.disabled_objects.add(report.var.obj)
+        else:
+            self.disabled_vars.add(report.var)
+
+    @property
+    def race_count(self) -> int:
+        return len(self.reports)
+
+    def raced_vars(self) -> Set[DataVar]:
+        """The distinct variables on which a first race was reported."""
+        return {r.var for r in self.reports}

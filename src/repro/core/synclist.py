@@ -1,0 +1,162 @@
+"""The global synchronization-event list (paper Section 5, Figure 8).
+
+Synchronization events are stored in a singly linked list of ``Cell``
+records, in the (extended) synchronization order.  The list is the backbone
+of the *lazy* lockset evaluation: an access's ``Info`` record keeps a
+pointer ``pos`` into the list, and the lockset of a variable at a later
+access is computed by replaying the update rules over the cells between the
+two positions.
+
+As in the paper, the ``tail`` always points at an *empty* cell: appending an
+event fills the current tail and links a fresh empty cell after it.  An
+``Info`` created at an access therefore points at the empty cell that the
+*next* synchronization event will fill -- precisely "the last
+synchronization event that the access comes after".
+
+Reference counting and garbage collection (Section 5.4): every ``Info``
+holding a ``pos`` pointer contributes one reference to that cell.  A prefix
+of cells with zero reference counts carries no information for any future
+lockset computation and is periodically discarded.  When a long-lived
+reference blocks collection, the detector performs *partially-eager
+evaluation*: it advances the blocking locksets part-way down the list and
+re-points them, freeing the prefix (that logic lives in
+:mod:`repro.core.lazy`, which owns the locksets; this module provides the
+list primitives).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional
+
+from .actions import Action, Tid
+
+
+class Cell:
+    """One synchronization event (or the empty tail slot) in the list."""
+
+    __slots__ = ("tid", "action", "next", "refcount", "seq")
+
+    def __init__(self, seq: int) -> None:
+        self.tid: Optional[Tid] = None
+        self.action: Optional[Action] = None
+        self.next: Optional["Cell"] = None
+        #: number of Info records whose ``pos`` points here
+        self.refcount: int = 0
+        #: monotone sequence number; only used for diagnostics and ordering
+        self.seq: int = seq
+
+    @property
+    def filled(self) -> bool:
+        """True iff this cell holds an event (the tail slot never does)."""
+        return self.action is not None
+
+    def __repr__(self) -> str:
+        if not self.filled:
+            return f"<cell #{self.seq} (empty tail)>"
+        return f"<cell #{self.seq} {self.tid!r}:{self.action!r} rc={self.refcount}>"
+
+
+class SyncEventList:
+    """Append-only event list with reference-counted prefix collection."""
+
+    def __init__(self) -> None:
+        self._seq = 0
+        self.head: Cell = Cell(self._next_seq())
+        self.tail: Cell = self.head
+        #: filled cells currently reachable from ``head``
+        self.length: int = 0
+        #: total events ever enqueued
+        self.total_enqueued: int = 0
+        #: cells reclaimed by :meth:`collect_prefix`
+        self.total_collected: int = 0
+
+    def _next_seq(self) -> int:
+        self._seq += 1
+        return self._seq
+
+    # -- appends ---------------------------------------------------------------
+
+    def enqueue(self, tid: Tid, action: Action) -> Cell:
+        """``Enqueue-Synch-Event``: fill the tail, link a fresh empty cell.
+
+        Returns the cell that now holds the event.
+        """
+        cell = self.tail
+        cell.tid = tid
+        cell.action = action
+        cell.next = Cell(self._next_seq())
+        self.tail = cell.next
+        self.length += 1
+        self.total_enqueued += 1
+        return cell
+
+    # -- reference management ----------------------------------------------------
+
+    @staticmethod
+    def incref(cell: Cell) -> None:
+        cell.refcount += 1
+
+    @staticmethod
+    def decref(cell: Cell) -> None:
+        assert cell.refcount > 0, "refcount underflow on synchronization cell"
+        cell.refcount -= 1
+
+    # -- traversal ----------------------------------------------------------------
+
+    def events_from(self, pos: Cell) -> Iterator[Cell]:
+        """All filled cells from ``pos`` (inclusive) up to the tail."""
+        cell = pos
+        while cell.filled:
+            yield cell
+            assert cell.next is not None
+            cell = cell.next
+
+    def prefix_cells(self, count: int) -> List[Cell]:
+        """Up to ``count`` filled cells starting at the head."""
+        out: List[Cell] = []
+        cell = self.head
+        while cell.filled and len(out) < count:
+            out.append(cell)
+            assert cell.next is not None
+            cell = cell.next
+        return out
+
+    def cell_at(self, offset: int) -> Cell:
+        """The cell ``offset`` filled cells past the head (may be the tail)."""
+        cell = self.head
+        for _ in range(offset):
+            if not cell.filled:
+                break
+            assert cell.next is not None
+            cell = cell.next
+        return cell
+
+    # -- garbage collection ----------------------------------------------------------
+
+    def collect_prefix(self) -> int:
+        """Discard the longest head prefix of zero-refcount cells.
+
+        Returns the number of cells reclaimed.  This is the cheap half of
+        Section 5.4; the partially-eager half (advancing the blocking
+        locksets first) is driven by the detector.
+        """
+        collected = 0
+        while self.head.filled and self.head.refcount == 0:
+            nxt = self.head.next
+            assert nxt is not None
+            # Snap the link so accidental stale pointers fail loudly.
+            self.head.next = None
+            self.head = nxt
+            collected += 1
+        self.length -= collected
+        self.total_collected += collected
+        return collected
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __repr__(self) -> str:
+        return (
+            f"<SyncEventList len={self.length} enqueued={self.total_enqueued} "
+            f"collected={self.total_collected}>"
+        )

@@ -1,0 +1,59 @@
+"""Running several detectors over one execution.
+
+:class:`TeeDetector` fans each event out to every child detector and
+returns the first child's reports (children are positional: the first is
+the *primary* whose verdicts drive the runtime; the rest observe).  Used to
+
+* record a trace while simultaneously detecting
+  (``TeeDetector(LazyGoldilocks(), TraceRecorder())``), which the
+  runtime-vs-oracle property tests rely on;
+* compare detectors online on identical executions without replaying.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .actions import Event
+from .detector import Detector
+from .report import RaceReport
+
+
+class TeeDetector(Detector):
+    """Fan events out to several detectors; the first one is authoritative."""
+
+    def __init__(self, *children: Detector) -> None:
+        super().__init__()
+        if not children:
+            raise ValueError("TeeDetector needs at least one child")
+        self.children = list(children)
+        self.name = "tee(" + ",".join(c.name for c in children) + ")"
+        self.stats = self.children[0].stats  # the primary's counters
+
+    @property
+    def primary(self) -> Detector:
+        return self.children[0]
+
+    # The runtime flips this flag under the throw policy; forward it so the
+    # primary's state stays consistent with suppressed accesses.  Observers
+    # (e.g. a TraceRecorder) hold no per-variable state, but forwarding to
+    # all children keeps any detector combination coherent.
+    @property
+    def suppress_racy_updates(self) -> bool:  # type: ignore[override]
+        return self.children[0].suppress_racy_updates
+
+    @suppress_racy_updates.setter
+    def suppress_racy_updates(self, value: bool) -> None:
+        for child in self.children:
+            child.suppress_racy_updates = value
+
+    def process(self, event: Event) -> List[RaceReport]:
+        primary_reports = self.children[0].process(event)
+        for child in self.children[1:]:
+            child.process(event)
+        return primary_reports
+
+    def reset(self) -> None:
+        for child in self.children:
+            child.reset()
+        self.stats = self.children[0].stats

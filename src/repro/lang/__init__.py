@@ -1,0 +1,35 @@
+"""MiniLang: the small concurrent Java-like language of the workloads.
+
+The paper's benchmarks are Java programs run on an instrumented JVM; ours
+are MiniLang programs run on the instrumented simulated runtime.  MiniLang
+has exactly the feature set the evaluation needs:
+
+* classes with data fields, ``volatile`` fields, and (optionally
+  ``synchronized``) methods;
+* arrays, the usual expressions and control flow;
+* ``sync (expr) { ... }`` blocks (Java's ``synchronized``),
+  ``atomic { ... }`` software transactions, ``spawn f(args)`` / ``join t``
+  threads, ``barrier(b)`` volatile-based barriers, and ``wait``/``notify``;
+* ``//@ field Class.field: annotation`` comments consumed by the
+  RccJava-style checker.
+
+Pipeline: :func:`parse` source → AST (:mod:`repro.lang.ast`) → static
+analyses (:mod:`repro.analysis`) and/or the interpreter
+(:mod:`repro.lang.interp`) which drives :class:`repro.runtime.Runtime`.
+"""
+
+from .ast import Program
+from .lexer import LexError, tokenize
+from .parser import ParseError, parse
+from .interp import Interpreter, MiniLangError, run_program
+
+__all__ = [
+    "Interpreter",
+    "LexError",
+    "MiniLangError",
+    "ParseError",
+    "Program",
+    "parse",
+    "run_program",
+    "tokenize",
+]

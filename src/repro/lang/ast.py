@@ -1,0 +1,291 @@
+"""MiniLang abstract syntax.
+
+Every node carries its source line so the Chord-style analysis can report
+may-race *access pairs as line numbers*, the way the real tool does ("the
+output of Chord is a list of pairs of accesses (line numbers in the source
+code)").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass
+class Node:
+    """Base class: every node knows its source line."""
+
+    line: int
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Expr(Node):
+    pass
+
+
+@dataclass
+class Literal(Expr):
+    value: Any  # int, float, bool, str, or None (null)
+
+
+@dataclass
+class Name(Expr):
+    ident: str
+
+
+@dataclass
+class Unary(Expr):
+    op: str  # '-' or '!'
+    operand: Expr
+
+
+@dataclass
+class Binary(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass
+class FieldGet(Expr):
+    target: Expr
+    field_name: str
+
+
+@dataclass
+class Index(Expr):
+    array: Expr
+    index: Expr
+
+
+@dataclass
+class Call(Expr):
+    """Free-function call or builtin (``len``, ``sqrt``, ``rand``...)."""
+
+    func: str
+    args: List[Expr]
+
+
+@dataclass
+class MethodCall(Expr):
+    target: Expr
+    method: str
+    args: List[Expr]
+
+
+@dataclass
+class NewObject(Expr):
+    class_name: str
+    args: List[Expr]  # constructor arguments, bound to `init` parameters
+
+
+@dataclass
+class NewArrayExpr(Expr):
+    length: Expr
+    fill: Optional[Expr]  # element initializer; default 0
+
+
+@dataclass
+class SpawnExpr(Expr):
+    """``spawn f(args)``: returns a thread handle value."""
+
+    func: str
+    args: List[Expr]
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt(Node):
+    pass
+
+
+@dataclass
+class VarDecl(Stmt):
+    name: str
+    init: Expr
+
+
+@dataclass
+class Assign(Stmt):
+    """Assignment to a local name, a field, or an array element."""
+
+    target: Expr  # Name, FieldGet, or Index
+    value: Expr
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr
+    then_body: List[Stmt]
+    else_body: List[Stmt]
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr
+    body: List[Stmt]
+
+
+@dataclass
+class For(Stmt):
+    """``for (var i = a; cond; i = step) { ... }`` -- sugar kept in the AST
+
+    so the analyses can see induction structure (the barrier checker uses
+    it)."""
+
+    var: str
+    init: Expr
+    cond: Expr
+    update: Expr
+    body: List[Stmt]
+
+
+@dataclass
+class Return(Stmt):
+    value: Optional[Expr]
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+@dataclass
+class SyncBlock(Stmt):
+    """``sync (expr) { ... }`` -- Java's synchronized statement."""
+
+    lock: Expr
+    body: List[Stmt]
+
+
+@dataclass
+class AtomicBlock(Stmt):
+    """``atomic { ... }`` -- a software transaction."""
+
+    body: List[Stmt]
+
+
+@dataclass
+class JoinStmt(Stmt):
+    thread: Expr
+
+
+@dataclass
+class BarrierStmt(Stmt):
+    barrier: Expr
+
+
+@dataclass
+class WaitStmt(Stmt):
+    target: Expr
+
+
+@dataclass
+class NotifyStmt(Stmt):
+    target: Expr
+    all_waiters: bool
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FieldDecl(Node):
+    name: str
+    volatile: bool
+    #: optional declared type ("int", "float", "bool", or a class name);
+    #: only used for default values (0 / 0.0 / false / null)
+    type_name: Optional[str] = None
+
+    def default_value(self) -> Any:
+        if self.type_name == "int":
+            return 0
+        if self.type_name in ("float", "double"):
+            return 0.0
+        if self.type_name in ("bool", "boolean"):
+            return False
+        return None
+
+
+@dataclass
+class MethodDecl(Node):
+    name: str
+    params: List[str]
+    body: List[Stmt]
+    synchronized: bool
+
+
+@dataclass
+class ClassDecl(Node):
+    name: str
+    fields: List[FieldDecl]
+    methods: List[MethodDecl]
+
+    def field_names(self) -> List[str]:
+        return [f.name for f in self.fields]
+
+    def volatile_names(self) -> Tuple[str, ...]:
+        return tuple(f.name for f in self.fields if f.volatile)
+
+    def method(self, name: str) -> Optional[MethodDecl]:
+        for method in self.methods:
+            if method.name == name:
+                return method
+        return None
+
+
+@dataclass
+class FuncDecl(Node):
+    name: str
+    params: List[str]
+    body: List[Stmt]
+
+
+@dataclass
+class Annotation(Node):
+    """``//@ field Class.field: key(arg)`` -- RccJava-style field annotation."""
+
+    class_name: str
+    field_name: str
+    key: str          # guarded_by | thread_local | atomic_only | barrier_owned | readonly
+    arg: Optional[str]
+
+
+@dataclass
+class Program(Node):
+    classes: Dict[str, ClassDecl]
+    functions: Dict[str, FuncDecl]
+    annotations: List[Annotation] = field(default_factory=list)
+    source_name: str = "<minilang>"
+
+    def cls(self, name: str) -> ClassDecl:
+        if name not in self.classes:
+            raise KeyError(f"unknown class {name!r}")
+        return self.classes[name]
+
+    def func(self, name: str) -> FuncDecl:
+        if name not in self.functions:
+            raise KeyError(f"unknown function {name!r}")
+        return self.functions[name]

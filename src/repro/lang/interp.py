@@ -1,0 +1,544 @@
+"""The MiniLang interpreter: drives programs on the race-aware runtime.
+
+Every MiniLang shared-memory or synchronization construct lowers onto one
+runtime operation:
+
+=====================  =====================================================
+MiniLang               runtime operation
+=====================  =====================================================
+``x.f`` (data field)   ``th.read`` → checked data access
+``x.f`` (volatile)     ``th.read`` → volatile read (synchronization)
+``a[i]``               ``th.read_elem`` / ``th.write_elem``
+``sync (e) { ... }``   ``th.acquire`` / ``th.release`` (exception-safe)
+``atomic { ... }``     ``th.atomic`` → one ``commit(R, W)`` action
+``spawn f(a)``         ``th.fork``
+``join t``             ``th.join``
+``barrier(b)``         ``th.barrier``
+``wait/notify``        ``th.wait`` / ``th.notify`` / ``th.notify_all``
+``new C(...)``         ``th.new`` + the class's ``init`` method
+=====================  =====================================================
+
+Locals live in per-frame dictionaries and never touch the runtime, exactly
+like JVM stack slots.  Inside ``atomic`` blocks evaluation switches to
+transactional mode: field and element accesses go through the
+:class:`~repro.runtime.stm.TxnView` and any construct that would need a
+scheduling point (spawn, sync, barrier, another atomic...) is rejected,
+enforcing the paper's ``R, W ⊆ Addr × Data`` restriction syntactically
+*and* dynamically.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, Generator, List, Optional
+
+from ..core.detector import Detector
+from ..core.exceptions import ReproError, TransactionError
+from ..runtime import RArray, RObject, Runtime, ThreadHandle
+from ..runtime.ops import THREAD_API
+from ..runtime.runtime import Barrier, RunResult
+from ..runtime.scheduler import Scheduler, StridedScheduler
+from ..runtime.stm import TxnView
+from . import ast
+
+
+class MiniLangError(ReproError):
+    """A runtime error in MiniLang program code (with a source position)."""
+
+
+class _Return(Exception):
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Ctx:
+    """Per-thread interpretation context (transaction mode + RNG sharing)."""
+
+    __slots__ = ("txn",)
+
+    def __init__(self, txn: Optional[TxnView] = None) -> None:
+        self.txn = txn
+
+
+class Interpreter:
+    """Executes one :class:`~repro.lang.ast.Program` on a runtime."""
+
+    def __init__(self, program: ast.Program, runtime: Runtime, seed: int = 0) -> None:
+        self.program = program
+        self.runtime = runtime
+        #: deterministic RNG behind the ``rand()``/``randint(n)`` builtins
+        self.rng = random.Random(seed)
+        #: lines collected from ``print(...)`` calls
+        self.printed: List[str] = []
+
+    # -- entry points -------------------------------------------------------------
+
+    def spawn_main(self, *args: Any) -> ThreadHandle:
+        """Start ``main(args...)`` as the runtime's main thread."""
+        main = self.program.func("main")
+        if len(main.params) != len(args):
+            raise MiniLangError(
+                f"main expects {len(main.params)} argument(s), got {len(args)}"
+            )
+
+        def body(th, *call_args):
+            return self._call(main, list(call_args), _Ctx())
+
+        return self.runtime.spawn_main(body, *args, name="main")
+
+    # -- function/method invocation ---------------------------------------------------
+
+    def _call(self, func, args: List[Any], ctx: _Ctx, this: Any = None) -> Generator:
+        """Generator running one function/method body to completion."""
+        env: Dict[str, Any] = dict(zip(func.params, args))
+        if this is not None:
+            env["this"] = this
+        try:
+            yield from self._exec_block(func.body, env, ctx)
+        except _Return as ret:
+            return ret.value
+        return None
+
+    def _thread_body(self, func: ast.FuncDecl):
+        """A fork-able thread body for ``spawn func(...)``."""
+
+        def body(th, *args):
+            return self._call(func, list(args), _Ctx())
+
+        body.__name__ = func.name
+        return body
+
+    # -- statements ----------------------------------------------------------------------
+
+    def _exec_block(self, stmts: List[ast.Stmt], env: Dict[str, Any], ctx: _Ctx) -> Generator:
+        for stmt in stmts:
+            yield from self._exec(stmt, env, ctx)
+
+    def _exec(self, stmt: ast.Stmt, env: Dict[str, Any], ctx: _Ctx) -> Generator:
+        if isinstance(stmt, ast.VarDecl):
+            env[stmt.name] = yield from self._eval(stmt.init, env, ctx)
+        elif isinstance(stmt, ast.Assign):
+            yield from self._assign(stmt, env, ctx)
+        elif isinstance(stmt, ast.ExprStmt):
+            yield from self._eval(stmt.expr, env, ctx)
+        elif isinstance(stmt, ast.If):
+            cond = yield from self._eval(stmt.cond, env, ctx)
+            branch = stmt.then_body if cond else stmt.else_body
+            yield from self._exec_block(branch, env, ctx)
+        elif isinstance(stmt, ast.While):
+            while True:
+                cond = yield from self._eval(stmt.cond, env, ctx)
+                if not cond:
+                    break
+                try:
+                    yield from self._exec_block(stmt.body, env, ctx)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+        elif isinstance(stmt, ast.For):
+            env[stmt.var] = yield from self._eval(stmt.init, env, ctx)
+            while True:
+                cond = yield from self._eval(stmt.cond, env, ctx)
+                if not cond:
+                    break
+                try:
+                    yield from self._exec_block(stmt.body, env, ctx)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                env[stmt.var] = yield from self._eval(stmt.update, env, ctx)
+        elif isinstance(stmt, ast.Return):
+            value = None
+            if stmt.value is not None:
+                value = yield from self._eval(stmt.value, env, ctx)
+            raise _Return(value)
+        elif isinstance(stmt, ast.Break):
+            raise _Break()
+        elif isinstance(stmt, ast.Continue):
+            raise _Continue()
+        elif isinstance(stmt, ast.SyncBlock):
+            yield from self._exec_sync(stmt, env, ctx)
+        elif isinstance(stmt, ast.AtomicBlock):
+            yield from self._exec_atomic(stmt, env, ctx)
+        elif isinstance(stmt, ast.JoinStmt):
+            handle = yield from self._eval(stmt.thread, env, ctx)
+            self._require(isinstance(handle, ThreadHandle), stmt, "join needs a thread")
+            self._no_txn(ctx, stmt, "join")
+            yield self.runtime_api.join(handle)
+        elif isinstance(stmt, ast.BarrierStmt):
+            barrier = yield from self._eval(stmt.barrier, env, ctx)
+            self._require(isinstance(barrier, Barrier), stmt, "barrier needs a barrier")
+            self._no_txn(ctx, stmt, "barrier")
+            yield self.runtime_api.barrier(barrier)
+        elif isinstance(stmt, ast.WaitStmt):
+            target = yield from self._eval(stmt.target, env, ctx)
+            self._require(isinstance(target, RObject), stmt, "wait needs an object")
+            self._no_txn(ctx, stmt, "wait")
+            yield self.runtime_api.wait(target)
+        elif isinstance(stmt, ast.NotifyStmt):
+            target = yield from self._eval(stmt.target, env, ctx)
+            self._require(isinstance(target, RObject), stmt, "notify needs an object")
+            self._no_txn(ctx, stmt, "notify")
+            if stmt.all_waiters:
+                yield self.runtime_api.notify_all(target)
+            else:
+                yield self.runtime_api.notify(target)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise MiniLangError(f"line {stmt.line}: unknown statement {stmt!r}")
+
+    def _exec_sync(self, stmt: ast.SyncBlock, env: Dict[str, Any], ctx: _Ctx) -> Generator:
+        self._no_txn(ctx, stmt, "sync")
+        lock = yield from self._eval(stmt.lock, env, ctx)
+        self._require(isinstance(lock, RObject), stmt, "sync needs an object lock")
+        yield self.runtime_api.acquire(lock)
+        try:
+            yield from self._exec_block(stmt.body, env, ctx)
+        finally:
+            yield self.runtime_api.release(lock)
+
+    def _exec_atomic(self, stmt: ast.AtomicBlock, env: Dict[str, Any], ctx: _Ctx) -> Generator:
+        self._no_txn(ctx, stmt, "atomic (transactions do not nest)")
+
+        def body(txn: TxnView) -> None:
+            inner = _Ctx(txn=txn)
+            gen = self._exec_block(stmt.body, env, inner)
+            try:
+                next(gen)
+            except StopIteration:
+                return
+            except _Return:
+                raise TransactionError(
+                    f"line {stmt.line}: return out of an atomic block"
+                )
+            raise TransactionError(
+                f"line {stmt.line}: synchronization inside an atomic block"
+            )
+
+        yield self.runtime_api.atomic(body)
+
+    # -- assignments -----------------------------------------------------------------------
+
+    def _assign(self, stmt: ast.Assign, env: Dict[str, Any], ctx: _Ctx) -> Generator:
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            if target.ident not in env:
+                raise MiniLangError(
+                    f"line {stmt.line}: assignment to undeclared variable "
+                    f"{target.ident!r} (use 'var')"
+                )
+            env[target.ident] = yield from self._eval(stmt.value, env, ctx)
+        elif isinstance(target, ast.FieldGet):
+            obj = yield from self._eval(target.target, env, ctx)
+            self._require(isinstance(obj, RObject), stmt, "field write on non-object")
+            self._check_field(obj, target.field_name, stmt)
+            value = yield from self._eval(stmt.value, env, ctx)
+            if ctx.txn is not None:
+                ctx.txn.write(obj, target.field_name, value)
+            else:
+                yield self.runtime_api.write(obj, target.field_name, value)
+        elif isinstance(target, ast.Index):
+            arr = yield from self._eval(target.array, env, ctx)
+            self._require(isinstance(arr, RArray), stmt, "index write on non-array")
+            index = yield from self._eval(target.index, env, ctx)
+            value = yield from self._eval(stmt.value, env, ctx)
+            if ctx.txn is not None:
+                ctx.txn.write_elem(arr, index, value)
+            else:
+                yield self.runtime_api.write_elem(arr, index, value)
+        else:  # pragma: no cover - parser rejects other targets
+            raise MiniLangError(f"line {stmt.line}: bad assignment target")
+
+    # -- expressions ------------------------------------------------------------------------
+
+    def _eval(self, expr: ast.Expr, env: Dict[str, Any], ctx: _Ctx) -> Generator:
+        if isinstance(expr, ast.Literal):
+            return expr.value
+        if isinstance(expr, ast.Name):
+            if expr.ident not in env:
+                raise MiniLangError(f"line {expr.line}: unknown variable {expr.ident!r}")
+            return env[expr.ident]
+        if isinstance(expr, ast.Unary):
+            value = yield from self._eval(expr.operand, env, ctx)
+            return -value if expr.op == "-" else (not value)
+        if isinstance(expr, ast.Binary):
+            return (yield from self._binary(expr, env, ctx))
+        if isinstance(expr, ast.FieldGet):
+            obj = yield from self._eval(expr.target, env, ctx)
+            self._require(isinstance(obj, RObject), expr, "field read on non-object")
+            self._check_field(obj, expr.field_name, expr)
+            if ctx.txn is not None:
+                return ctx.txn.read(obj, expr.field_name)
+            return (yield self.runtime_api.read(obj, expr.field_name))
+        if isinstance(expr, ast.Index):
+            arr = yield from self._eval(expr.array, env, ctx)
+            self._require(isinstance(arr, RArray), expr, "indexing a non-array")
+            index = yield from self._eval(expr.index, env, ctx)
+            if ctx.txn is not None:
+                return ctx.txn.read_elem(arr, index)
+            return (yield self.runtime_api.read_elem(arr, index))
+        if isinstance(expr, ast.Call):
+            return (yield from self._call_expr(expr, env, ctx))
+        if isinstance(expr, ast.MethodCall):
+            return (yield from self._method_call(expr, env, ctx))
+        if isinstance(expr, ast.NewObject):
+            return (yield from self._new_object(expr, env, ctx))
+        if isinstance(expr, ast.NewArrayExpr):
+            self._no_txn(ctx, expr, "allocation")
+            length = yield from self._eval(expr.length, env, ctx)
+            fill = 0
+            if expr.fill is not None:
+                fill = yield from self._eval(expr.fill, env, ctx)
+            # Arrays are classed by allocation site ("arr<line>[]") so the
+            # static analyses and the runtime check filter agree on keys.
+            return (
+                yield self.runtime_api.new_array(
+                    int(length), fill, element_class=f"arr{expr.line}"
+                )
+            )
+        if isinstance(expr, ast.SpawnExpr):
+            self._no_txn(ctx, expr, "spawn")
+            func = self.program.func(expr.func)
+            args = []
+            for arg in expr.args:
+                args.append((yield from self._eval(arg, env, ctx)))
+            return (yield self.runtime_api.fork(self._thread_body(func), *args, name=expr.func))
+        raise MiniLangError(f"line {expr.line}: unknown expression {expr!r}")  # pragma: no cover
+
+    def _binary(self, expr: ast.Binary, env: Dict[str, Any], ctx: _Ctx) -> Generator:
+        op = expr.op
+        left = yield from self._eval(expr.left, env, ctx)
+        if op == "&&":
+            if not left:
+                return False
+            right = yield from self._eval(expr.right, env, ctx)
+            return bool(right)
+        if op == "||":
+            if left:
+                return True
+            right = yield from self._eval(expr.right, env, ctx)
+            return bool(right)
+        right = yield from self._eval(expr.right, env, ctx)
+        if op == "==":
+            return self._equal(left, right)
+        if op == "!=":
+            return not self._equal(left, right)
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if op == "/":
+                if isinstance(left, int) and isinstance(right, int):
+                    # Java semantics: integer division truncates toward zero.
+                    quotient = abs(left) // abs(right)
+                    return quotient if (left < 0) == (right < 0) else -quotient
+                return left / right
+            if op == "%":
+                if isinstance(left, int) and isinstance(right, int):
+                    # Java semantics: remainder takes the dividend's sign.
+                    quotient = abs(left) // abs(right)
+                    quotient = quotient if (left < 0) == (right < 0) else -quotient
+                    return left - quotient * right
+                return math.fmod(left, right)
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            if op == ">=":
+                return left >= right
+        except (TypeError, ZeroDivisionError) as exc:
+            raise MiniLangError(f"line {expr.line}: {exc}") from exc
+        raise MiniLangError(f"line {expr.line}: unknown operator {op!r}")  # pragma: no cover
+
+    @staticmethod
+    def _equal(left: Any, right: Any) -> bool:
+        """Java semantics: reference identity for objects, value for scalars."""
+        if isinstance(left, (RObject, ThreadHandle, Barrier)) or isinstance(
+            right, (RObject, ThreadHandle, Barrier)
+        ):
+            return left is right
+        if left is None or right is None:
+            return left is None and right is None
+        return left == right
+
+    # -- calls ------------------------------------------------------------------------------
+
+    _BUILTINS = {
+        "sqrt": math.sqrt,
+        "abs": abs,
+        "min": min,
+        "max": max,
+        "floor": math.floor,
+        "ceil": math.ceil,
+        "exp": math.exp,
+        "log": math.log,
+        "sin": math.sin,
+        "cos": math.cos,
+        "pow": pow,
+        "int": int,
+        "float": float,
+    }
+
+    def _call_expr(self, expr: ast.Call, env: Dict[str, Any], ctx: _Ctx) -> Generator:
+        name = expr.func
+        args = []
+        for arg in expr.args:
+            args.append((yield from self._eval(arg, env, ctx)))
+        if name == "len":
+            self._require(len(args) == 1 and isinstance(args[0], RArray), expr, "len(array)")
+            return args[0].length
+        if name == "rand":
+            return self.rng.random()
+        if name == "randint":
+            self._require(len(args) == 1, expr, "randint(n)")
+            return self.rng.randrange(int(args[0]))
+        if name == "print":
+            self.printed.append(" ".join(str(a) for a in args))
+            return None
+        if name == "result":
+            # The return value of a joined thread; pure local data (like
+            # Thread.join + a field the JMM orders, but with no heap access).
+            self._require(
+                len(args) == 1 and isinstance(args[0], ThreadHandle),
+                expr,
+                "result(thread)",
+            )
+            return args[0].result
+        if name == "new_barrier":
+            self._require(len(args) == 1, expr, "new_barrier(parties)")
+            self._no_txn(ctx, expr, "new_barrier")
+            return self.runtime.new_barrier(int(args[0]))
+        if name in self._BUILTINS:
+            try:
+                return self._BUILTINS[name](*args)
+            except (TypeError, ValueError) as exc:
+                raise MiniLangError(f"line {expr.line}: {name}: {exc}") from exc
+        if name in self.program.functions:
+            if ctx.txn is not None:
+                # Function calls are allowed inside atomic only if the callee
+                # itself stays transactional; the nested generator runs under
+                # the same no-yield discipline.
+                return (yield from self._call(self.program.func(name), args, ctx))
+            return (yield from self._call(self.program.func(name), args, ctx))
+        raise MiniLangError(f"line {expr.line}: unknown function {name!r}")
+
+    def _method_call(self, expr: ast.MethodCall, env: Dict[str, Any], ctx: _Ctx) -> Generator:
+        obj = yield from self._eval(expr.target, env, ctx)
+        self._require(isinstance(obj, RObject), expr, "method call on non-object")
+        decl = self.program.classes.get(obj.class_name)
+        method = decl.method(expr.method) if decl else None
+        if method is None:
+            raise MiniLangError(
+                f"line {expr.line}: {obj.class_name} has no method {expr.method!r}"
+            )
+        args = []
+        for arg in expr.args:
+            args.append((yield from self._eval(arg, env, ctx)))
+        if len(args) != len(method.params):
+            raise MiniLangError(
+                f"line {expr.line}: {expr.method} expects {len(method.params)} "
+                f"argument(s), got {len(args)}"
+            )
+        if method.synchronized:
+            self._no_txn(ctx, expr, "synchronized method")
+            yield self.runtime_api.acquire(obj)
+            try:
+                return (yield from self._call(method, args, ctx, this=obj))
+            finally:
+                yield self.runtime_api.release(obj)
+        return (yield from self._call(method, args, ctx, this=obj))
+
+    def _new_object(self, expr: ast.NewObject, env: Dict[str, Any], ctx: _Ctx) -> Generator:
+        self._no_txn(ctx, expr, "allocation")
+        decl = self.program.classes.get(expr.class_name)
+        if decl is None:
+            if expr.class_name == "Object" and not expr.args:
+                return (yield self.runtime_api.new("Object"))
+            raise MiniLangError(f"line {expr.line}: unknown class {expr.class_name!r}")
+        obj = yield self.runtime_api.new(decl.name, volatile_fields=decl.volatile_names())
+        # Zero-initialize declared fields (JVM semantics: freshly allocated
+        # memory is zeroed before the constructor runs; no data access).
+        for field_decl in decl.fields:
+            obj.raw_set(field_decl.name, field_decl.default_value())
+        init = decl.method("init")
+        args = []
+        for arg in expr.args:
+            args.append((yield from self._eval(arg, env, ctx)))
+        if init is not None:
+            if len(args) != len(init.params):
+                raise MiniLangError(
+                    f"line {expr.line}: {decl.name}.init expects "
+                    f"{len(init.params)} argument(s), got {len(args)}"
+                )
+            yield from self._call(init, args, ctx, this=obj)
+        elif args:
+            raise MiniLangError(
+                f"line {expr.line}: {decl.name} has no init method but "
+                f"constructor arguments were given"
+            )
+        return obj
+
+    # -- helpers -------------------------------------------------------------------------------
+
+    runtime_api = THREAD_API
+
+    def _check_field(self, obj: RObject, field_name: str, node: ast.Node) -> None:
+        decl = self.program.classes.get(obj.class_name)
+        if decl is not None and field_name not in decl.field_names():
+            raise MiniLangError(
+                f"line {node.line}: {obj.class_name} has no field {field_name!r}"
+            )
+
+    @staticmethod
+    def _require(condition: bool, node: ast.Node, message: str) -> None:
+        if not condition:
+            raise MiniLangError(f"line {node.line}: {message}")
+
+    def _no_txn(self, ctx: _Ctx, node: ast.Node, what: str) -> None:
+        if ctx.txn is not None:
+            raise TransactionError(f"line {node.line}: {what} inside an atomic block")
+
+
+def run_program(
+    program: ast.Program,
+    detector: Optional[Detector] = None,
+    scheduler: Optional[Scheduler] = None,
+    race_policy: str = "throw",
+    check_filter=None,
+    main_args: tuple = (),
+    seed: int = 0,
+    max_steps: Optional[int] = None,
+) -> RunResult:
+    """Parse-free convenience: run ``main(...)`` of a program to completion.
+
+    Returns the runtime's :class:`~repro.runtime.runtime.RunResult`; the
+    interpreter used (with its ``printed`` output) is attached as
+    ``result.interpreter``.
+    """
+    runtime = Runtime(
+        detector=detector,
+        scheduler=scheduler or StridedScheduler(stride=8),
+        check_filter=check_filter,
+        race_policy=race_policy,
+        max_steps=max_steps,
+    )
+    interp = Interpreter(program, runtime, seed=seed)
+    interp.spawn_main(*main_args)
+    result = runtime.run()
+    result.interpreter = interp  # type: ignore[attr-defined]
+    return result

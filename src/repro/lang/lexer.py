@@ -1,0 +1,153 @@
+"""MiniLang tokenizer.
+
+Hand-rolled, line-tracking, with two comment forms: ``// ...`` is skipped,
+but ``//@ ...`` lines are preserved as ``ANNOTATION`` tokens for the
+RccJava-style checker (mirroring how the real RccJava reads type
+annotations from Java comments).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = {
+    "class",
+    "def",
+    "var",
+    "if",
+    "else",
+    "while",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "sync",
+    "atomic",
+    "spawn",
+    "join",
+    "barrier",
+    "wait",
+    "notify",
+    "notifyall",
+    "new",
+    "true",
+    "false",
+    "null",
+    "volatile",
+    "synchronized",
+}
+
+SYMBOLS = [
+    # longest first
+    "&&", "||", "==", "!=", "<=", ">=",
+    "(", ")", "{", "}", "[", "]",
+    ",", ";", ".", "=", "+", "-", "*", "/", "%", "<", ">", "!", ":",
+]
+
+
+class LexError(SyntaxError):
+    """A character sequence that is not MiniLang."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # 'kw', 'ident', 'int', 'float', 'string', 'sym', 'annotation', 'eof'
+    text: str
+    line: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}:{self.text!r}@{self.line}"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Turn MiniLang source into a token list ending with an ``eof`` token."""
+    tokens: List[Token] = []
+    line = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            continue
+        if source.startswith("//@", i):
+            end = source.find("\n", i)
+            if end == -1:
+                end = n
+            tokens.append(Token("annotation", source[i + 3 : end].strip(), line))
+            i = end
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            i = n if end == -1 else end
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError(f"line {line}: unterminated block comment")
+            line += source.count("\n", i, end)
+            i = end + 2
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            start = i
+            seen_dot = False
+            seen_exp = False
+            while i < n:
+                c = source[i]
+                if c.isdigit():
+                    i += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    i += 1
+                elif c in "eE" and not seen_exp and i > start:
+                    seen_exp = True
+                    i += 1
+                    if i < n and source[i] in "+-":
+                        i += 1
+                else:
+                    break
+            text = source[start:i]
+            kind = "float" if (seen_dot or seen_exp) else "int"
+            tokens.append(Token(kind, text, line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (source[i].isalnum() or source[i] == "_"):
+                i += 1
+            text = source[start:i]
+            kind = "kw" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            continue
+        if ch == '"':
+            start = i
+            i += 1
+            out = []
+            while i < n and source[i] != '"':
+                if source[i] == "\\" and i + 1 < n:
+                    escape = source[i + 1]
+                    out.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(escape, escape))
+                    i += 2
+                else:
+                    if source[i] == "\n":
+                        raise LexError(f"line {line}: newline in string literal")
+                    out.append(source[i])
+                    i += 1
+            if i >= n:
+                raise LexError(f"line {line}: unterminated string literal")
+            i += 1
+            tokens.append(Token("string", "".join(out), line))
+            continue
+        for sym in SYMBOLS:
+            if source.startswith(sym, i):
+                tokens.append(Token("sym", sym, line))
+                i += len(sym)
+                break
+        else:
+            raise LexError(f"line {line}: unexpected character {ch!r}")
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,447 @@
+"""MiniLang recursive-descent parser.
+
+Grammar (EBNF, ``[]`` optional, ``{}`` repetition)::
+
+    program    = { classdecl | funcdecl } ;
+    classdecl  = "class" IDENT "{" { fielddecl | methoddecl } "}" ;
+    fielddecl  = [ "volatile" ] IDENT [ IDENT ] ";" ;        (* type name | name *)
+    methoddecl = [ "synchronized" ] "def" IDENT "(" params ")" block ;
+    funcdecl   = "def" IDENT "(" params ")" block ;
+    block      = "{" { stmt } "}" ;
+    stmt       = "var" IDENT "=" expr ";"
+               | "if" "(" expr ")" block [ "else" ( block | ifstmt ) ]
+               | "while" "(" expr ")" block
+               | "for" "(" "var" IDENT "=" expr ";" expr ";" IDENT "=" expr ")" block
+               | "return" [ expr ] ";" | "break" ";" | "continue" ";"
+               | "sync" "(" expr ")" block
+               | "atomic" block
+               | "join" expr ";"
+               | "barrier" "(" expr ")" ";"
+               | "wait" "(" expr ")" ";"
+               | ( "notify" | "notifyall" ) "(" expr ")" ";"
+               | expr [ "=" expr ] ";" ;                      (* assignment / call *)
+    expr       = precedence climb over || && == != < <= > >= + - * / % unary ;
+    postfix    = primary { "." IDENT [ "(" args ")" ] | "[" expr "]" } ;
+    primary    = literal | "new" IDENT "(" args ")"
+               | "new" "[" expr [ "," expr ] "]"              (* array [len, fill] *)
+               | "spawn" IDENT "(" args ")"
+               | IDENT [ "(" args ")" ] | "(" expr ")" ;
+
+``//@`` annotation lines may appear anywhere a declaration may and take the
+form ``field Class.field: key`` or ``field Class.field: key(arg)``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Optional
+
+from . import ast
+from .lexer import Token, tokenize
+
+
+class ParseError(SyntaxError):
+    """Source text that is not a MiniLang program."""
+
+
+_ANNOTATION_RE = re.compile(
+    r"^field\s+(?P<cls>\w+)\.(?P<fld>[\w\[\]]+)\s*:\s*(?P<key>\w+)(?:\((?P<arg>[^)]*)\))?$"
+)
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token], source_name: str) -> None:
+        self.tokens = tokens
+        self.pos = 0
+        self.source_name = source_name
+
+    # -- token helpers -----------------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.cur
+        self.pos += 1
+        return token
+
+    def check(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.cur
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.check(kind, text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        if not self.check(kind, text):
+            want = text or kind
+            raise ParseError(
+                f"{self.source_name}:{self.cur.line}: expected {want!r}, "
+                f"found {self.cur.text!r}"
+            )
+        return self.advance()
+
+    def expect_kw(self, word: str) -> Token:
+        return self.expect("kw", word)
+
+    def expect_sym(self, sym: str) -> Token:
+        return self.expect("sym", sym)
+
+    # -- program ----------------------------------------------------------------------
+
+    def parse_program(self) -> ast.Program:
+        classes = {}
+        functions = {}
+        annotations: List[ast.Annotation] = []
+        while not self.check("eof"):
+            if self.check("annotation"):
+                annotations.append(self._annotation(self.advance()))
+            elif self.check("kw", "class"):
+                decl = self.class_decl()
+                if decl.name in classes:
+                    raise ParseError(
+                        f"{self.source_name}:{decl.line}: duplicate class {decl.name!r}"
+                    )
+                classes[decl.name] = decl
+            elif self.check("kw", "def"):
+                decl = self.func_decl()
+                if decl.name in functions:
+                    raise ParseError(
+                        f"{self.source_name}:{decl.line}: duplicate function {decl.name!r}"
+                    )
+                functions[decl.name] = decl
+            else:
+                raise ParseError(
+                    f"{self.source_name}:{self.cur.line}: expected a class, "
+                    f"function, or annotation, found {self.cur.text!r}"
+                )
+        return ast.Program(
+            line=1,
+            classes=classes,
+            functions=functions,
+            annotations=annotations,
+            source_name=self.source_name,
+        )
+
+    def _annotation(self, token: Token) -> ast.Annotation:
+        match = _ANNOTATION_RE.match(token.text)
+        if not match:
+            raise ParseError(
+                f"{self.source_name}:{token.line}: malformed annotation "
+                f"{token.text!r} (want 'field Class.field: key(arg)')"
+            )
+        arg = match.group("arg")
+        return ast.Annotation(
+            line=token.line,
+            class_name=match.group("cls"),
+            field_name=match.group("fld"),
+            key=match.group("key"),
+            arg=arg.strip() if arg else None,
+        )
+
+    # -- declarations -------------------------------------------------------------------
+
+    def class_decl(self) -> ast.ClassDecl:
+        start = self.expect_kw("class")
+        name = self.expect("ident").text
+        self.expect_sym("{")
+        fields: List[ast.FieldDecl] = []
+        methods: List[ast.MethodDecl] = []
+        while not self.accept("sym", "}"):
+            if self.check("kw", "synchronized") or self.check("kw", "def"):
+                methods.append(self.method_decl())
+            else:
+                fields.append(self.field_decl())
+        return ast.ClassDecl(line=start.line, name=name, fields=fields, methods=methods)
+
+    def field_decl(self) -> ast.FieldDecl:
+        volatile = bool(self.accept("kw", "volatile"))
+        first = self.expect("ident")
+        second = self.accept("ident")
+        if second:  # two idents: type then name
+            type_name, name = first.text, second.text
+        else:
+            type_name, name = None, first.text
+        self.expect_sym(";")
+        return ast.FieldDecl(
+            line=first.line, name=name, volatile=volatile, type_name=type_name
+        )
+
+    def method_decl(self) -> ast.MethodDecl:
+        synchronized = bool(self.accept("kw", "synchronized"))
+        start = self.expect_kw("def")
+        name = self.expect("ident").text
+        params = self._params()
+        body = self.block()
+        return ast.MethodDecl(
+            line=start.line, name=name, params=params, body=body, synchronized=synchronized
+        )
+
+    def func_decl(self) -> ast.FuncDecl:
+        start = self.expect_kw("def")
+        name = self.expect("ident").text
+        params = self._params()
+        body = self.block()
+        return ast.FuncDecl(line=start.line, name=name, params=params, body=body)
+
+    def _params(self) -> List[str]:
+        self.expect_sym("(")
+        params: List[str] = []
+        if not self.check("sym", ")"):
+            while True:
+                params.append(self.expect("ident").text)
+                if not self.accept("sym", ","):
+                    break
+        self.expect_sym(")")
+        return params
+
+    # -- statements ------------------------------------------------------------------------
+
+    def block(self) -> List[ast.Stmt]:
+        self.expect_sym("{")
+        body: List[ast.Stmt] = []
+        while not self.accept("sym", "}"):
+            body.append(self.stmt())
+        return body
+
+    def stmt(self) -> ast.Stmt:
+        token = self.cur
+        if self.accept("kw", "var"):
+            name = self.expect("ident").text
+            self.expect_sym("=")
+            init = self.expr()
+            self.expect_sym(";")
+            return ast.VarDecl(line=token.line, name=name, init=init)
+        if self.check("kw", "if"):
+            return self._if_stmt()
+        if self.accept("kw", "while"):
+            self.expect_sym("(")
+            cond = self.expr()
+            self.expect_sym(")")
+            return ast.While(line=token.line, cond=cond, body=self.block())
+        if self.accept("kw", "for"):
+            return self._for_stmt(token)
+        if self.accept("kw", "return"):
+            value = None if self.check("sym", ";") else self.expr()
+            self.expect_sym(";")
+            return ast.Return(line=token.line, value=value)
+        if self.accept("kw", "break"):
+            self.expect_sym(";")
+            return ast.Break(line=token.line)
+        if self.accept("kw", "continue"):
+            self.expect_sym(";")
+            return ast.Continue(line=token.line)
+        if self.accept("kw", "sync"):
+            self.expect_sym("(")
+            lock = self.expr()
+            self.expect_sym(")")
+            return ast.SyncBlock(line=token.line, lock=lock, body=self.block())
+        if self.accept("kw", "atomic"):
+            return ast.AtomicBlock(line=token.line, body=self.block())
+        if self.accept("kw", "join"):
+            thread = self.expr()
+            self.expect_sym(";")
+            return ast.JoinStmt(line=token.line, thread=thread)
+        if self.accept("kw", "barrier"):
+            self.expect_sym("(")
+            barrier = self.expr()
+            self.expect_sym(")")
+            self.expect_sym(";")
+            return ast.BarrierStmt(line=token.line, barrier=barrier)
+        if self.accept("kw", "wait"):
+            self.expect_sym("(")
+            target = self.expr()
+            self.expect_sym(")")
+            self.expect_sym(";")
+            return ast.WaitStmt(line=token.line, target=target)
+        if self.check("kw", "notify") or self.check("kw", "notifyall"):
+            word = self.advance().text
+            self.expect_sym("(")
+            target = self.expr()
+            self.expect_sym(")")
+            self.expect_sym(";")
+            return ast.NotifyStmt(
+                line=token.line, target=target, all_waiters=(word == "notifyall")
+            )
+        # assignment or expression statement
+        expr = self.expr()
+        if self.accept("sym", "="):
+            if not isinstance(expr, (ast.Name, ast.FieldGet, ast.Index)):
+                raise ParseError(
+                    f"{self.source_name}:{token.line}: cannot assign to this expression"
+                )
+            value = self.expr()
+            self.expect_sym(";")
+            return ast.Assign(line=token.line, target=expr, value=value)
+        self.expect_sym(";")
+        return ast.ExprStmt(line=token.line, expr=expr)
+
+    def _if_stmt(self) -> ast.Stmt:
+        token = self.expect_kw("if")
+        self.expect_sym("(")
+        cond = self.expr()
+        self.expect_sym(")")
+        then_body = self.block()
+        else_body: List[ast.Stmt] = []
+        if self.accept("kw", "else"):
+            if self.check("kw", "if"):
+                else_body = [self._if_stmt()]
+            else:
+                else_body = self.block()
+        return ast.If(line=token.line, cond=cond, then_body=then_body, else_body=else_body)
+
+    def _for_stmt(self, token: Token) -> ast.Stmt:
+        self.expect_sym("(")
+        self.expect_kw("var")
+        var = self.expect("ident").text
+        self.expect_sym("=")
+        init = self.expr()
+        self.expect_sym(";")
+        cond = self.expr()
+        self.expect_sym(";")
+        update_name = self.expect("ident").text
+        if update_name != var:
+            raise ParseError(
+                f"{self.source_name}:{token.line}: for-update must assign the "
+                f"loop variable {var!r}, not {update_name!r}"
+            )
+        self.expect_sym("=")
+        update = self.expr()
+        self.expect_sym(")")
+        return ast.For(
+            line=token.line, var=var, init=init, cond=cond, update=update, body=self.block()
+        )
+
+    # -- expressions ---------------------------------------------------------------------------
+
+    def expr(self) -> ast.Expr:
+        return self._or()
+
+    def _or(self) -> ast.Expr:
+        left = self._and()
+        while self.check("sym", "||"):
+            line = self.advance().line
+            left = ast.Binary(line=line, op="||", left=left, right=self._and())
+        return left
+
+    def _and(self) -> ast.Expr:
+        left = self._eq()
+        while self.check("sym", "&&"):
+            line = self.advance().line
+            left = ast.Binary(line=line, op="&&", left=left, right=self._eq())
+        return left
+
+    def _eq(self) -> ast.Expr:
+        left = self._rel()
+        while self.check("sym", "==") or self.check("sym", "!="):
+            op = self.advance()
+            left = ast.Binary(line=op.line, op=op.text, left=left, right=self._rel())
+        return left
+
+    def _rel(self) -> ast.Expr:
+        left = self._add()
+        while any(self.check("sym", s) for s in ("<", "<=", ">", ">=")):
+            op = self.advance()
+            left = ast.Binary(line=op.line, op=op.text, left=left, right=self._add())
+        return left
+
+    def _add(self) -> ast.Expr:
+        left = self._mul()
+        while self.check("sym", "+") or self.check("sym", "-"):
+            op = self.advance()
+            left = ast.Binary(line=op.line, op=op.text, left=left, right=self._mul())
+        return left
+
+    def _mul(self) -> ast.Expr:
+        left = self._unary()
+        while any(self.check("sym", s) for s in ("*", "/", "%")):
+            op = self.advance()
+            left = ast.Binary(line=op.line, op=op.text, left=left, right=self._unary())
+        return left
+
+    def _unary(self) -> ast.Expr:
+        if self.check("sym", "-") or self.check("sym", "!"):
+            op = self.advance()
+            return ast.Unary(line=op.line, op=op.text, operand=self._unary())
+        return self._postfix()
+
+    def _postfix(self) -> ast.Expr:
+        expr = self._primary()
+        while True:
+            if self.accept("sym", "."):
+                name = self.expect("ident")
+                if self.check("sym", "("):
+                    args = self._args()
+                    expr = ast.MethodCall(
+                        line=name.line, target=expr, method=name.text, args=args
+                    )
+                else:
+                    expr = ast.FieldGet(line=name.line, target=expr, field_name=name.text)
+            elif self.check("sym", "["):
+                bracket = self.advance()
+                index = self.expr()
+                self.expect_sym("]")
+                expr = ast.Index(line=bracket.line, array=expr, index=index)
+            else:
+                return expr
+
+    def _args(self) -> List[ast.Expr]:
+        self.expect_sym("(")
+        args: List[ast.Expr] = []
+        if not self.check("sym", ")"):
+            while True:
+                args.append(self.expr())
+                if not self.accept("sym", ","):
+                    break
+        self.expect_sym(")")
+        return args
+
+    def _primary(self) -> ast.Expr:
+        token = self.cur
+        if token.kind == "int":
+            self.advance()
+            return ast.Literal(line=token.line, value=int(token.text))
+        if token.kind == "float":
+            self.advance()
+            return ast.Literal(line=token.line, value=float(token.text))
+        if token.kind == "string":
+            self.advance()
+            return ast.Literal(line=token.line, value=token.text)
+        if self.accept("kw", "true"):
+            return ast.Literal(line=token.line, value=True)
+        if self.accept("kw", "false"):
+            return ast.Literal(line=token.line, value=False)
+        if self.accept("kw", "null"):
+            return ast.Literal(line=token.line, value=None)
+        if self.accept("kw", "new"):
+            if self.check("sym", "["):
+                self.advance()
+                length = self.expr()
+                fill = self.expr() if self.accept("sym", ",") else None
+                self.expect_sym("]")
+                return ast.NewArrayExpr(line=token.line, length=length, fill=fill)
+            name = self.expect("ident").text
+            return ast.NewObject(line=token.line, class_name=name, args=self._args())
+        if self.accept("kw", "spawn"):
+            name = self.expect("ident").text
+            return ast.SpawnExpr(line=token.line, func=name, args=self._args())
+        if token.kind == "ident":
+            self.advance()
+            if self.check("sym", "("):
+                return ast.Call(line=token.line, func=token.text, args=self._args())
+            return ast.Name(line=token.line, ident=token.text)
+        if self.accept("sym", "("):
+            expr = self.expr()
+            self.expect_sym(")")
+            return expr
+        raise ParseError(
+            f"{self.source_name}:{token.line}: unexpected {token.text!r} in expression"
+        )
+
+
+def parse(source: str, source_name: str = "<minilang>") -> ast.Program:
+    """Parse MiniLang source text into a :class:`~repro.lang.ast.Program`."""
+    return _Parser(tokenize(source), source_name).parse_program()

@@ -1,0 +1,200 @@
+"""MiniLang unparser: AST back to canonical source text.
+
+Round-trip guarantee (property-tested): ``parse(unparse(p))`` is
+structurally identical to ``p`` up to source positions, and ``unparse`` is
+a fixpoint after one normalization (``unparse(parse(unparse(p))) ==
+unparse(p)``).  Used by tooling that wants to display or persist analyzed
+programs, and by the fuzzer tests as a second program-identity check.
+
+Binary expressions are parenthesized from precedence, not blindly, so the
+output stays readable; string escapes mirror the lexer's.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from . import ast
+
+_PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "==": 3,
+    "!=": 3,
+    "<": 4,
+    "<=": 4,
+    ">": 4,
+    ">=": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "%": 6,
+}
+_UNARY_PRECEDENCE = 7
+
+
+def _escape(text: str) -> str:
+    out = text.replace("\\", "\\\\").replace('"', '\\"')
+    out = out.replace("\n", "\\n").replace("\t", "\\t")
+    return f'"{out}"'
+
+
+def unparse_expr(expr: ast.Expr, parent_precedence: int = 0) -> str:
+    """Render one expression, parenthesizing only where needed."""
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        if value is None:
+            return "null"
+        if value is True:
+            return "true"
+        if value is False:
+            return "false"
+        if isinstance(value, str):
+            return _escape(value)
+        if isinstance(value, float):
+            text = repr(value)
+            return text if ("." in text or "e" in text or "E" in text) else text + ".0"
+        return repr(value)
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.Unary):
+        inner = unparse_expr(expr.operand, _UNARY_PRECEDENCE)
+        text = f"{expr.op}{inner}"
+        return f"({text})" if parent_precedence > _UNARY_PRECEDENCE else text
+    if isinstance(expr, ast.Binary):
+        prec = _PRECEDENCE[expr.op]
+        left = unparse_expr(expr.left, prec)
+        # Operators here are left-associative: the right child needs parens
+        # at equal precedence.
+        right = unparse_expr(expr.right, prec + 1)
+        text = f"{left} {expr.op} {right}"
+        return f"({text})" if parent_precedence > prec else text
+    if isinstance(expr, ast.FieldGet):
+        return f"{unparse_expr(expr.target, _UNARY_PRECEDENCE + 1)}.{expr.field_name}"
+    if isinstance(expr, ast.Index):
+        return (
+            f"{unparse_expr(expr.array, _UNARY_PRECEDENCE + 1)}"
+            f"[{unparse_expr(expr.index)}]"
+        )
+    if isinstance(expr, ast.Call):
+        args = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    if isinstance(expr, ast.MethodCall):
+        target = unparse_expr(expr.target, _UNARY_PRECEDENCE + 1)
+        args = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"{target}.{expr.method}({args})"
+    if isinstance(expr, ast.NewObject):
+        args = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"new {expr.class_name}({args})"
+    if isinstance(expr, ast.NewArrayExpr):
+        if expr.fill is not None:
+            return f"new [{unparse_expr(expr.length)}, {unparse_expr(expr.fill)}]"
+        return f"new [{unparse_expr(expr.length)}]"
+    if isinstance(expr, ast.SpawnExpr):
+        args = ", ".join(unparse_expr(a) for a in expr.args)
+        return f"spawn {expr.func}({args})"
+    raise TypeError(f"cannot unparse {expr!r}")  # pragma: no cover
+
+
+def _unparse_block(body: List[ast.Stmt], indent: int) -> List[str]:
+    lines = []
+    for stmt in body:
+        lines.extend(unparse_stmt(stmt, indent))
+    return lines
+
+
+def unparse_stmt(stmt: ast.Stmt, indent: int = 0) -> List[str]:
+    """Render one statement as indented lines."""
+    pad = "    " * indent
+
+    def block(body):
+        inner = _unparse_block(body, indent + 1)
+        return inner if inner else []
+
+    if isinstance(stmt, ast.VarDecl):
+        return [f"{pad}var {stmt.name} = {unparse_expr(stmt.init)};"]
+    if isinstance(stmt, ast.Assign):
+        return [f"{pad}{unparse_expr(stmt.target)} = {unparse_expr(stmt.value)};"]
+    if isinstance(stmt, ast.ExprStmt):
+        return [f"{pad}{unparse_expr(stmt.expr)};"]
+    if isinstance(stmt, ast.If):
+        lines = [f"{pad}if ({unparse_expr(stmt.cond)}) {{"]
+        lines += block(stmt.then_body)
+        if stmt.else_body:
+            lines.append(f"{pad}}} else {{")
+            lines += block(stmt.else_body)
+        lines.append(f"{pad}}}")
+        return lines
+    if isinstance(stmt, ast.While):
+        return (
+            [f"{pad}while ({unparse_expr(stmt.cond)}) {{"]
+            + block(stmt.body)
+            + [f"{pad}}}"]
+        )
+    if isinstance(stmt, ast.For):
+        header = (
+            f"{pad}for (var {stmt.var} = {unparse_expr(stmt.init)}; "
+            f"{unparse_expr(stmt.cond)}; {stmt.var} = {unparse_expr(stmt.update)}) {{"
+        )
+        return [header] + block(stmt.body) + [f"{pad}}}"]
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return [f"{pad}return;"]
+        return [f"{pad}return {unparse_expr(stmt.value)};"]
+    if isinstance(stmt, ast.Break):
+        return [f"{pad}break;"]
+    if isinstance(stmt, ast.Continue):
+        return [f"{pad}continue;"]
+    if isinstance(stmt, ast.SyncBlock):
+        return (
+            [f"{pad}sync ({unparse_expr(stmt.lock)}) {{"]
+            + block(stmt.body)
+            + [f"{pad}}}"]
+        )
+    if isinstance(stmt, ast.AtomicBlock):
+        return [f"{pad}atomic {{"] + block(stmt.body) + [f"{pad}}}"]
+    if isinstance(stmt, ast.JoinStmt):
+        return [f"{pad}join {unparse_expr(stmt.thread)};"]
+    if isinstance(stmt, ast.BarrierStmt):
+        return [f"{pad}barrier({unparse_expr(stmt.barrier)});"]
+    if isinstance(stmt, ast.WaitStmt):
+        return [f"{pad}wait({unparse_expr(stmt.target)});"]
+    if isinstance(stmt, ast.NotifyStmt):
+        word = "notifyall" if stmt.all_waiters else "notify"
+        return [f"{pad}{word}({unparse_expr(stmt.target)});"]
+    raise TypeError(f"cannot unparse {stmt!r}")  # pragma: no cover
+
+
+def unparse(program: ast.Program) -> str:
+    """Render a whole program as canonical MiniLang source."""
+    lines: List[str] = []
+    for annotation in program.annotations:
+        arg = f"({annotation.arg})" if annotation.arg else ""
+        lines.append(
+            f"//@ field {annotation.class_name}.{annotation.field_name}: "
+            f"{annotation.key}{arg}"
+        )
+    if program.annotations:
+        lines.append("")
+    for cls in program.classes.values():
+        lines.append(f"class {cls.name} {{")
+        for field_decl in cls.fields:
+            volatile = "volatile " if field_decl.volatile else ""
+            type_part = f"{field_decl.type_name} " if field_decl.type_name else ""
+            lines.append(f"    {volatile}{type_part}{field_decl.name};")
+        for method in cls.methods:
+            sync = "synchronized " if method.synchronized else ""
+            params = ", ".join(method.params)
+            lines.append(f"    {sync}def {method.name}({params}) {{")
+            lines.extend(_unparse_block(method.body, 2))
+            lines.append("    }")
+        lines.append("}")
+        lines.append("")
+    for func in program.functions.values():
+        params = ", ".join(func.params)
+        lines.append(f"def {func.name}({params}) {{")
+        lines.extend(_unparse_block(func.body, 1))
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"

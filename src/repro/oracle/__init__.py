@@ -1,0 +1,12 @@
+"""Ground-truth happens-before oracle (paper Section 3, implemented directly).
+
+This package computes the extended synchronizes-with and happens-before
+relations of an execution from their *definitions* -- no locksets, no vector
+clocks -- and decides the three-clause extended-race predicate exactly.  It
+is deliberately slow and obviously correct: every detector in the library is
+property-tested against it.
+"""
+
+from .relations import HappensBeforeOracle, first_races, racy_vars
+
+__all__ = ["HappensBeforeOracle", "first_races", "racy_vars"]

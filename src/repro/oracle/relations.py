@@ -1,0 +1,295 @@
+"""Reference implementation of the paper's Section 3 relations.
+
+Given a recorded execution -- a list of :class:`~repro.core.actions.Event`
+whose order is a linearization of the extended happens-before relation --
+this module computes:
+
+* the **extended synchronization order** ``eso``: the total order of the
+  synchronization actions, i.e. their order in the trace;
+* the **extended synchronizes-with** relation ``esw``: the smallest
+  transitively closed relation containing
+
+  - ``rel(o)`` → every later ``acq(o)``,
+  - ``write(o, v)`` → every later ``read(o, v)`` (volatiles),
+  - ``fork(u)`` → every action of ``u``,
+  - every action of ``u`` → ``join(u)``,
+  - ``commit(R, W)`` → every later ``commit(R', W')`` with
+    ``(R ∪ W) ∩ (R' ∪ W') ≠ ∅``;
+
+* the **extended happens-before** relation ``ehb``: the transitive closure
+  of ``esw`` together with each thread's program order;
+* the **extended races**: unordered pairs of conflicting accesses, where
+  conflicts are the three clauses implemented by
+  :func:`repro.core.actions.conflict`.
+
+Complexity notes.  The one-to-many ``esw`` clauses are encoded with *hub*
+nodes so the graph stays linear in the trace: per lock (and per volatile,
+and per data variable touched by commits) a chain of hubs funnels every
+source into every later sink without quadratic edge counts, and without
+introducing spurious orderings (sources only enter hubs, sinks only leave
+them).  Reachability is computed once, bottom-up over the construction
+order -- which is already topological because every edge points forward --
+using Python integers as bitsets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.actions import (
+    Acquire,
+    Alloc,
+    Commit,
+    DataVar,
+    Event,
+    Fork,
+    Join,
+    Obj,
+    Read,
+    Release,
+    Tid,
+    VolatileRead,
+    VolatileWrite,
+    Write,
+    accesses_of,
+    conflict,
+    is_data_access,
+)
+
+
+#: the commit-to-commit synchronizes-with interpretations of Section 3:
+#: "footprint" (the paper's default: commits synchronize iff they share a
+#: variable), "atomic-order" (every commit synchronizes with every later
+#: commit), and "writes" (a commit synchronizes with a later one iff the
+#: later touches something the earlier *wrote*).
+COMMIT_SYNC_POLICIES = ("footprint", "atomic-order", "writes")
+
+
+class HappensBeforeOracle:
+    """Exact ``ehb`` reachability and extended-race enumeration for one trace.
+
+    ``commit_sync`` selects the strong-atomicity interpretation (Section 3
+    closes with "the algorithms and tools presented in this paper can
+    easily be adapted to such alternative interpretations"; this module and
+    the detectors implement all three).
+    """
+
+    def __init__(self, events: List[Event], commit_sync: str = "footprint"):
+        if commit_sync not in COMMIT_SYNC_POLICIES:
+            raise ValueError(f"unknown commit_sync policy {commit_sync!r}")
+        self.commit_sync = commit_sync
+        self.events = list(events)
+        n = len(self.events)
+        #: adjacency: node -> list of successor nodes; nodes 0..n-1 are events,
+        #: nodes >= n are hubs.
+        self._succ: List[List[int]] = [[] for _ in range(n)]
+        #: node ids in true topological (creation) order: event nodes in trace
+        #: order, hub nodes interleaved at their creation points.
+        self._topo: List[int] = []
+        self._build_graph()
+        self._reach = self._compute_reachability()
+        self._incarnations = self._compute_incarnations()
+
+    # -- graph construction ---------------------------------------------------
+
+    def _new_hub(self) -> int:
+        self._succ.append([])
+        hub = len(self._succ) - 1
+        self._topo.append(hub)
+        return hub
+
+    def _build_graph(self) -> None:
+        last_of_thread: Dict[Tid, int] = {}
+        #: per lock object: hub collecting releases seen so far
+        lock_hub: Dict[object, Optional[int]] = {}
+        #: per volatile variable: hub collecting writes seen so far
+        volatile_hub: Dict[object, Optional[int]] = {}
+        #: per data variable: hub collecting commits that touched/wrote it
+        commit_hub: Dict[DataVar, Optional[int]] = {}
+        #: under "atomic-order": the previous commit (they form a chain)
+        last_commit: Optional[int] = None
+        #: pending fork edges: child tid -> forking event node
+        forked_from: Dict[Tid, int] = {}
+
+        for node, event in enumerate(self.events):
+            tid, action = event.tid, event.action
+            self._topo.append(node)
+
+            # Program order within the thread.
+            if tid in last_of_thread:
+                self._succ[last_of_thread[tid]].append(node)
+            elif tid in forked_from:
+                # fork(u) happens-before every action of u; the edge to the
+                # first action plus program order covers them all.
+                self._succ[forked_from[tid]].append(node)
+            last_of_thread[tid] = node
+
+            if isinstance(action, Release):
+                hub = self._advance_hub(lock_hub, action.obj)
+                self._succ[node].append(hub)
+            elif isinstance(action, Acquire):
+                hub = lock_hub.get(action.obj)
+                if hub is not None:
+                    self._succ[hub].append(node)
+            elif isinstance(action, VolatileWrite):
+                hub = self._advance_hub(volatile_hub, action.var)
+                self._succ[node].append(hub)
+            elif isinstance(action, VolatileRead):
+                hub = volatile_hub.get(action.var)
+                if hub is not None:
+                    self._succ[hub].append(node)
+            elif isinstance(action, Fork):
+                # A valid linearization places the fork before every action
+                # of the child, so recording the fork node is sufficient.
+                forked_from[action.child] = node
+            elif isinstance(action, Join):
+                if action.child in last_of_thread:
+                    self._succ[last_of_thread[action.child]].append(node)
+                elif action.child in forked_from:
+                    self._succ[forked_from[action.child]].append(node)
+            elif isinstance(action, Commit):
+                if self.commit_sync == "atomic-order":
+                    # Every commit synchronizes with every later commit.
+                    if last_commit is not None:
+                        self._succ[last_commit].append(node)
+                    last_commit = node
+                else:
+                    # Incoming: earlier commits whose outgoing set (their
+                    # footprint, or just their writes) meets our footprint.
+                    for var in action.footprint:
+                        hub = commit_hub.get(var)
+                        if hub is not None:
+                            self._succ[hub].append(node)
+                    # Outgoing: seed fresh hubs so later commits see this one.
+                    outgoing = (
+                        action.footprint
+                        if self.commit_sync == "footprint"
+                        else action.writes
+                    )
+                    for var in outgoing:
+                        hub = self._advance_hub(commit_hub, var)
+                        self._succ[node].append(hub)
+
+    def _advance_hub(self, hubs: Dict, key) -> int:
+        """Chain a new hub after the current one for ``key`` and return it.
+
+        Chaining (old hub → new hub) keeps earlier sources connected to later
+        sinks; since hubs only route source→sink, no spurious order appears.
+        """
+        new = self._new_hub()
+        old = hubs.get(key)
+        if old is not None:
+            self._succ[old].append(new)
+        hubs[key] = new
+        return new
+
+    # -- reachability -----------------------------------------------------------
+
+    def _compute_reachability(self) -> List[int]:
+        """Bitset of reachable *event* nodes, per node, by reverse sweep.
+
+        ``self._topo`` lists nodes in creation order, which is topological:
+        program-order edges point at later events, source→hub edges point at
+        hubs created during the source's processing, and hub→sink edges
+        point at events processed after the hub was created.  One reverse
+        pass over it therefore sees every successor before its predecessors.
+        """
+        n_events = len(self.events)
+        reach = [0] * len(self._succ)
+        for node in reversed(self._topo):
+            bits = 1 << node if node < n_events else 0
+            for succ in self._succ[node]:
+                bits |= reach[succ]
+            reach[node] = bits
+        return reach
+
+    def _compute_incarnations(self) -> List[Dict[DataVar, int]]:
+        """Per access event, the allocation incarnation of each accessed variable.
+
+        ``alloc(o)`` models address reuse: rule 8 resets the locksets of
+        ``o``'s fields, i.e. accesses on opposite sides of an allocation
+        target *different* variables that merely share an address.  The race
+        enumeration below only pairs accesses to the same incarnation.
+        """
+        alloc_count: Dict[Obj, int] = {}
+        incarnations: List[Dict[DataVar, int]] = []
+        for event in self.events:
+            action = event.action
+            if isinstance(action, Alloc):
+                alloc_count[action.obj] = alloc_count.get(action.obj, 0) + 1
+                incarnations.append({})
+                continue
+            touched = accesses_of(action)
+            incarnations.append(
+                {var: alloc_count.get(var.obj, 0) for var in touched}
+            )
+        return incarnations
+
+    # -- queries -----------------------------------------------------------------
+
+    def happens_before(self, first: int, second: int) -> bool:
+        """True iff event ``first`` →ehb event ``second`` (strictly)."""
+        if first == second:
+            return False
+        return bool((self._reach[first] >> second) & 1)
+
+    def ordered(self, first: int, second: int) -> bool:
+        """True iff the two events are ordered by ``ehb`` either way."""
+        return self.happens_before(first, second) or self.happens_before(second, first)
+
+    def races(self) -> List[Tuple[int, int, DataVar]]:
+        """Every extended race: unordered conflicting pairs ``(i, j, var)``, i < j."""
+        out: List[Tuple[int, int, DataVar]] = []
+        accessors = [
+            i
+            for i, e in enumerate(self.events)
+            if is_data_access(e.action) or isinstance(e.action, Commit)
+        ]
+        for a_pos, i in enumerate(accessors):
+            for j in accessors[a_pos + 1 :]:
+                vars_in_conflict = conflict(self.events[i].action, self.events[j].action)
+                if not vars_in_conflict:
+                    continue
+                same_incarnation = [
+                    var
+                    for var in vars_in_conflict
+                    if self._incarnations[i].get(var) == self._incarnations[j].get(var)
+                ]
+                if not same_incarnation:
+                    continue
+                if not self.ordered(i, j):
+                    for var in sorted(
+                        same_incarnation, key=lambda v: (v.obj.value, v.field)
+                    ):
+                        out.append((i, j, var))
+        return out
+
+    def first_race_per_var(self) -> Dict[DataVar, Tuple[int, int]]:
+        """For each racy variable, the earliest race completed on it.
+
+        "Earliest" means the smallest second-access index ``j`` (the access
+        a precise online detector must flag), paired with the latest prior
+        conflicting unordered access -- detectors report against the most
+        recent conflicting ``Info``.
+        """
+        firsts: Dict[DataVar, Tuple[int, int]] = {}
+        for i, j, var in self.races():
+            if var not in firsts or j < firsts[var][1]:
+                firsts[var] = (i, j)
+            elif j == firsts[var][1] and i > firsts[var][0]:
+                firsts[var] = (i, j)
+        return firsts
+
+    def racy_vars(self) -> Set[DataVar]:
+        """The set of variables with at least one extended race."""
+        return {var for _, _, var in self.races()}
+
+
+def racy_vars(events: List[Event]) -> Set[DataVar]:
+    """Convenience: the racy variables of a trace."""
+    return HappensBeforeOracle(events).racy_vars()
+
+
+def first_races(events: List[Event]) -> Dict[DataVar, Tuple[int, int]]:
+    """Convenience: the first race per variable of a trace."""
+    return HappensBeforeOracle(events).first_race_per_var()

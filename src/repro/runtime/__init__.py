@@ -1,0 +1,47 @@
+"""The simulated race- and transaction-aware runtime (the Kaffe substitute).
+
+Public surface: :class:`~repro.runtime.runtime.Runtime` executes simulated
+threads (generator functions) over a shared heap with monitors, wait/notify,
+volatile fields, barriers, and software transactions -- throwing
+:class:`~repro.core.DataRaceException` into a thread at the moment it is
+about to complete a data race.
+"""
+
+from .explore import ExplorationResult, ReplayScheduler, explore
+from .filters import CheckFilter, RaceFreeFieldsFilter, field_key
+from .monitors import Monitor
+from .objects import Heap, RArray, RObject
+from .ops import THREAD_API, ThreadApi
+from .runtime import Barrier, RunCounts, RunResult, Runtime
+from .scheduler import RandomScheduler, RoundRobinScheduler, Scheduler, StridedScheduler
+from .stm import TransactionManager, TxnView, UndoLogTxnView
+from .thread import SimThread, ThreadHandle, ThreadState
+
+__all__ = [
+    "Barrier",
+    "ExplorationResult",
+    "ReplayScheduler",
+    "explore",
+    "CheckFilter",
+    "Heap",
+    "Monitor",
+    "RaceFreeFieldsFilter",
+    "RandomScheduler",
+    "RArray",
+    "RObject",
+    "RoundRobinScheduler",
+    "RunCounts",
+    "RunResult",
+    "Runtime",
+    "Scheduler",
+    "SimThread",
+    "StridedScheduler",
+    "THREAD_API",
+    "ThreadApi",
+    "ThreadHandle",
+    "ThreadState",
+    "TransactionManager",
+    "TxnView",
+    "UndoLogTxnView",
+    "field_key",
+]

@@ -1,0 +1,63 @@
+"""Check filters: which accesses get dynamic race checks at all.
+
+The paper (Section 5.2) runs sound static race analyses ahead of time and
+annotates class files so the runtime can "enable/disable race checking on
+the particular class, field or method".  The runtime analogue is a
+:class:`CheckFilter` consulted at every data access *before* any detector
+work happens; skipping is sound exactly when the static analysis is.
+
+Array elements are filtered at array-class + element granularity collapsed
+to ``[]`` -- a static analysis cannot distinguish indices, so neither does
+the filter.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Set, Tuple
+
+
+def field_key(field: str) -> str:
+    """Normalize a runtime field name to its static name (indices collapse)."""
+    return "[]" if field.startswith("[") else field
+
+
+class CheckFilter:
+    """Base filter: check everything (no static information)."""
+
+    def should_check(self, class_name: str, field: str) -> bool:
+        """True iff accesses to ``class_name.field`` need dynamic checks."""
+        return True
+
+    def describe(self) -> str:
+        return "all accesses checked (no static information)"
+
+
+class RaceFreeFieldsFilter(CheckFilter):
+    """Skip checks on fields a sound static analysis proved race-free.
+
+    ``may_race`` holds ``(class_name, field)`` pairs that *may* race; every
+    other field of the listed classes is skipped.  Classes never seen by the
+    analysis stay fully checked (the sound default for code outside the
+    analysis' view, e.g. reflective or library classes).
+    """
+
+    def __init__(
+        self,
+        may_race: Iterable[Tuple[str, str]],
+        analyzed_classes: Iterable[str],
+        name: str = "static",
+    ) -> None:
+        self.may_race: FrozenSet[Tuple[str, str]] = frozenset(may_race)
+        self.analyzed_classes: FrozenSet[str] = frozenset(analyzed_classes)
+        self.name = name
+
+    def should_check(self, class_name: str, field: str) -> bool:
+        if class_name not in self.analyzed_classes:
+            return True
+        return (class_name, field_key(field)) in self.may_race
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {len(self.may_race)} may-race fields over "
+            f"{len(self.analyzed_classes)} analyzed classes"
+        )

@@ -1,0 +1,94 @@
+"""Re-entrant monitors with wait/notify, for the simulated runtime.
+
+Java monitors are re-entrant; the paper assumes non-reentrant locks "for
+ease of exposition" and notes the extension is easy.  The extension is
+here: only the *outermost* enter/exit of a monitor emits ``acq``/``rel``
+actions to the detector (inner re-entries add no happens-before edges).
+
+``wait`` releases the monitor completely (emitting one ``rel``), parks the
+thread in the wait set, and -- after ``notify``/``notifyAll`` moves it to
+the entry queue and it re-acquires -- emits one ``acq`` and restores the
+recursion count.  This is exactly how the paper's claim that Goldilocks
+"can also handle wait/notify(All)" cashes out: the primitive reduces to
+monitor releases and acquires.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..core.actions import Obj, Tid
+from ..core.exceptions import SynchronizationError
+
+
+class Monitor:
+    """The lock-and-wait-set state of one object."""
+
+    __slots__ = ("obj", "owner", "count", "wait_set")
+
+    def __init__(self, obj: Obj) -> None:
+        self.obj = obj
+        self.owner: Optional[Tid] = None
+        self.count = 0
+        #: tids parked by wait(), with their saved recursion counts
+        self.wait_set: Dict[Tid, int] = {}
+
+    def can_acquire(self, tid: Tid) -> bool:
+        return self.owner is None or self.owner == tid
+
+    def acquire(self, tid: Tid) -> bool:
+        """Take or re-enter the monitor; True iff this was the outermost enter."""
+        if self.owner is None:
+            self.owner = tid
+            self.count = 1
+            return True
+        if self.owner == tid:
+            self.count += 1
+            return False
+        raise SynchronizationError(
+            f"{tid!r} cannot acquire {self.obj!r}: held by {self.owner!r}"
+        )
+
+    def release(self, tid: Tid) -> bool:
+        """Exit the monitor; True iff this was the outermost exit."""
+        if self.owner != tid:
+            raise SynchronizationError(
+                f"{tid!r} cannot release {self.obj!r}: held by {self.owner!r}"
+            )
+        self.count -= 1
+        if self.count == 0:
+            self.owner = None
+            return True
+        return False
+
+    def start_wait(self, tid: Tid) -> int:
+        """Fully release for ``wait``; returns the saved recursion count."""
+        if self.owner != tid:
+            raise SynchronizationError(
+                f"{tid!r} cannot wait on {self.obj!r}: monitor not owned"
+            )
+        saved = self.count
+        self.owner = None
+        self.count = 0
+        self.wait_set[tid] = saved
+        return saved
+
+    def notify_one(self) -> Optional[Tid]:
+        """Move one waiter (deterministically the lowest tid) to contention."""
+        if not self.wait_set:
+            return None
+        tid = min(self.wait_set, key=lambda t: t.value)
+        return tid
+
+    def waiters(self) -> List[Tid]:
+        return sorted(self.wait_set, key=lambda t: t.value)
+
+    def finish_wait(self, tid: Tid) -> int:
+        """Forget the waiter and return its saved count (on re-acquisition)."""
+        return self.wait_set.pop(tid)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Monitor {self.obj!r} owner={self.owner!r} count={self.count} "
+            f"waiters={self.waiters()!r}>"
+        )

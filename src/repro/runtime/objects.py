@@ -1,0 +1,122 @@
+"""The simulated heap: objects, arrays, and field metadata.
+
+This is the data half of the Kaffe substitute.  Objects carry ordinary
+*data* fields and *volatile* fields (declared per object or per class
+template); arrays are objects whose data variables are their elements,
+"treating each array element as a separate variable" as the paper's
+implementation does.
+
+Field reads/writes go through the :class:`~repro.runtime.runtime.Runtime`
+so they hit the instrumentation point; the heap itself is just storage plus
+the interning of :class:`~repro.core.actions.DataVar` values (interning
+keeps detector dictionary lookups on the fast identity path).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set, Tuple
+
+from ..core.actions import DataVar, Obj, VolatileVar
+
+
+class RObject:
+    """A heap object with data and volatile fields."""
+
+    __slots__ = ("obj", "class_name", "fields", "volatile_fields", "_var_cache")
+
+    def __init__(
+        self,
+        obj: Obj,
+        class_name: str = "Object",
+        volatile_fields: Iterable[str] = (),
+    ) -> None:
+        self.obj = obj
+        self.class_name = class_name
+        self.fields: Dict[str, Any] = {}
+        self.volatile_fields: Set[str] = set(volatile_fields)
+        self._var_cache: Dict[str, Any] = {}
+
+    def is_volatile(self, field: str) -> bool:
+        return field in self.volatile_fields
+
+    def data_var(self, field: str) -> DataVar:
+        """The interned data variable for ``field``."""
+        var = self._var_cache.get(field)
+        if var is None:
+            var = self._var_cache[field] = DataVar(self.obj, field)
+        return var
+
+    def volatile_var(self, field: str) -> VolatileVar:
+        key = "!" + field  # separate cache namespace from data fields
+        var = self._var_cache.get(key)
+        if var is None:
+            var = self._var_cache[key] = VolatileVar(self.obj, field)
+        return var
+
+    def raw_get(self, field: str, default: Any = None) -> Any:
+        """Uninstrumented read (used by the runtime after checks pass)."""
+        return self.fields.get(field, default)
+
+    def raw_set(self, field: str, value: Any) -> None:
+        """Uninstrumented write (used by the runtime after checks pass)."""
+        self.fields[field] = value
+
+    def __repr__(self) -> str:
+        return f"<{self.class_name} {self.obj!r}>"
+
+
+class RArray(RObject):
+    """An array: data variables are the element slots ``[0] .. [n-1]``."""
+
+    __slots__ = ("length",)
+
+    def __init__(self, obj: Obj, length: int, fill: Any = 0, element_class: str = "") -> None:
+        name = f"{element_class}[]" if element_class else "Array"
+        super().__init__(obj, class_name=name)
+        if length < 0:
+            raise ValueError("array length must be non-negative")
+        self.length = length
+        for i in range(length):
+            self.fields[self._field(i)] = fill
+
+    @staticmethod
+    def _field(index: int) -> str:
+        return f"[{index}]"
+
+    def check_bounds(self, index: int) -> None:
+        if not 0 <= index < self.length:
+            raise IndexError(f"index {index} out of bounds for length {self.length}")
+
+    def element_var(self, index: int) -> DataVar:
+        self.check_bounds(index)
+        return self.data_var(self._field(index))
+
+    def __repr__(self) -> str:
+        return f"<{self.class_name} len={self.length} {self.obj!r}>"
+
+
+class Heap:
+    """Allocates objects with fresh addresses and keeps them reachable."""
+
+    def __init__(self) -> None:
+        self._next_address = 0
+        self.objects: Dict[Obj, RObject] = {}
+
+    def _fresh(self) -> Obj:
+        self._next_address += 1
+        return Obj(self._next_address)
+
+    def new_object(
+        self, class_name: str = "Object", volatile_fields: Iterable[str] = ()
+    ) -> RObject:
+        obj = RObject(self._fresh(), class_name, volatile_fields)
+        self.objects[obj.obj] = obj
+        return obj
+
+    def new_array(self, length: int, fill: Any = 0, element_class: str = "") -> RArray:
+        arr = RArray(self._fresh(), length, fill, element_class)
+        self.objects[arr.obj] = arr
+        return arr
+
+    def object_count(self) -> int:
+        return len(self.objects)

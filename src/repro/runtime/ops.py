@@ -1,0 +1,251 @@
+"""Operations that simulated threads yield to the runtime.
+
+A simulated thread is a Python generator: it ``yield``s an operation, the
+runtime executes it (possibly blocking the thread, switching to another,
+detecting a race...), and the operation's result is sent back into the
+generator.  Program code therefore looks like straight-line Java-ish code
+with a ``yield`` at every shared-memory or synchronization point -- exactly
+the points a JVM interpreter would instrument::
+
+    def worker(th, shared, lock):
+        yield th.acquire(lock)
+        value = yield th.read(shared, "count")
+        yield th.write(shared, "count", value + 1)
+        yield th.release(lock)
+
+:class:`ThreadApi` (the ``th`` handle) is a factory for these operations;
+it holds no mutable state, so the same handle can be shared by helper
+generators (``yield from``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Tuple
+
+from .objects import RArray, RObject
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class for operations."""
+
+
+@dataclass(frozen=True)
+class ReadField(Op):
+    target: RObject
+    field_name: str
+
+
+@dataclass(frozen=True)
+class WriteField(Op):
+    target: RObject
+    field_name: str
+    value: Any
+
+
+@dataclass(frozen=True)
+class ReadElement(Op):
+    array: RArray
+    index: int
+
+
+@dataclass(frozen=True)
+class WriteElement(Op):
+    array: RArray
+    index: int
+    value: Any
+
+
+@dataclass(frozen=True)
+class AcquireOp(Op):
+    target: RObject
+
+
+@dataclass(frozen=True)
+class ReleaseOp(Op):
+    target: RObject
+
+
+@dataclass(frozen=True)
+class WaitOp(Op):
+    target: RObject
+
+
+@dataclass(frozen=True)
+class NotifyOp(Op):
+    target: RObject
+    all_waiters: bool
+
+
+@dataclass(frozen=True)
+class NewObject(Op):
+    class_name: str
+    volatile_fields: Tuple[str, ...]
+    init: Tuple[Tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class NewArray(Op):
+    length: int
+    fill: Any
+    element_class: str
+
+
+@dataclass(frozen=True)
+class ForkOp(Op):
+    body: Callable
+    args: Tuple
+    name: str
+
+
+@dataclass(frozen=True)
+class JoinOp(Op):
+    thread: Any  # ThreadHandle
+
+
+@dataclass(frozen=True)
+class AtomicOp(Op):
+    """Run ``body(txn)`` as one atomic software transaction.
+
+    ``body`` is a plain function over a
+    :class:`~repro.runtime.stm.TxnView`; the STM collects its read and
+    write sets and the runtime emits a single ``commit(R, W)`` action.  The
+    body may run more than once (abort/retry), so it must be free of
+    side effects other than ``txn`` operations.
+    """
+
+    body: Callable
+    args: Tuple
+    max_retries: int
+
+
+@dataclass(frozen=True)
+class TxnRegionBegin(Op):
+    """Enter a lock-translated transaction region (Hindman-Grossman style).
+
+    Inside the region the program uses ordinary monitors for mutual
+    exclusion, but those acquires/releases are *internal to the transaction
+    implementation*: they are hidden from the detector, data accesses are
+    collected into R/W instead of being checked individually, and the first
+    release emits the ``commit(R, W)`` action (the paper's Section 6.1
+    protocol for the Multiset experiment).
+    """
+
+
+@dataclass(frozen=True)
+class TxnRegionEnd(Op):
+    pass
+
+
+@dataclass(frozen=True)
+class BarrierArrive(Op):
+    """Arrive at a volatile-based barrier and block until the phase flips."""
+
+    barrier: Any  # runtime.Barrier
+
+
+@dataclass(frozen=True)
+class YieldOp(Op):
+    """A pure scheduling point (models local computation)."""
+
+
+class ThreadApi:
+    """Factory for the operations a thread body can yield."""
+
+    __slots__ = ()
+
+    # -- shared memory ---------------------------------------------------------
+
+    def read(self, target: RObject, field_name: str) -> ReadField:
+        """Read ``target.field_name`` (data or volatile, per declaration)."""
+        return ReadField(target, field_name)
+
+    def write(self, target: RObject, field_name: str, value: Any) -> WriteField:
+        """Write ``target.field_name = value``."""
+        return WriteField(target, field_name, value)
+
+    def read_elem(self, array: RArray, index: int) -> ReadElement:
+        """Read ``array[index]``."""
+        return ReadElement(array, index)
+
+    def write_elem(self, array: RArray, index: int, value: Any) -> WriteElement:
+        """Write ``array[index] = value``."""
+        return WriteElement(array, index, value)
+
+    # -- allocation ---------------------------------------------------------------
+
+    def new(
+        self,
+        class_name: str = "Object",
+        volatile_fields: Iterable[str] = (),
+        **init: Any,
+    ) -> NewObject:
+        """Allocate an object; ``init`` fields are written as checked writes."""
+        return NewObject(class_name, tuple(volatile_fields), tuple(init.items()))
+
+    def new_array(
+        self, length: int, fill: Any = 0, element_class: str = ""
+    ) -> NewArray:
+        """Allocate an array of ``length`` elements, each set to ``fill``."""
+        return NewArray(length, fill, element_class)
+
+    # -- monitors --------------------------------------------------------------------
+
+    def acquire(self, target: RObject) -> AcquireOp:
+        """monitorenter (re-entrant; blocks while another thread owns it)."""
+        return AcquireOp(target)
+
+    def release(self, target: RObject) -> ReleaseOp:
+        """monitorexit."""
+        return ReleaseOp(target)
+
+    def wait(self, target: RObject) -> WaitOp:
+        """``target.wait()``: release fully, park until notified, re-acquire."""
+        return WaitOp(target)
+
+    def notify(self, target: RObject) -> NotifyOp:
+        """``target.notify()``: wake one waiter."""
+        return NotifyOp(target, all_waiters=False)
+
+    def notify_all(self, target: RObject) -> NotifyOp:
+        """``target.notifyAll()``: wake every waiter."""
+        return NotifyOp(target, all_waiters=True)
+
+    # -- threads -----------------------------------------------------------------------
+
+    def fork(self, body: Callable, *args: Any, name: str = "") -> ForkOp:
+        """Start a new simulated thread running ``body(th, *args)``."""
+        return ForkOp(body, args, name)
+
+    def join(self, thread: Any) -> JoinOp:
+        """Block until ``thread`` (a handle returned by fork) terminates."""
+        return JoinOp(thread)
+
+    # -- transactions -------------------------------------------------------------------
+
+    def atomic(self, body: Callable, *args: Any, max_retries: int = 64) -> AtomicOp:
+        """Run ``body(txn, *args)`` atomically; returns the body's result."""
+        return AtomicOp(body, args, max_retries)
+
+    def txn_region_begin(self) -> TxnRegionBegin:
+        """Enter a lock-translated transaction region (see TxnRegionBegin)."""
+        return TxnRegionBegin()
+
+    def txn_region_end(self) -> TxnRegionEnd:
+        """Leave the lock-translated transaction region."""
+        return TxnRegionEnd()
+
+    # -- misc ------------------------------------------------------------------------------
+
+    def barrier(self, barrier: Any) -> BarrierArrive:
+        """Arrive at a barrier created with ``Runtime.new_barrier``."""
+        return BarrierArrive(barrier)
+
+    def step(self) -> YieldOp:
+        """Yield the scheduler (models a slice of local computation)."""
+        return YieldOp()
+
+
+#: module-level singleton; ThreadApi is stateless
+THREAD_API = ThreadApi()

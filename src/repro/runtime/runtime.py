@@ -1,0 +1,705 @@
+"""The race- and transaction-aware runtime (the paper's modified Kaffe).
+
+:class:`Runtime` executes simulated threads (generators yielding the
+operations of :mod:`repro.runtime.ops`) over a shared heap with real
+monitor, wait/notify, barrier, and STM semantics -- and funnels every
+shared-memory and synchronization action through a pluggable race detector.
+
+The headline behaviour: when the detector reports that the access a thread
+is *about to perform* completes a data race, the runtime (under the default
+``race_policy="throw"``) raises :class:`~repro.core.DataRaceException`
+*inside that thread*, before the access takes effect.  Program code can
+catch it -- the paper's Example 1 pattern -- and the execution observed so
+far remains sequentially consistent.  The two other policies implement the
+paper's measurement protocol (``"disable"``: record the race, stop checking
+that variable -- a whole array when an element races) and plain
+``"record"``.
+
+Transactions come in both flavours the paper discusses:
+
+* **specification-level** (``th.atomic(body)``): the STM runs the body,
+  collects ``R``/``W``, validates, and the runtime emits one
+  ``commit(R, W)`` at the commit point;
+* **lock-translated regions** (``th.txn_region_begin()`` ...): ordinary
+  monitors provide mutual exclusion, but they are internal to the
+  transaction implementation, so they are hidden from the detector; the
+  collected ``R``/``W`` is committed where the first release happens
+  (the Section 6.1 Multiset protocol).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dc_field
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from ..core.actions import (
+    Acquire,
+    Alloc,
+    Commit,
+    DataVar,
+    Event,
+    Fork,
+    Join,
+    Obj,
+    Read,
+    Release,
+    Tid,
+    VolatileRead,
+    VolatileWrite,
+    Write,
+)
+from ..core.detector import Detector
+from ..core.exceptions import (
+    DataRaceException,
+    DeadlockError,
+    SynchronizationError,
+    TransactionAborted,
+    TransactionError,
+)
+from ..core.report import FirstRacePolicy, RaceReport
+from .filters import CheckFilter, field_key
+from .monitors import Monitor
+from .objects import Heap, RArray, RObject
+from .ops import (
+    THREAD_API,
+    AcquireOp,
+    AtomicOp,
+    BarrierArrive,
+    ForkOp,
+    JoinOp,
+    NewArray,
+    NewObject,
+    NotifyOp,
+    Op,
+    ReadElement,
+    ReadField,
+    ReleaseOp,
+    ThreadApi,
+    TxnRegionBegin,
+    TxnRegionEnd,
+    WaitOp,
+    WriteElement,
+    WriteField,
+    YieldOp,
+)
+from .scheduler import RandomScheduler, Scheduler
+from .stm import TransactionManager, TxnRegion, TxnView, UndoLogTxnView
+from .thread import SimThread, ThreadHandle, ThreadState
+
+
+class Barrier:
+    """A volatile-based cyclic barrier (see ``Runtime.new_barrier``).
+
+    Emits the minimal faithful volatile pattern per episode: every arriver
+    writes the (volatile) arrival counter, the last arriver reads it --
+    inheriting happens-before from every arrival -- and writes the
+    (volatile) generation flag, which each released thread reads.  This is
+    the barrier idiom the paper attributes to moldyn/raytracer, invisible to
+    Chord but understood by RccJava.
+    """
+
+    def __init__(self, runtime: "Runtime", parties: int) -> None:
+        if parties < 1:
+            raise ValueError("barrier needs at least one party")
+        self.parties = parties
+        self.backing = runtime.heap.new_object(
+            "Barrier", volatile_fields=("count", "gen")
+        )
+        self.arrived = 0
+        self.generation = 0
+
+    def __repr__(self) -> str:
+        return f"<Barrier {self.arrived}/{self.parties} gen={self.generation}>"
+
+
+@dataclass
+class RunCounts:
+    """Access/variable accounting for Tables 1-3."""
+
+    accesses_total: int = 0
+    accesses_checked: int = 0
+    sync_ops: int = 0
+    steps: int = 0
+    vars_touched: Set[DataVar] = dc_field(default_factory=set)
+    vars_checked: Set[DataVar] = dc_field(default_factory=set)
+
+    @property
+    def accesses_checked_pct(self) -> float:
+        if self.accesses_total == 0:
+            return 0.0
+        return 100.0 * self.accesses_checked / self.accesses_total
+
+    @property
+    def vars_checked_pct(self) -> float:
+        if not self.vars_touched:
+            return 0.0
+        return 100.0 * len(self.vars_checked) / len(self.vars_touched)
+
+
+@dataclass
+class RunResult:
+    """Everything a run produced."""
+
+    races: List[RaceReport]
+    uncaught: List[Tuple[Tid, BaseException]]
+    counts: RunCounts
+    stm_commits: int
+    stm_aborts: int
+    stm_accesses: int
+    main_result: Any = None
+
+    @property
+    def race_vars(self) -> Set[DataVar]:
+        return {r.var for r in self.races}
+
+
+class Runtime:
+    """The simulated race-aware JVM."""
+
+    def __init__(
+        self,
+        detector: Optional[Detector] = None,
+        scheduler: Optional[Scheduler] = None,
+        check_filter: Optional[CheckFilter] = None,
+        race_policy: str = "throw",
+        max_steps: Optional[int] = None,
+        stm_mode: str = "lazy",
+    ) -> None:
+        if race_policy not in ("throw", "disable", "record"):
+            raise ValueError(f"unknown race policy {race_policy!r}")
+        if stm_mode not in ("lazy", "eager"):
+            raise ValueError(f"unknown stm_mode {stm_mode!r} (lazy|eager)")
+        self.stm_mode = stm_mode
+        if detector is not None and race_policy == "throw":
+            # A racy access will be suppressed by the DataRaceException, so
+            # the detector must not record it as having happened (otherwise
+            # the victim thread's next access gets blamed in turn).
+            detector.suppress_racy_updates = True
+        self.detector = detector
+        self.scheduler = scheduler or RandomScheduler(seed=0)
+        self.check_filter = check_filter or CheckFilter()
+        self.race_policy = race_policy
+        self.max_steps = max_steps
+
+        self.heap = Heap()
+        self.stm = TransactionManager()
+        self.monitors: Dict[Obj, Monitor] = {}
+        self.threads: Dict[Tid, SimThread] = {}
+        self.counts = RunCounts()
+        self.first_race = FirstRacePolicy()
+        self.races: List[RaceReport] = []
+        self.uncaught: List[Tuple[Tid, BaseException]] = []
+        self._next_tid = 0
+        self._main: Optional[SimThread] = None
+
+    # -- setup ------------------------------------------------------------------
+
+    def spawn_main(self, body: Callable, *args: Any, name: str = "main") -> ThreadHandle:
+        """Create the main thread (no ``fork`` event, like a JVM's main)."""
+        thread = self._new_thread(body, args, name)
+        if self._main is None:
+            self._main = thread
+        return ThreadHandle(thread)
+
+    def new_barrier(self, parties: int) -> Barrier:
+        """A cyclic barrier for ``parties`` threads (see :class:`Barrier`)."""
+        return Barrier(self, parties)
+
+    def new_shared(
+        self, class_name: str = "Object", volatile_fields: Tuple[str, ...] = (), **init: Any
+    ) -> RObject:
+        """Allocate a shared object from *outside* any thread (test setup).
+
+        No events are emitted; initial field values are set raw.  Objects
+        that must participate in freshness/ownership tracking should be
+        allocated by a thread via ``th.new`` instead.
+        """
+        obj = self.heap.new_object(class_name, volatile_fields)
+        for field_name, value in init.items():
+            obj.raw_set(field_name, value)
+        return obj
+
+    def _new_thread(self, body: Callable, args: Tuple, name: str) -> SimThread:
+        tid = Tid(self._next_tid)
+        self._next_tid += 1
+        gen = body(THREAD_API, *args)
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"thread body {body!r} must be a generator function "
+                "(write `yield th.…` inside it)"
+            )
+        thread = SimThread(tid, gen, name or getattr(body, "__name__", ""))
+        self.threads[tid] = thread
+        return thread
+
+    # -- detector plumbing ----------------------------------------------------------
+
+    def _emit_sync(self, thread: SimThread, action) -> None:
+        """Feed a synchronization action to the detector (never filtered)."""
+        self.counts.sync_ops += 1
+        if self.detector is None:
+            return
+        self.detector.process(Event(thread.tid, thread.next_index(), action))
+
+    def _emit_commit(self, thread: SimThread, commit: Commit) -> List[RaceReport]:
+        self.counts.sync_ops += 1
+        if self.detector is None:
+            return []
+        reports = self.detector.process(
+            Event(thread.tid, thread.next_index(), commit)
+        )
+        return self._screen_reports(reports)
+
+    def _check_data_access(
+        self, thread: SimThread, target: RObject, field_name: str, is_write: bool
+    ) -> List[RaceReport]:
+        """The instrumentation point for one data access.
+
+        Returns the surviving race reports (post first-race policy); the
+        caller decides whether to throw or to proceed.
+        """
+        var = target.data_var(field_name)
+        self.counts.accesses_total += 1
+        self.counts.vars_touched.add(var)
+        if self.detector is None:
+            return []
+        if not self.check_filter.should_check(target.class_name, field_name):
+            return []
+        if not self.first_race.should_check(var):
+            return []
+        self.counts.accesses_checked += 1
+        self.counts.vars_checked.add(var)
+        action = Write(var) if is_write else Read(var)
+        reports = self.detector.process(Event(thread.tid, thread.next_index(), action))
+        return self._screen_reports(reports)
+
+    def _screen_reports(self, reports: List[RaceReport]) -> List[RaceReport]:
+        """Apply the first-race policy; returns reports that still stand."""
+        surviving = []
+        for report in reports:
+            if not self.first_race.should_check(report.var):
+                continue
+            self.races.append(report)
+            if self.race_policy == "disable":
+                self.first_race.record(report)
+            surviving.append(report)
+        return surviving
+
+    def _race_response(self, thread: SimThread, reports: List[RaceReport]) -> bool:
+        """True iff the access must be suppressed and an exception thrown."""
+        if not reports:
+            return False
+        if self.race_policy == "throw":
+            thread.pending_exception = DataRaceException(reports[0])
+            return True
+        return False
+
+    # -- the run loop ------------------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Execute until every thread terminates; return the run summary."""
+        if not self.threads:
+            raise ValueError("no threads: call spawn_main first")
+        while True:
+            eligible = [t.tid for t in self.threads.values() if self._eligible(t)]
+            if not eligible:
+                if all(t.done for t in self.threads.values()):
+                    break
+                blocked = {
+                    t.name: t.state.value for t in self.threads.values() if not t.done
+                }
+                raise DeadlockError(f"no runnable threads; blocked: {blocked}")
+            if self.max_steps is not None and self.counts.steps >= self.max_steps:
+                raise DeadlockError(
+                    f"exceeded max_steps={self.max_steps}; "
+                    "livelock or runaway program"
+                )
+            self.counts.steps += 1
+            tid = self.scheduler.pick(eligible)
+            self._step(self.threads[tid])
+        return RunResult(
+            races=self.races,
+            uncaught=self.uncaught,
+            counts=self.counts,
+            stm_commits=self.stm.commits,
+            stm_aborts=self.stm.aborts,
+            stm_accesses=self.stm.committed_accesses,
+            main_result=self._main.result if self._main else None,
+        )
+
+    def _eligible(self, thread: SimThread) -> bool:
+        state = thread.state
+        if state is ThreadState.RUNNABLE:
+            return True
+        if state is ThreadState.BLOCKED_MONITOR or state is ThreadState.NOTIFIED:
+            return self._monitor(thread.blocked_on).can_acquire(thread.tid)
+        if state is ThreadState.BLOCKED_JOIN:
+            return thread.blocked_on.done
+        return False  # WAITING, BLOCKED_BARRIER, DONE
+
+    def _monitor(self, target: RObject) -> Monitor:
+        monitor = self.monitors.get(target.obj)
+        if monitor is None:
+            monitor = self.monitors[target.obj] = Monitor(target.obj)
+        return monitor
+
+    def _step(self, thread: SimThread) -> None:
+        # Complete a blocked operation first (acquire / wait-wakeup / join).
+        if thread.state is not ThreadState.RUNNABLE:
+            self._complete_blocked(thread)
+            return
+        try:
+            if thread.pending_exception is not None:
+                exc = thread.pending_exception
+                thread.pending_exception = None
+                op = thread.gen.throw(exc)
+            else:
+                op = thread.gen.send(thread.inbox)
+                thread.inbox = None
+        except StopIteration as stop:
+            self._finish_thread(thread, result=stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - thread bodies may raise anything
+            self._finish_thread(thread, error=exc)
+            return
+        try:
+            self._execute(thread, op)
+        except (SynchronizationError, TransactionError, IndexError) as exc:
+            # Program-level failures (monitor misuse, malformed transactions,
+            # out-of-bounds indices) surface inside the offending thread,
+            # Java-style, where they can be caught.
+            thread.pending_exception = exc
+
+    def _finish_thread(self, thread: SimThread, result: Any = None, error: Optional[BaseException] = None) -> None:
+        thread.state = ThreadState.DONE
+        thread.result = result
+        if error is not None:
+            thread.uncaught = error
+            self.uncaught.append((thread.tid, error))
+        # A dying thread force-releases its monitors so the rest of the
+        # program can proceed (the paper terminates the racing thread
+        # "gracefully"; Java's synchronized-block unwinding behaves the same
+        # way for structured code).
+        for obj, depth in list(thread.held.items()):
+            monitor = self.monitors.get(obj)
+            if monitor is not None and monitor.owner == thread.tid:
+                monitor.owner = None
+                monitor.count = 0
+                target = self.heap.objects.get(obj)
+                if thread.txn_region is None and target is not None:
+                    self._emit_sync(thread, Release(obj))
+        thread.held.clear()
+
+    # -- blocked-op completion ------------------------------------------------------
+
+    def _complete_blocked(self, thread: SimThread) -> None:
+        if thread.state in (ThreadState.BLOCKED_MONITOR, ThreadState.NOTIFIED):
+            target: RObject = thread.blocked_on
+            monitor = self._monitor(target)
+            outermost = monitor.acquire(thread.tid)
+            if thread.state is ThreadState.NOTIFIED:
+                # Restore the recursion depth saved across wait().
+                monitor.count = thread.saved_count
+                thread.held[target.obj] = thread.saved_count
+                thread.saved_count = 0
+            else:
+                thread.held[target.obj] = thread.held.get(target.obj, 0) + 1
+            if outermost and thread.txn_region is None:
+                self._emit_sync(thread, Acquire(target.obj))
+            thread.state = ThreadState.RUNNABLE
+            thread.blocked_on = None
+            thread.inbox = None
+        elif thread.state is ThreadState.BLOCKED_JOIN:
+            joined: SimThread = thread.blocked_on
+            self._emit_sync(thread, Join(joined.tid))
+            thread.state = ThreadState.RUNNABLE
+            thread.blocked_on = None
+            thread.inbox = None
+        else:  # pragma: no cover - _eligible filters the rest
+            raise AssertionError(f"cannot complete {thread!r}")
+
+    # -- op execution -------------------------------------------------------------------
+
+    def _execute(self, thread: SimThread, op: Op) -> None:
+        if isinstance(op, ReadField):
+            self._do_read(thread, op.target, op.field_name)
+        elif isinstance(op, WriteField):
+            self._do_write(thread, op.target, op.field_name, op.value)
+        elif isinstance(op, ReadElement):
+            op.array.check_bounds(op.index)
+            self._do_read(thread, op.array, f"[{op.index}]")
+        elif isinstance(op, WriteElement):
+            op.array.check_bounds(op.index)
+            self._do_write(thread, op.array, f"[{op.index}]", op.value)
+        elif isinstance(op, AcquireOp):
+            self._do_acquire(thread, op.target)
+        elif isinstance(op, ReleaseOp):
+            self._do_release(thread, op.target)
+        elif isinstance(op, WaitOp):
+            self._do_wait(thread, op.target)
+        elif isinstance(op, NotifyOp):
+            self._do_notify(thread, op.target, op.all_waiters)
+        elif isinstance(op, NewObject):
+            self._do_new_object(thread, op)
+        elif isinstance(op, NewArray):
+            self._do_new_array(thread, op)
+        elif isinstance(op, ForkOp):
+            self._do_fork(thread, op)
+        elif isinstance(op, JoinOp):
+            self._do_join(thread, op)
+        elif isinstance(op, AtomicOp):
+            self._do_atomic(thread, op)
+        elif isinstance(op, TxnRegionBegin):
+            if thread.txn_region is not None:
+                raise TransactionError("transaction regions do not nest")
+            thread.txn_region = TxnRegion()
+            thread.inbox = None
+        elif isinstance(op, TxnRegionEnd):
+            self._do_txn_region_end(thread)
+        elif isinstance(op, BarrierArrive):
+            self._do_barrier(thread, op.barrier)
+        elif isinstance(op, YieldOp):
+            thread.inbox = None
+        else:
+            raise TypeError(f"unknown operation {op!r}")
+
+    # -- shared-memory ops ------------------------------------------------------------
+
+    def _do_read(self, thread: SimThread, target: RObject, field_name: str) -> None:
+        if target.is_volatile(field_name):
+            if thread.txn_region is not None:
+                raise TransactionError("volatile access inside a transaction region")
+            self._emit_sync(thread, VolatileRead(target.volatile_var(field_name)))
+            thread.inbox = target.raw_get(field_name)
+            return
+        if thread.txn_region is not None:
+            var = target.data_var(field_name)
+            thread.txn_region.record_read(var)
+            self.counts.accesses_total += 1
+            self.counts.vars_touched.add(var)
+            thread.inbox = target.raw_get(field_name)
+            return
+        reports = self._check_data_access(thread, target, field_name, is_write=False)
+        if self._race_response(thread, reports):
+            return
+        thread.inbox = target.raw_get(field_name)
+
+    def _do_write(self, thread: SimThread, target: RObject, field_name: str, value: Any) -> None:
+        if target.is_volatile(field_name):
+            if thread.txn_region is not None:
+                raise TransactionError("volatile access inside a transaction region")
+            self._emit_sync(thread, VolatileWrite(target.volatile_var(field_name)))
+            target.raw_set(field_name, value)
+            thread.inbox = None
+            return
+        if thread.txn_region is not None:
+            var = target.data_var(field_name)
+            thread.txn_region.record_write(var)
+            self.counts.accesses_total += 1
+            self.counts.vars_touched.add(var)
+            target.raw_set(field_name, value)
+            thread.inbox = None
+            return
+        reports = self._check_data_access(thread, target, field_name, is_write=True)
+        if self._race_response(thread, reports):
+            return
+        target.raw_set(field_name, value)
+        thread.inbox = None
+
+    # -- monitors ------------------------------------------------------------------------
+
+    def _do_acquire(self, thread: SimThread, target: RObject) -> None:
+        monitor = self._monitor(target)
+        if monitor.can_acquire(thread.tid):
+            outermost = monitor.acquire(thread.tid)
+            thread.held[target.obj] = thread.held.get(target.obj, 0) + 1
+            if outermost and thread.txn_region is None:
+                self._emit_sync(thread, Acquire(target.obj))
+            thread.inbox = None
+        else:
+            thread.state = ThreadState.BLOCKED_MONITOR
+            thread.blocked_on = target
+
+    def _do_release(self, thread: SimThread, target: RObject) -> None:
+        monitor = self._monitor(target)
+        outermost = monitor.release(thread.tid)
+        depth = thread.held.get(target.obj, 0) - 1
+        if depth <= 0:
+            thread.held.pop(target.obj, None)
+        else:
+            thread.held[target.obj] = depth
+        region = thread.txn_region
+        if region is not None:
+            # First release = the transaction's commit point (Section 6.1).
+            if outermost and not region.committed:
+                region.committed = True
+                reports = self._emit_commit(
+                    thread, Commit(frozenset(region.reads), frozenset(region.writes))
+                )
+                if self._race_response(thread, reports):
+                    return
+        elif outermost:
+            self._emit_sync(thread, Release(target.obj))
+        thread.inbox = None
+
+    def _do_wait(self, thread: SimThread, target: RObject) -> None:
+        if thread.txn_region is not None:
+            raise TransactionError("wait() inside a transaction region")
+        monitor = self._monitor(target)
+        thread.saved_count = monitor.start_wait(thread.tid)
+        thread.held.pop(target.obj, None)
+        self._emit_sync(thread, Release(target.obj))
+        thread.state = ThreadState.WAITING
+        thread.blocked_on = target
+
+    def _do_notify(self, thread: SimThread, target: RObject, all_waiters: bool) -> None:
+        monitor = self._monitor(target)
+        if monitor.owner != thread.tid:
+            raise SynchronizationError(
+                f"{thread.tid!r} cannot notify on {target!r}: monitor not owned"
+            )
+        woken = monitor.waiters() if all_waiters else [monitor.notify_one()]
+        for tid in woken:
+            if tid is None:
+                continue
+            waiter = self.threads[tid]
+            waiter.saved_count = monitor.finish_wait(tid)
+            waiter.state = ThreadState.NOTIFIED
+            # blocked_on stays the monitor's object for re-acquisition.
+        thread.inbox = None
+
+    # -- allocation -----------------------------------------------------------------------
+
+    def _do_new_object(self, thread: SimThread, op: NewObject) -> None:
+        obj = self.heap.new_object(op.class_name, op.volatile_fields)
+        if thread.txn_region is None:
+            self._emit_alloc(thread, obj.obj)
+        for field_name, value in op.init:
+            self._do_write(thread, obj, field_name, value)
+            if thread.pending_exception is not None:
+                return  # a race on an init write suppresses the rest
+        thread.inbox = obj
+
+    def _do_new_array(self, thread: SimThread, op: NewArray) -> None:
+        arr = self.heap.new_array(op.length, op.fill, op.element_class)
+        if thread.txn_region is None:
+            self._emit_alloc(thread, arr.obj)
+        thread.inbox = arr
+
+    def _emit_alloc(self, thread: SimThread, obj: Obj) -> None:
+        if self.detector is not None:
+            self.detector.process(Event(thread.tid, thread.next_index(), Alloc(obj)))
+
+    # -- threads -------------------------------------------------------------------------
+
+    def _do_fork(self, thread: SimThread, op: ForkOp) -> None:
+        child = self._new_thread(op.body, op.args, op.name)
+        self._emit_sync(thread, Fork(child.tid))
+        thread.inbox = ThreadHandle(child)
+
+    def _do_join(self, thread: SimThread, op: JoinOp) -> None:
+        target: SimThread = op.thread._thread
+        if target.done:
+            self._emit_sync(thread, Join(target.tid))
+            thread.inbox = None
+        else:
+            thread.state = ThreadState.BLOCKED_JOIN
+            thread.blocked_on = target
+
+    # -- transactions -----------------------------------------------------------------------
+
+    def _do_atomic(self, thread: SimThread, op: AtomicOp) -> None:
+        if thread.txn_region is not None:
+            raise TransactionError("atomic {} inside a transaction region")
+        last_error: Optional[str] = None
+        for _attempt in range(op.max_retries):
+            txn = TxnView(self.stm) if self.stm_mode == "lazy" else UndoLogTxnView(self.stm)
+            try:
+                result = op.body(txn, *op.args)
+            except TransactionAborted as abort:
+                self._undo(txn)
+                self.stm.abort()
+                last_error = str(abort)
+                continue
+            except BaseException:
+                # An error escaping the body aborts the transaction too.
+                self._undo(txn)
+                raise
+            if not self.stm.validate(txn):
+                self._undo(txn)
+                self.stm.abort()
+                last_error = "read-set validation failed"
+                continue
+            commit = Commit(txn.reads, txn.writes)
+            self.counts.accesses_total += txn.access_count
+            for var in commit.footprint:
+                self.counts.vars_touched.add(var)
+                self.counts.vars_checked.add(var)
+            self.counts.accesses_checked += txn.access_count
+            reports = self._emit_commit(thread, commit)
+            if self._race_response(thread, reports):
+                # The racing transaction never commits: its effects are
+                # discarded (buffer dropped / undo log replayed) -- the
+                # paper's "roll back the effects of the block that triggered
+                # the DataRaceException".
+                self._undo(txn)
+                self.stm.abort()
+                return
+            self.stm.apply(txn)
+            thread.inbox = result
+            return
+        raise TransactionError(
+            f"transaction failed after {op.max_retries} attempts"
+            + (f" (last: {last_error})" if last_error else "")
+        )
+
+    @staticmethod
+    def _undo(txn: TxnView) -> None:
+        """Discard a transaction's effects (no-op for lazy write buffers)."""
+        if isinstance(txn, UndoLogTxnView):
+            txn.rollback()
+
+    def _do_txn_region_end(self, thread: SimThread) -> None:
+        region = thread.txn_region
+        if region is None:
+            raise TransactionError("txn_region_end without a matching begin")
+        thread.txn_region = None
+        if not region.committed:
+            # No release happened inside the region: commit at region end.
+            reports = self._emit_commit(
+                thread, Commit(frozenset(region.reads), frozenset(region.writes))
+            )
+            if self._race_response(thread, reports):
+                return
+        self.stm.commits += 1
+        self.stm.committed_accesses += region.access_count
+        thread.inbox = None
+
+    # -- barriers -------------------------------------------------------------------------
+
+    def _do_barrier(self, thread: SimThread, barrier: Barrier) -> None:
+        if thread.txn_region is not None:
+            raise TransactionError("barrier inside a transaction region")
+        count_var = barrier.backing.volatile_var("count")
+        gen_var = barrier.backing.volatile_var("gen")
+        self._emit_sync(thread, VolatileWrite(count_var))
+        barrier.arrived += 1
+        if barrier.arrived < barrier.parties:
+            thread.state = ThreadState.BLOCKED_BARRIER
+            thread.blocked_on = barrier
+            return
+        # Last arriver: close the episode and release everyone.
+        self._emit_sync(thread, VolatileRead(count_var))
+        self._emit_sync(thread, VolatileWrite(gen_var))
+        barrier.arrived = 0
+        barrier.generation += 1
+        for other in self.threads.values():
+            if (
+                other.state is ThreadState.BLOCKED_BARRIER
+                and other.blocked_on is barrier
+            ):
+                self._emit_sync(other, VolatileRead(gen_var))
+                other.state = ThreadState.RUNNABLE
+                other.blocked_on = None
+                other.inbox = None
+        thread.inbox = None

@@ -1,0 +1,232 @@
+"""Software transactional memory for the simulated runtime.
+
+The paper requires of a transaction implementation exactly two things
+(Section 5.3): the sets ``R`` and ``W`` of shared data variables each
+transaction accessed, and a commit point placed in the global
+synchronization order.  This module provides a lazy-versioning STM that
+delivers both:
+
+* transactional reads/writes go through a :class:`TxnView`: writes go to a
+  buffer, reads come from the buffer or from the heap (recording a version
+  for validation);
+* at commit, the read set is validated against per-variable version
+  numbers; a stale read aborts and retries the body (bodies are plain
+  functions, hence re-runnable);
+* on success the buffered writes are applied and versions bumped, and the
+  runtime emits one ``commit(R, W)`` action at exactly that point.
+
+Because the runtime executes the whole body inside one scheduler step, a
+transaction is truly atomic with respect to other threads; versioned
+validation still matters because *aborting* transactions (``txn.retry()``)
+and the rollback path are part of the paper's Table 3 workload, and because
+the design stays correct if a preempting scheduler is ever plugged in.
+
+Transaction bodies must not synchronize -- the formal model restricts
+``R, W ⊆ Addr × Data`` -- so :class:`TxnView` exposes only data-field and
+array-element access (volatile access raises
+:class:`~repro.core.exceptions.TransactionError`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..core.actions import DataVar
+from ..core.exceptions import TransactionAborted, TransactionError
+from .objects import RArray, RObject
+
+
+class TxnView:
+    """The handle a transaction body uses for its shared accesses."""
+
+    def __init__(self, stm: "TransactionManager") -> None:
+        self._stm = stm
+        self.read_set: Dict[DataVar, int] = {}
+        self.write_buffer: Dict[DataVar, Tuple[RObject, str, Any]] = {}
+        #: number of accesses performed (for Table 3's access counts)
+        self.access_count = 0
+
+    # -- data accesses -----------------------------------------------------------
+
+    def read(self, target: RObject, field_name: str) -> Any:
+        """Transactional read of ``target.field_name``."""
+        if target.is_volatile(field_name):
+            raise TransactionError(
+                f"volatile access to {field_name!r} inside a transaction"
+            )
+        var = target.data_var(field_name)
+        self.access_count += 1
+        buffered = self.write_buffer.get(var)
+        if buffered is not None:
+            return buffered[2]
+        self.read_set.setdefault(var, self._stm.version(var))
+        return target.raw_get(field_name)
+
+    def write(self, target: RObject, field_name: str, value: Any) -> None:
+        """Transactional write of ``target.field_name``."""
+        if target.is_volatile(field_name):
+            raise TransactionError(
+                f"volatile access to {field_name!r} inside a transaction"
+            )
+        var = target.data_var(field_name)
+        self.access_count += 1
+        self.write_buffer[var] = (target, field_name, value)
+
+    def read_elem(self, array: RArray, index: int) -> Any:
+        """Transactional read of ``array[index]``."""
+        array.check_bounds(index)
+        return self.read(array, f"[{index}]")
+
+    def write_elem(self, array: RArray, index: int, value: Any) -> None:
+        """Transactional write of ``array[index]``."""
+        array.check_bounds(index)
+        self.write(array, f"[{index}]", value)
+
+    # -- control -------------------------------------------------------------------
+
+    def retry(self, reason: str = "explicit retry") -> None:
+        """Abort this attempt and re-run the body from scratch."""
+        raise TransactionAborted(reason)
+
+    # -- footprint -------------------------------------------------------------------
+
+    @property
+    def reads(self) -> FrozenSet[DataVar]:
+        return frozenset(self.read_set)
+
+    @property
+    def writes(self) -> FrozenSet[DataVar]:
+        return frozenset(self.write_buffer)
+
+
+class UndoLogTxnView(TxnView):
+    """Eager-versioning transactional view: direct update + undo log.
+
+    The alternative STM design (write in place, remember the old value,
+    restore on abort) -- LibSTM-style, where :class:`TxnView` is
+    TL2/LibCMT-style.  The paper's interface demand is implementation
+    agnostic ("the transaction implementation is only required to provide a
+    list of the shared variables accessed by each transaction and a commit
+    point"), and having both backends proves the detector never peeks
+    behind that interface: the runtime can swap them freely
+    (``Runtime(stm_mode="eager")``) without any detector change.
+    """
+
+    def __init__(self, stm: "TransactionManager") -> None:
+        super().__init__(stm)
+        #: (target, field, old value) in write order; replayed backwards
+        self.undo_log: List[Tuple[RObject, str, Any]] = []
+        #: variables written in place (footprint bookkeeping)
+        self._written: Dict[DataVar, Tuple[RObject, str]] = {}
+
+    def read(self, target: RObject, field_name: str) -> Any:
+        if target.is_volatile(field_name):
+            raise TransactionError(
+                f"volatile access to {field_name!r} inside a transaction"
+            )
+        var = target.data_var(field_name)
+        self.access_count += 1
+        if var not in self._written:
+            self.read_set.setdefault(var, self._stm.version(var))
+        return target.raw_get(field_name)  # direct read: updates are in place
+
+    def write(self, target: RObject, field_name: str, value: Any) -> None:
+        if target.is_volatile(field_name):
+            raise TransactionError(
+                f"volatile access to {field_name!r} inside a transaction"
+            )
+        var = target.data_var(field_name)
+        self.access_count += 1
+        if var not in self._written:
+            self.undo_log.append((target, field_name, target.raw_get(field_name)))
+            self._written[var] = (target, field_name)
+        target.raw_set(field_name, value)
+
+    def rollback(self) -> None:
+        """Undo every in-place write, newest first."""
+        for target, field_name, old in reversed(self.undo_log):
+            target.raw_set(field_name, old)
+        self.undo_log.clear()
+        self._written.clear()
+
+    @property
+    def writes(self) -> FrozenSet[DataVar]:  # type: ignore[override]
+        return frozenset(self._written)
+
+
+class TransactionManager:
+    """Per-runtime transaction bookkeeping: versions and statistics."""
+
+    def __init__(self) -> None:
+        self._versions: Dict[DataVar, int] = {}
+        #: committed transactions (Table 3 reports this)
+        self.commits = 0
+        self.aborts = 0
+        #: total transactional data accesses across committed transactions
+        self.committed_accesses = 0
+
+    def version(self, var: DataVar) -> int:
+        return self._versions.get(var, 0)
+
+    def validate(self, txn: TxnView) -> bool:
+        """True iff no variable in the read set changed since it was read."""
+        return all(
+            self._versions.get(var, 0) == version
+            for var, version in txn.read_set.items()
+        )
+
+    def apply(self, txn: TxnView) -> None:
+        """Publish the writes and bump versions (the commit point).
+
+        Lazy views publish their buffer; eager (undo-log) views already
+        wrote in place, so only the version bump and accounting remain.
+        """
+        if isinstance(txn, UndoLogTxnView):
+            for var in txn.writes:
+                self._versions[var] = self._versions.get(var, 0) + 1
+            txn.undo_log.clear()
+        else:
+            for var, (target, field_name, value) in txn.write_buffer.items():
+                target.raw_set(field_name, value)
+                self._versions[var] = self._versions.get(var, 0) + 1
+        self.commits += 1
+        self.committed_accesses += txn.access_count
+
+    def abort(self) -> None:
+        self.aborts += 1
+
+
+class TxnRegion:
+    """State of a lock-translated transaction region (Section 6.1 protocol).
+
+    Collects the R/W sets of ordinary accesses performed inside the region;
+    the runtime emits ``commit(R, W)`` when the region's first monitor
+    release happens, and refuses further data accesses after that point
+    (the paper's translation places all accesses before the first release).
+    """
+
+    __slots__ = ("reads", "writes", "committed", "access_count")
+
+    def __init__(self) -> None:
+        self.reads: Set[DataVar] = set()
+        self.writes: Set[DataVar] = set()
+        self.committed = False
+        self.access_count = 0
+
+    def record_read(self, var: DataVar) -> None:
+        if self.committed:
+            raise TransactionError(
+                "data access after the commit point (first release) of a "
+                "lock-translated transaction region"
+            )
+        self.reads.add(var)
+        self.access_count += 1
+
+    def record_write(self, var: DataVar) -> None:
+        if self.committed:
+            raise TransactionError(
+                "data access after the commit point (first release) of a "
+                "lock-translated transaction region"
+            )
+        self.writes.add(var)
+        self.access_count += 1

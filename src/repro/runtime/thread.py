@@ -1,0 +1,92 @@
+"""Simulated thread state and the public thread handle."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Dict, Generator, List, Optional
+
+from ..core.actions import Obj, Tid
+
+
+class ThreadState(enum.Enum):
+    RUNNABLE = "runnable"
+    BLOCKED_MONITOR = "blocked-on-monitor"
+    WAITING = "waiting"          # in a wait set, before notify
+    NOTIFIED = "notified"        # notified, contending to re-acquire
+    BLOCKED_JOIN = "blocked-on-join"
+    BLOCKED_BARRIER = "blocked-on-barrier"
+    DONE = "done"
+
+
+class SimThread:
+    """Internal bookkeeping for one simulated thread."""
+
+    def __init__(self, tid: Tid, gen: Generator, name: str = "") -> None:
+        self.tid = tid
+        self.gen = gen
+        self.name = name or f"thread-{tid.value}"
+        self.state = ThreadState.RUNNABLE
+        #: value to send into the generator at the next step
+        self.inbox: Any = None
+        #: exception to throw into the generator at the next step
+        self.pending_exception: Optional[BaseException] = None
+        #: what the thread blocks on (monitor object / thread / barrier)
+        self.blocked_on: Any = None
+        #: saved monitor recursion count across a wait()
+        self.saved_count: int = 0
+        #: monitors currently entered (obj -> recursion depth), for diagnostics
+        self.held: Dict[Obj, int] = {}
+        #: per-thread action index (the n of (t, n))
+        self.action_index: int = 0
+        #: open lock-translated transaction region, if any
+        self.txn_region: Optional[Any] = None
+        #: the generator's return value (StopIteration payload)
+        self.result: Any = None
+        #: an exception that escaped the thread body
+        self.uncaught: Optional[BaseException] = None
+
+    def next_index(self) -> int:
+        index = self.action_index
+        self.action_index += 1
+        return index
+
+    @property
+    def done(self) -> bool:
+        return self.state is ThreadState.DONE
+
+    def __repr__(self) -> str:
+        return f"<SimThread {self.name} {self.tid!r} {self.state.value}>"
+
+
+class ThreadHandle:
+    """What ``fork`` returns to program code: join target + result access."""
+
+    __slots__ = ("_thread",)
+
+    def __init__(self, thread: SimThread) -> None:
+        self._thread = thread
+
+    @property
+    def tid(self) -> Tid:
+        return self._thread.tid
+
+    @property
+    def name(self) -> str:
+        return self._thread.name
+
+    @property
+    def done(self) -> bool:
+        return self._thread.done
+
+    @property
+    def result(self) -> Any:
+        """The thread body's return value (valid once joined/done)."""
+        return self._thread.result
+
+    @property
+    def uncaught(self) -> Optional[BaseException]:
+        """The exception that killed the thread, if any."""
+        return self._thread.uncaught
+
+    def __repr__(self) -> str:
+        return f"<ThreadHandle {self.name}>"

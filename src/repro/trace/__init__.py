@@ -1,0 +1,23 @@
+"""Programmatic trace construction, serialization, and random generation.
+
+Traces are the lingua franca of the library: a list of
+:class:`~repro.core.actions.Event` in an order consistent with the extended
+happens-before relation.  The runtime records them, detectors consume them,
+the oracle judges them, and the fuzzer generates them.
+"""
+
+from .trace import TraceBuilder
+from .gen import RandomTraceGenerator
+from .io import dump_trace, load_trace
+from .minimize import minimize_race, minimize_trace
+from .record import TraceRecorder
+
+__all__ = [
+    "RandomTraceGenerator",
+    "TraceBuilder",
+    "TraceRecorder",
+    "dump_trace",
+    "load_trace",
+    "minimize_race",
+    "minimize_trace",
+]

@@ -1,0 +1,185 @@
+"""Seeded random generation of well-formed execution traces.
+
+The fuzzer *simulates* a small multithreaded program rather than sampling
+event lists directly: threads hold locks they actually acquired, only join
+threads that terminated, and only commit transactions they ran -- so every
+produced trace is a feasible execution, and its order (the order the
+simulation interleaved the steps) is a valid linearization of the extended
+happens-before relation.
+
+The generator is deliberately adversarial for lockset algorithms: it mixes
+disciplined critical sections with unprotected accesses, ownership handoffs
+through volatiles, fork/join pipelines, and transactions that overlap lock
+usage on the same variables -- the idioms of the paper's Examples 1-4.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set
+
+from ..core.actions import Commit, DataVar, Event, Obj, Tid
+from .trace import TraceBuilder
+
+
+class _SimThread:
+    """Mutable per-thread simulation state."""
+
+    __slots__ = ("tid", "held", "steps_left", "in_txn", "txn_reads", "txn_writes")
+
+    def __init__(self, tid: Tid, steps: int) -> None:
+        self.tid = tid
+        self.held: List[Obj] = []
+        self.steps_left = steps
+        self.in_txn = False
+        self.txn_reads: Set[DataVar] = set()
+        self.txn_writes: Set[DataVar] = set()
+
+
+class RandomTraceGenerator:
+    """Generate one feasible trace per seed.
+
+    Parameters shape the mix; the defaults produce traces of a few hundred
+    events over a handful of threads, objects, locks, and volatiles, with
+    roughly half the accesses protected and the rest free-range -- enough to
+    exercise every detector rule while keeping the oracle fast.
+    """
+
+    def __init__(
+        self,
+        max_threads: int = 4,
+        n_objects: int = 3,
+        n_fields: int = 2,
+        n_locks: int = 2,
+        n_volatiles: int = 2,
+        steps_per_thread: int = 12,
+        p_discipline: float = 0.55,
+        with_transactions: bool = True,
+        with_forks: bool = True,
+    ) -> None:
+        self.max_threads = max_threads
+        self.n_objects = n_objects
+        self.n_fields = n_fields
+        self.n_locks = n_locks
+        self.n_volatiles = n_volatiles
+        self.steps_per_thread = steps_per_thread
+        self.p_discipline = p_discipline
+        self.with_transactions = with_transactions
+        self.with_forks = with_forks
+
+    def generate(self, seed: int) -> List[Event]:
+        rng = random.Random(seed)
+        builder = TraceBuilder()
+
+        data_objects = [Obj(100 + i) for i in range(self.n_objects)]
+        lock_objects = [Obj(200 + i) for i in range(self.n_locks)]
+        volatile_obj = Obj(300)
+        fields = [f"f{i}" for i in range(self.n_fields)]
+        volatile_fields = [f"v{i}" for i in range(self.n_volatiles)]
+
+        main = _SimThread(Tid(0), self.steps_per_thread)
+        live: Dict[Tid, _SimThread] = {main.tid: main}
+        terminated: Set[Tid] = set()
+        lock_owner: Dict[Obj, Optional[Tid]] = {o: None for o in lock_objects}
+        next_tid = 1
+
+        for obj in data_objects:
+            builder.alloc(main.tid, obj)
+
+        def random_var() -> DataVar:
+            return DataVar(rng.choice(data_objects), rng.choice(fields))
+
+        while live:
+            thread = rng.choice(list(live.values()))
+            tid = thread.tid
+
+            if thread.steps_left <= 0:
+                if thread.in_txn:
+                    self._commit(builder, thread)
+                while thread.held:
+                    obj = thread.held.pop()
+                    builder.rel(tid, obj)
+                    lock_owner[obj] = None
+                del live[tid]
+                terminated.add(tid)
+                continue
+            thread.steps_left -= 1
+
+            if thread.in_txn:
+                # Inside a transaction: only data accesses, then commit.
+                if rng.random() < 0.4:
+                    self._commit(builder, thread)
+                else:
+                    var = random_var()
+                    if rng.random() < 0.5:
+                        thread.txn_reads.add(var)
+                    else:
+                        thread.txn_writes.add(var)
+                continue
+
+            roll = rng.random()
+            if roll < 0.45:
+                # A data access, disciplined (under a lock) or not.
+                var = random_var()
+                if rng.random() < self.p_discipline and not thread.held:
+                    lock = rng.choice(lock_objects)
+                    if lock_owner[lock] is None:
+                        lock_owner[lock] = tid
+                        thread.held.append(lock)
+                        builder.acq(tid, lock)
+                if rng.random() < 0.5:
+                    builder.read(tid, var.obj, var.field)
+                else:
+                    builder.write(tid, var.obj, var.field)
+                if thread.held and rng.random() < 0.6:
+                    lock = thread.held.pop()
+                    builder.rel(tid, lock)
+                    lock_owner[lock] = None
+            elif roll < 0.55:
+                # Volatile handoff.
+                field = rng.choice(volatile_fields)
+                if rng.random() < 0.5:
+                    builder.vwrite(tid, volatile_obj, field)
+                else:
+                    builder.vread(tid, volatile_obj, field)
+            elif roll < 0.65 and self.with_transactions:
+                thread.in_txn = True
+                thread.txn_reads = set()
+                thread.txn_writes = set()
+            elif roll < 0.72 and self.with_forks and next_tid < self.max_threads:
+                child = _SimThread(Tid(next_tid), self.steps_per_thread)
+                next_tid += 1
+                builder.fork(tid, child.tid)
+                live[child.tid] = child
+            elif roll < 0.78 and terminated:
+                builder.join(tid, rng.choice(sorted(terminated, key=lambda t: t.value)))
+            elif roll < 0.84:
+                # Lock without an access (pure synchronization traffic).
+                lock = rng.choice(lock_objects)
+                if lock_owner[lock] is None and not thread.held:
+                    lock_owner[lock] = tid
+                    thread.held.append(lock)
+                    builder.acq(tid, lock)
+                elif thread.held:
+                    held = thread.held.pop()
+                    builder.rel(tid, held)
+                    lock_owner[held] = None
+            elif roll < 0.92:
+                # Re-allocation: the variable becomes fresh (rule 8).
+                obj = rng.choice(data_objects)
+                builder.alloc(tid, obj)
+            # else: a no-op "local computation" step.
+
+        return builder.build()
+
+    @staticmethod
+    def _commit(builder: TraceBuilder, thread: _SimThread) -> None:
+        """Close the thread's open transaction with a commit event.
+
+        Empty transactions commit an empty footprint, which is legal (the
+        commit still takes a place in the extended synchronization order).
+        """
+        builder.commit(thread.tid, reads=thread.txn_reads, writes=thread.txn_writes)
+        thread.in_txn = False
+        thread.txn_reads = set()
+        thread.txn_writes = set()

@@ -1,0 +1,137 @@
+"""A plain-text serialization for traces.
+
+One event per line::
+
+    <tid> <index> <kind> <args...>
+
+where ``kind`` and ``args`` are:
+
+* ``alloc <obj>``
+* ``read <obj> <field>`` / ``write <obj> <field>``
+* ``vread <obj> <field>`` / ``vwrite <obj> <field>``
+* ``acq <obj>`` / ``rel <obj>``
+* ``fork <tid>`` / ``join <tid>``
+* ``commit R <obj>.<field> ... W <obj>.<field> ...``
+
+Lines starting with ``#`` and blank lines are ignored.  The format exists so
+recorded executions can be stored as fixtures, diffed in code review, and
+replayed against any detector from the command line.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, TextIO, Union
+
+from ..core.actions import (
+    Acquire,
+    Alloc,
+    Commit,
+    DataVar,
+    Event,
+    Fork,
+    Join,
+    Obj,
+    Read,
+    Release,
+    Tid,
+    VolatileRead,
+    VolatileVar,
+    VolatileWrite,
+    Write,
+)
+
+
+def _fmt_var(var: DataVar) -> str:
+    return f"{var.obj.value}.{var.field}"
+
+
+def _parse_var(text: str) -> DataVar:
+    obj_part, _, field = text.partition(".")
+    return DataVar(Obj(int(obj_part)), field)
+
+
+def format_event(event: Event) -> str:
+    """One-line rendering of an event (inverse of :func:`parse_event`)."""
+    tid, index, action = event.tid.value, event.index, event.action
+    prefix = f"{tid} {index}"
+    if isinstance(action, Alloc):
+        return f"{prefix} alloc {action.obj.value}"
+    if isinstance(action, Read):
+        return f"{prefix} read {action.var.obj.value} {action.var.field}"
+    if isinstance(action, Write):
+        return f"{prefix} write {action.var.obj.value} {action.var.field}"
+    if isinstance(action, VolatileRead):
+        return f"{prefix} vread {action.var.obj.value} {action.var.field}"
+    if isinstance(action, VolatileWrite):
+        return f"{prefix} vwrite {action.var.obj.value} {action.var.field}"
+    if isinstance(action, Acquire):
+        return f"{prefix} acq {action.obj.value}"
+    if isinstance(action, Release):
+        return f"{prefix} rel {action.obj.value}"
+    if isinstance(action, Fork):
+        return f"{prefix} fork {action.child.value}"
+    if isinstance(action, Join):
+        return f"{prefix} join {action.child.value}"
+    if isinstance(action, Commit):
+        reads = " ".join(sorted(_fmt_var(v) for v in action.reads))
+        writes = " ".join(sorted(_fmt_var(v) for v in action.writes))
+        return f"{prefix} commit R {reads} W {writes}".rstrip()
+    raise TypeError(f"unknown action: {action!r}")
+
+
+def parse_event(line: str) -> Event:
+    """Parse one line produced by :func:`format_event`."""
+    parts = line.split()
+    tid, index, kind = Tid(int(parts[0])), int(parts[1]), parts[2]
+    args = parts[3:]
+    if kind == "alloc":
+        return Event(tid, index, Alloc(Obj(int(args[0]))))
+    if kind in ("read", "write"):
+        var = DataVar(Obj(int(args[0])), args[1])
+        return Event(tid, index, Read(var) if kind == "read" else Write(var))
+    if kind in ("vread", "vwrite"):
+        vvar = VolatileVar(Obj(int(args[0])), args[1])
+        action = VolatileRead(vvar) if kind == "vread" else VolatileWrite(vvar)
+        return Event(tid, index, action)
+    if kind == "acq":
+        return Event(tid, index, Acquire(Obj(int(args[0]))))
+    if kind == "rel":
+        return Event(tid, index, Release(Obj(int(args[0]))))
+    if kind == "fork":
+        return Event(tid, index, Fork(Tid(int(args[0]))))
+    if kind == "join":
+        return Event(tid, index, Join(Tid(int(args[0]))))
+    if kind == "commit":
+        # args look like: R v1 v2 ... W v3 v4 ...
+        assert args and args[0] == "R", f"malformed commit line: {line!r}"
+        w_at = args.index("W")
+        reads = frozenset(_parse_var(a) for a in args[1:w_at])
+        writes = frozenset(_parse_var(a) for a in args[w_at + 1 :])
+        return Event(tid, index, Commit(reads, writes))
+    raise ValueError(f"unknown event kind {kind!r} in line {line!r}")
+
+
+def dump_trace(events: Iterable[Event], dest: Union[TextIO, str]) -> None:
+    """Write a trace to a file object or path."""
+    lines = "\n".join(format_event(e) for e in events) + "\n"
+    if isinstance(dest, str):
+        with open(dest, "w", encoding="utf-8") as handle:
+            handle.write(lines)
+    else:
+        dest.write(lines)
+
+
+def load_trace(source: Union[TextIO, str]) -> List[Event]:
+    """Read a trace from a file object or path."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = source.read()
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        events.append(parse_event(line))
+    return events

@@ -1,0 +1,130 @@
+"""Delta-debugging minimization of racy traces.
+
+The paper positions the runtime as "a debugging tool that produces no false
+alarms"; a recorded racy execution of a real program is long, and the part
+that matters -- the two accesses plus the synchronization that *fails* to
+order them -- is tiny.  :func:`minimize_trace` shrinks a trace to a locally
+minimal subsequence that still satisfies a predicate (by default: "the
+detector still reports a race on this variable"), using ddmin-style chunk
+removal with a feasibility filter so every candidate stays a well-formed
+execution:
+
+* lock operations stay balanced and exclusive (an acquire whose release was
+  dropped is dropped too, and vice versa);
+* a thread's events keep their program order (subsequences preserve it) and
+  indices are renumbered densely;
+* ``fork``/``join`` events survive only if the named thread still exists
+  (and joins only if the thread's events all precede them).
+
+Feasibility also guarantees the linearization property the detectors need:
+a subsequence of a feasible interleaving, with the dropped operations'
+effects removed, is itself a feasible interleaving of a smaller program.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+from ..core.actions import (
+    Acquire,
+    DataVar,
+    Event,
+    Fork,
+    Join,
+    Release,
+    Tid,
+)
+from ..core.lazy import LazyGoldilocks
+
+
+def races_on(events: List[Event], var: DataVar) -> bool:
+    """Default predicate: Goldilocks reports a race on ``var``."""
+    detector = LazyGoldilocks()
+    return any(r.var == var for r in detector.process_all(events))
+
+
+def is_well_formed(events: List[Event]) -> bool:
+    """Feasibility of a candidate subsequence (see module docstring)."""
+    lock_owner: Dict[object, Optional[Tid]] = {}
+    depth: Dict[object, int] = {}
+    seen_threads: Set[Tid] = set()
+    forked: Set[Tid] = set()
+    finished_positions: Dict[Tid, int] = {}
+    for pos, event in enumerate(events):
+        seen_threads.add(event.tid)
+        finished_positions[event.tid] = pos
+        action = event.action
+        if isinstance(action, Acquire):
+            owner = lock_owner.get(action.obj)
+            if owner is not None and owner != event.tid:
+                return False
+            lock_owner[action.obj] = event.tid
+            depth[action.obj] = depth.get(action.obj, 0) + 1
+        elif isinstance(action, Release):
+            if lock_owner.get(action.obj) != event.tid:
+                return False
+            depth[action.obj] -= 1
+            if depth[action.obj] == 0:
+                lock_owner[action.obj] = None
+        elif isinstance(action, Fork):
+            if action.child in forked:
+                return False  # double fork
+            forked.add(action.child)
+        elif isinstance(action, Join):
+            # The joined thread's events must all precede the join.
+            last = finished_positions.get(action.child)
+            if last is not None and last > pos:
+                return False  # pragma: no cover - subsequences keep order
+    # Locks still held at the end are fine: any prefix of a feasible
+    # execution is feasible, and a thread may simply not have released yet.
+    return True
+
+
+def _renumber(events: List[Event]) -> List[Event]:
+    """Make per-thread indices dense again after deletions."""
+    counters: Dict[Tid, int] = {}
+    out = []
+    for event in events:
+        index = counters.get(event.tid, 0)
+        counters[event.tid] = index + 1
+        out.append(Event(event.tid, index, event.action))
+    return out
+
+
+def minimize_trace(
+    events: List[Event],
+    predicate: Callable[[List[Event]], bool],
+    max_rounds: int = 24,
+) -> List[Event]:
+    """ddmin: remove chunks while feasibility and the predicate both hold."""
+    current = _renumber(list(events))
+    if not predicate(current):
+        raise ValueError("the predicate does not hold on the full trace")
+
+    granularity = 2
+    rounds = 0
+    while len(current) > 1 and rounds < max_rounds:
+        rounds += 1
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        start = 0
+        while start < len(current):
+            candidate = _renumber(current[:start] + current[start + chunk :])
+            if candidate and is_well_formed(candidate) and predicate(candidate):
+                current = candidate
+                reduced = True
+                # keep the same start: the next chunk slid into place
+            else:
+                start += chunk
+        if reduced:
+            granularity = max(2, granularity - 1)
+        elif chunk == 1:
+            break  # locally minimal at single-event granularity
+        else:
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+def minimize_race(events: List[Event], var: DataVar, **kwargs) -> List[Event]:
+    """Shrink a trace to a locally minimal one still racing on ``var``."""
+    return minimize_trace(events, lambda candidate: races_on(candidate, var), **kwargs)

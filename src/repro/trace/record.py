@@ -1,0 +1,29 @@
+"""Recording executions as traces.
+
+:class:`TraceRecorder` is a no-op detector that stores the event stream the
+runtime feeds it.  Recorded traces decouple benchmarking from execution:
+the detector-cost benches replay one identical linearization through every
+algorithm, so differences measure detector work alone.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.actions import Event
+from ..core.detector import Detector
+from ..core.report import RaceReport
+
+
+class TraceRecorder(Detector):
+    """Records events; reports nothing."""
+
+    name = "recorder"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.events: List[Event] = []
+
+    def process(self, event: Event) -> List[RaceReport]:
+        self.events.append(event)
+        return []

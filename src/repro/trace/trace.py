@@ -1,0 +1,121 @@
+"""A fluent builder for hand-written execution traces.
+
+Used throughout the tests to transcribe the paper's examples: the builder
+tracks per-thread action indices (the ``n`` of ``(t, n)``) and offers one
+method per action kind.  The resulting event list is a linearization in
+exactly the order the calls were made -- the caller is responsible for
+choosing an interleaving consistent with happens-before, which is automatic
+when transcribing a concrete execution (like the paper's Figures 6 and 7).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Union
+
+from ..core.actions import (
+    Acquire,
+    Alloc,
+    Commit,
+    DataVar,
+    Event,
+    Fork,
+    Join,
+    Obj,
+    Read,
+    Release,
+    Tid,
+    VolatileRead,
+    VolatileWrite,
+    VolatileVar,
+    Write,
+)
+
+TidLike = Union[Tid, int]
+ObjLike = Union[Obj, int]
+
+
+def _tid(t: TidLike) -> Tid:
+    return t if isinstance(t, Tid) else Tid(t)
+
+
+def _obj(o: ObjLike) -> Obj:
+    return o if isinstance(o, Obj) else Obj(o)
+
+
+class TraceBuilder:
+    """Accumulates events; every method returns ``self`` for chaining."""
+
+    def __init__(self) -> None:
+        self.events: List[Event] = []
+        self._indices: Dict[Tid, int] = {}
+        self._next_obj = 0
+
+    # -- identifiers --------------------------------------------------------
+
+    def new_obj(self) -> Obj:
+        """A fresh object id (does not emit an ``alloc`` event by itself)."""
+        self._next_obj += 1
+        return Obj(self._next_obj)
+
+    @staticmethod
+    def var(obj: ObjLike, field: str) -> DataVar:
+        """The data variable ``(obj, field)``."""
+        return DataVar(_obj(obj), field)
+
+    @staticmethod
+    def vvar(obj: ObjLike, field: str) -> VolatileVar:
+        """The volatile variable ``(obj, field)``."""
+        return VolatileVar(_obj(obj), field)
+
+    # -- event emission --------------------------------------------------------
+
+    def _emit(self, tid: TidLike, action) -> "TraceBuilder":
+        tid = _tid(tid)
+        index = self._indices.get(tid, 0)
+        self._indices[tid] = index + 1
+        self.events.append(Event(tid, index, action))
+        return self
+
+    def alloc(self, tid: TidLike, obj: ObjLike) -> "TraceBuilder":
+        return self._emit(tid, Alloc(_obj(obj)))
+
+    def read(self, tid: TidLike, obj: ObjLike, field: str) -> "TraceBuilder":
+        return self._emit(tid, Read(DataVar(_obj(obj), field)))
+
+    def write(self, tid: TidLike, obj: ObjLike, field: str) -> "TraceBuilder":
+        return self._emit(tid, Write(DataVar(_obj(obj), field)))
+
+    def vread(self, tid: TidLike, obj: ObjLike, field: str) -> "TraceBuilder":
+        return self._emit(tid, VolatileRead(VolatileVar(_obj(obj), field)))
+
+    def vwrite(self, tid: TidLike, obj: ObjLike, field: str) -> "TraceBuilder":
+        return self._emit(tid, VolatileWrite(VolatileVar(_obj(obj), field)))
+
+    def acq(self, tid: TidLike, obj: ObjLike) -> "TraceBuilder":
+        return self._emit(tid, Acquire(_obj(obj)))
+
+    def rel(self, tid: TidLike, obj: ObjLike) -> "TraceBuilder":
+        return self._emit(tid, Release(_obj(obj)))
+
+    def fork(self, tid: TidLike, child: TidLike) -> "TraceBuilder":
+        return self._emit(tid, Fork(_tid(child)))
+
+    def join(self, tid: TidLike, child: TidLike) -> "TraceBuilder":
+        return self._emit(tid, Join(_tid(child)))
+
+    def commit(
+        self,
+        tid: TidLike,
+        reads: Iterable[DataVar] = (),
+        writes: Iterable[DataVar] = (),
+    ) -> "TraceBuilder":
+        return self._emit(tid, Commit(frozenset(reads), frozenset(writes)))
+
+    # -- convenience -------------------------------------------------------------
+
+    def build(self) -> List[Event]:
+        """The accumulated events (a shallow copy)."""
+        return list(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,35 @@
+"""The paper's benchmark programs (Tables 1 and 3, Example 1).
+
+Importing this package registers every workload; use
+:func:`~repro.workloads.base.get` / :func:`~repro.workloads.base.table1_workloads`
+to retrieve them.
+"""
+
+from .base import Workload, all_workloads, get, table1_workloads
+
+# Importing for registration side effects (one module per benchmark).
+from . import colt      # noqa: F401
+from . import hedc      # noqa: F401
+from . import lufact    # noqa: F401
+from . import moldyn    # noqa: F401
+from . import montecarlo  # noqa: F401
+from . import philo     # noqa: F401
+from . import raytracer  # noqa: F401
+from . import series    # noqa: F401
+from . import sor       # noqa: F401
+from . import sor2      # noqa: F401
+from . import tsp       # noqa: F401
+from . import multiset  # noqa: F401
+
+from .ftpserver import run_ftpserver
+from .multiset import TABLE3_THREADS, table3_args
+
+__all__ = [
+    "TABLE3_THREADS",
+    "Workload",
+    "all_workloads",
+    "get",
+    "run_ftpserver",
+    "table1_workloads",
+    "table3_args",
+]

@@ -1,0 +1,95 @@
+"""Workload registry: the paper's benchmark programs, re-authored in MiniLang.
+
+Each workload preserves the *synchronization idiom mix* of the original
+benchmark (Table 1's column structure depends on it):
+
+=============  ====================================================  =======
+workload       idiom                                                 races?
+=============  ====================================================  =======
+colt           thread-local tiles + read-only config + a stats race  yes
+hedc           lock-protected task pool + unsynchronized shutdown    yes
+lufact         lock-protected pivot + owner-computes rows            no
+moldyn         barrier phases over shared particle arrays            no
+montecarlo     thread-local simulation + locked accumulator          no
+philo          fine-grained fork locks (dining philosophers)         no
+raytracer      barrier phases + locked checksum                      no
+series         fully thread-local computation, results via join      no
+sor            lock-per-row red/black relaxation                     no
+sor2           barrier-based relaxation (the lock-free rewrite)      no
+tsp            locked work queue + racy best-bound test read         yes
+=============  ====================================================  =======
+
+Sizes are parameterized; the defaults aim for seconds-per-run on the
+simulated runtime, the same spirit as the paper reducing the Grande input
+sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..lang import parse
+from ..lang.ast import Program
+
+
+@dataclass
+class Workload:
+    """One benchmark program."""
+
+    name: str
+    source: str
+    description: str
+    #: builds main(...) arguments; ``scale`` ∈ {"tiny", "small", "full"}
+    args: Callable[[str], Tuple]
+    threads: int
+    expect_races: bool
+    #: approximate size of the original benchmark, as reported in Table 1
+    paper_lines: str = "-"
+    notes: str = ""
+    _program: Optional[Program] = field(default=None, repr=False)
+
+    def program(self) -> Program:
+        if self._program is None:
+            self._program = parse(self.source, source_name=self.name)
+        return self._program
+
+
+_REGISTRY: Dict[str, Workload] = {}
+
+
+def register(workload: Workload) -> Workload:
+    if workload.name in _REGISTRY:
+        raise ValueError(f"duplicate workload {workload.name!r}")
+    _REGISTRY[workload.name] = workload
+    return workload
+
+
+def get(name: str) -> Workload:
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def all_workloads() -> List[Workload]:
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def table1_workloads() -> List[Workload]:
+    """The eleven programs of Table 1, in the paper's row order."""
+    order = [
+        "colt",
+        "hedc",
+        "lufact",
+        "moldyn",
+        "montecarlo",
+        "philo",
+        "raytracer",
+        "series",
+        "sor",
+        "sor2",
+        "tsp",
+    ]
+    return [get(name) for name in order]

@@ -1,0 +1,72 @@
+"""``colt``: linear-algebra kernels with thread-local tiles (Table 1 row 1).
+
+The original is the Colt scientific library's parallel matrix benchmark.
+Idiom mix preserved: heavy thread-local array math (checked dynamically,
+eliminated statically by thread-escape), a read-only configuration object,
+and the library's well-known benign race on a statistics field, which the
+detector must flag exactly once per run.
+"""
+
+from .base import Workload, register
+
+SOURCE = """
+class Config { int size; int rounds; }
+class Stats { int lastOp; }
+
+def worker(cfg, stats, me) {
+    var n = cfg.size;
+    var a = new [n * n, 1.0];
+    var b = new [n * n, 2.0];
+    var c = new [n * n, 0.0];
+    for (var r = 0; r < cfg.rounds; r = r + 1) {
+        for (var i = 0; i < n; i = i + 1) {
+            for (var j = 0; j < n; j = j + 1) {
+                var sum = 0.0;
+                for (var k = 0; k < n; k = k + 1) {
+                    sum = sum + a[i * n + k] * b[k * n + j];
+                }
+                c[i * n + j] = sum;
+            }
+        }
+        stats.lastOp = me;   // colt's benign race: unsynchronized stats
+    }
+    var total = 0.0;
+    for (var i = 0; i < n * n; i = i + 1) { total = total + c[i]; }
+    return total;
+}
+
+def main(t, n, rounds) {
+    var cfg = new Config();
+    cfg.size = n;
+    cfg.rounds = rounds;
+    var stats = new Stats();
+    stats.lastOp = -1;
+    var hs = new [t];
+    for (var i = 0; i < t; i = i + 1) { hs[i] = spawn worker(cfg, stats, i); }
+    var total = 0.0;
+    for (var i = 0; i < t; i = i + 1) {
+        join hs[i];
+        total = total + result(hs[i]);
+    }
+    return total;
+}
+"""
+
+_SCALES = {
+    "tiny": (3, 3, 1),
+    "small": (10, 4, 2),
+    "full": (10, 8, 3),
+}
+
+register(
+    Workload(
+        name="colt",
+        source=SOURCE,
+        description="parallel matrix kernels; thread-local tiles + benign stats race",
+        args=lambda scale: _SCALES[scale],
+        threads=10,
+        expect_races=True,
+        paper_lines="-",
+        notes="the Stats.lastOp race mirrors colt's unsynchronized statistics",
+    )
+)

@@ -1,0 +1,161 @@
+"""Example 1: the Apache ftp-server connection scenario, on the runtime API.
+
+Threads share a connection object:
+
+* the **service** thread (Figure 1's ``run()``) loops over commands fed
+  through a monitor-protected queue; per command it reads ``m_reader`` and
+  ``m_writer`` *without* synchronization (as the original benchmark did)
+  and then updates the activity timestamp under the connection lock;
+* the **timeout** thread (``close()``) takes the connection lock to flip
+  ``m_isConnectionClosed``, then -- outside any synchronization -- nulls
+  ``m_request``, ``m_writer``, ``m_reader``.
+
+Because the service's per-command lock release happens-before the closer's
+lock acquire, every *earlier* command is ordered before the teardown; the
+first unordered conflicting pair is the service's next ``m_writer`` read
+after the unsynchronized nulling -- exactly where the paper says the
+``DataRaceException`` fires.  The handler catches it, prints the "connection
+closed" message, and exits the command loop gracefully.  (In rare
+interleavings the closer's write is the second access of the first racy
+pair instead; its handler simply abandons the teardown.)
+
+Written against the generator runtime API (not MiniLang) because the
+scenario's whole point is the ``try/except DataRaceException`` handler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core import DataRaceException
+from ..core.detector import Detector
+from ..runtime import RandomScheduler, Runtime
+from ..runtime.runtime import RunResult
+
+
+def connection_service(th, conn, queue):
+    """Figure 1's run(): one command per loop iteration."""
+    served = 0
+    try:
+        while True:
+            # Block until the network delivers a command (or shutdown).
+            yield th.acquire(queue)
+            while True:
+                pending = yield th.read(queue, "pending")
+                if pending != 0:
+                    break
+                yield th.wait(queue)
+            if pending < 0:  # shutdown sentinel
+                yield th.release(queue)
+                return ("shutdown", served)
+            yield th.write(queue, "pending", pending - 1)
+            yield th.release(queue)
+
+            # Service the command: the unsynchronized field reads of run().
+            reader = yield th.read(conn, "m_reader")
+            yield th.write(conn, "m_request", f"cmd-{served}")
+            writer = yield th.read(conn, "m_writer")
+            if reader is None or writer is None:
+                # The original bug: a null leaks out of the race and the
+                # NullPointerException surfaces far from the cause.
+                return ("null-observed", served)
+            served += 1
+
+            # Bookkeeping under the connection lock (orders this command
+            # before any later close()).
+            yield th.acquire(conn)
+            yield th.write(conn, "m_lastAccess", served)
+            yield th.release(conn)
+    except DataRaceException:
+        # "Error message: Connection closed!" -- exit the loop gracefully.
+        return ("closed-by-race", served)
+
+
+def timeout_closer(th, conn, idle_steps):
+    """Figure 1's close()."""
+    for _ in range(idle_steps):
+        yield th.step()
+    try:
+        yield th.acquire(conn)
+        already = yield th.read(conn, "m_isConnectionClosed")
+        if already:
+            yield th.release(conn)
+            return "already-closed"
+        yield th.write(conn, "m_isConnectionClosed", True)
+        last = yield th.read(conn, "m_lastAccess")
+        yield th.release(conn)
+        # The unsynchronized teardown -- the race source.
+        yield th.write(conn, "m_request", None)
+        yield th.write(conn, "m_writer", None)
+        yield th.write(conn, "m_reader", None)
+        return ("closed", last)
+    except DataRaceException:
+        return "teardown-raced"
+
+
+def network_feeder(th, conn, queue, early_commands, idle_steps):
+    """The outside world: a burst of commands, an idle period, one more."""
+    for _ in range(early_commands):
+        yield th.acquire(queue)
+        pending = yield th.read(queue, "pending")
+        yield th.write(queue, "pending", pending + 1)
+        yield th.notify(queue)
+        yield th.release(queue)
+        yield th.step()
+    closer = yield th.fork(timeout_closer, conn, idle_steps, name="timeout")
+    # Crucially there is NO join here: joining the closer before the late
+    # command would order the teardown before the service's next read and
+    # there would be no race to detect.  The network just goes quiet for a
+    # while (the closer's idle detection window) and then delivers one more
+    # command, unordered with the teardown.
+    for _ in range(2 * idle_steps + 8):
+        yield th.step()
+    yield th.acquire(queue)
+    pending = yield th.read(queue, "pending")
+    yield th.write(queue, "pending", pending + 1)
+    yield th.notify(queue)
+    yield th.release(queue)
+    # Once the queue drains (the service consumed everything), deliver the
+    # shutdown sentinel; if the service died mid-burst the queue never
+    # drains, so give up after a bounded wait -- the service is gone anyway.
+    for _ in range(200):
+        yield th.acquire(queue)
+        pending = yield th.read(queue, "pending")
+        if pending == 0:
+            yield th.write(queue, "pending", -1)
+            yield th.notify(queue)
+            yield th.release(queue)
+            break
+        yield th.release(queue)
+        yield th.step()
+    yield th.join(closer)
+    return closer.result
+
+
+def ftp_main(th, early_commands, idle_steps):
+    conn = yield th.new(
+        "FtpConnection",
+        m_reader="reader",
+        m_writer="writer",
+        m_request=None,
+        m_lastAccess=0,
+        m_isConnectionClosed=False,
+    )
+    queue = yield th.new("CommandQueue", pending=0)
+    service = yield th.fork(connection_service, conn, queue, name="service")
+    feeder = yield th.fork(network_feeder, conn, queue, early_commands, idle_steps, name="network")
+    yield th.join(service)
+    yield th.join(feeder)
+    return service.result
+
+
+def run_ftpserver(
+    detector: Optional[Detector],
+    seed: int = 0,
+    early_commands: int = 3,
+    idle_steps: int = 30,
+) -> RunResult:
+    """Run the scenario once; ``main_result`` tells how the service ended."""
+    runtime = Runtime(detector=detector, scheduler=RandomScheduler(seed=seed))
+    runtime.spawn_main(ftp_main, early_commands, idle_steps)
+    return runtime.run()

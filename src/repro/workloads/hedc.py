@@ -1,0 +1,84 @@
+"""``hedc``: a task-pool web crawler (Table 1 row 2).
+
+The original is ETH's hedc meta-crawler, a classic in race-detection papers
+for its unsynchronized shutdown flag.  Idiom mix: a lock-protected task
+list handing tasks over to workers (ownership transfer -- the case Eraser
+cannot express and Goldilocks handles exactly), a lock-protected results
+counter, and the *real* race on the unsynchronized ``shutdown`` flag
+written by the closer thread.
+"""
+
+from .base import Workload, register
+
+SOURCE = """
+class Pool { Task head; bool shutdown; }
+class Task { int id; Task next; int reply; }
+class Results { int count; }
+
+def worker(pool, results, lock) {
+    var running = true;
+    while (running) {
+        var task = null;
+        sync (lock) {
+            task = pool.head;
+            if (task != null) { pool.head = task.next; }
+        }
+        if (task == null) {
+            running = false;
+        } else {
+            // the task is now owned by this worker: lock-free use is safe
+            task.reply = task.id * 7 + 1;
+            sync (lock) { results.count = results.count + 1; }
+        }
+        if (pool.shutdown) { running = false; }   // hedc's shutdown race
+    }
+    return 0;
+}
+
+def closer(pool, spin) {
+    var waste = 0;
+    for (var i = 0; i < spin; i = i + 1) { waste = waste + i; }
+    pool.shutdown = true;    // unsynchronized write: races with the readers
+    return waste;
+}
+
+def main(t, tasks, spin) {
+    var pool = new Pool();
+    var results = new Results();
+    var lock = new Object();
+    pool.shutdown = false;
+    results.count = 0;
+    for (var i = 0; i < tasks; i = i + 1) {
+        var task = new Task();
+        task.id = i;
+        task.next = pool.head;
+        pool.head = task;
+    }
+    var hs = new [t];
+    for (var i = 0; i < t; i = i + 1) { hs[i] = spawn worker(pool, results, lock); }
+    var c = spawn closer(pool, spin);
+    for (var i = 0; i < t; i = i + 1) { join hs[i]; }
+    join c;
+    sync (lock) { return results.count; }
+}
+"""
+
+_SCALES = {
+    "tiny": (2, 6, 5),
+    "small": (10, 40, 30),
+    "full": (10, 150, 80),
+}
+
+register(
+    Workload(
+        name="hedc",
+        source=SOURCE,
+        description="task-pool crawler; lock handoff + unsynchronized shutdown race",
+        args=lambda scale: _SCALES[scale],
+        threads=10,
+        expect_races=True,
+        paper_lines="2.5K",
+        notes="Pool.shutdown carries the documented hedc race; task handoff "
+        "exercises ownership transfer",
+    )
+)

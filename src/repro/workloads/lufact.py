@@ -1,0 +1,75 @@
+"""``lufact``: LU factorization (Java Grande, Table 1 row 3).
+
+Idiom mix: a read-only input matrix initialized before the fork, per-thread
+factorization tiles (heavy thread-local array math), owner-indexed writes of
+the result norms into a shared array, and a lock-protected progress
+counter.  Race-free; Chord eliminates the input (fork-ordered), the local
+tiles (escape) and the counter (must-lock), leaving only the owner-indexed
+result slots checked.
+"""
+
+from .base import Workload, register
+
+SOURCE = """
+class Progress { int done; }
+
+def factorize(input, norms, progress, lock, me, t, n) {
+    // copy this thread's tile of the read-only input
+    var tile = new [n * n, 0.0];
+    for (var i = 0; i < n * n; i = i + 1) { tile[i] = input[i] + me; }
+    // in-place LU factorization of the local tile (Doolittle, no pivoting)
+    for (var k = 0; k < n; k = k + 1) {
+        for (var i = k + 1; i < n; i = i + 1) {
+            tile[i * n + k] = tile[i * n + k] / tile[k * n + k];
+            for (var j = k + 1; j < n; j = j + 1) {
+                tile[i * n + j] = tile[i * n + j] - tile[i * n + k] * tile[k * n + j];
+            }
+        }
+    }
+    var norm = 0.0;
+    for (var i = 0; i < n * n; i = i + 1) { norm = norm + abs(tile[i]); }
+    norms[me] = norm;
+    sync (lock) { progress.done = progress.done + 1; }
+    return norm;
+}
+
+def main(t, n) {
+    var input = new [n * n, 0.0];
+    for (var i = 0; i < n; i = i + 1) {
+        for (var j = 0; j < n; j = j + 1) {
+            var v = 1.0;
+            if (i == j) { v = n + 1.0; }
+            input[i * n + j] = v;
+        }
+    }
+    var norms = new [t, 0.0];
+    var progress = new Progress();
+    var lock = new Object();
+    var hs = new [t];
+    for (var i = 0; i < t; i = i + 1) {
+        hs[i] = spawn factorize(input, norms, progress, lock, i, t, n);
+    }
+    for (var i = 0; i < t; i = i + 1) { join hs[i]; }
+    var total = 0.0;
+    for (var i = 0; i < t; i = i + 1) { total = total + norms[i]; }
+    return total;
+}
+"""
+
+_SCALES = {
+    "tiny": (2, 4),
+    "small": (10, 6),
+    "full": (10, 12),
+}
+
+register(
+    Workload(
+        name="lufact",
+        source=SOURCE,
+        description="LU factorization: read-only input, local tiles, owner results",
+        args=lambda scale: _SCALES[scale],
+        threads=10,
+        expect_races=False,
+        paper_lines="1K",
+    )
+)

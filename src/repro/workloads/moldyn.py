@@ -1,0 +1,80 @@
+"""``moldyn``: molecular dynamics with barrier phases (Table 1 row 4).
+
+The Table 1 centerpiece: every shared array is protected *only* by barrier
+synchronization, implemented (as in the JVM) with volatile reads and
+writes.  Chord does not model barriers, so it leaves the particle arrays
+checked and barely helps (paper: 5.4x -> 5.3x); RccJava's barrier
+annotations verify them and collapse the overhead (paper: -> 1.6x).
+
+Structure per timestep: every thread computes forces on its strided slice
+of particles, reading *all* positions (foreign reads); barrier; every
+thread integrates its own slice (owner writes); barrier.
+"""
+
+from .base import Workload, register
+
+SOURCE = """
+//@ field main.pos[]: barrier_owned(i)
+//@ field main.vel[]: barrier_owned(i)
+//@ field main.force[]: barrier_owned(i)
+
+def worker(b, pos, vel, force, me, t, n, steps) {
+    for (var s = 0; s < steps; s = s + 1) {
+        for (var i = me; i < n; i = i + t) {
+            var f = 0.0;
+            for (var j = 0; j < n; j = j + 1) {
+                f = f + (pos[j] - pos[i]) * 0.001;
+            }
+            force[i] = f;
+        }
+        barrier(b);
+        for (var i = me; i < n; i = i + t) {
+            vel[i] = vel[i] + force[i];
+            pos[i] = pos[i] + vel[i];
+        }
+        barrier(b);
+    }
+    var energy = 0.0;
+    for (var i = me; i < n; i = i + t) {
+        energy = energy + vel[i] * vel[i];
+    }
+    return energy;
+}
+
+def main(t, n, steps) {
+    var b = new_barrier(t);
+    var pos = new [n, 0.0];
+    var vel = new [n, 0.0];
+    var force = new [n, 0.0];
+    for (var i = 0; i < n; i = i + 1) { pos[i] = i * 0.5; }
+    var hs = new [t];
+    for (var i = 0; i < t; i = i + 1) {
+        hs[i] = spawn worker(b, pos, vel, force, i, t, n, steps);
+    }
+    var energy = 0.0;
+    for (var i = 0; i < t; i = i + 1) {
+        join hs[i];
+        energy = energy + result(hs[i]);
+    }
+    return energy;
+}
+"""
+
+_SCALES = {
+    "tiny": (2, 6, 2),
+    "small": (5, 16, 4),
+    "full": (5, 32, 8),
+}
+
+register(
+    Workload(
+        name="moldyn",
+        source=SOURCE,
+        description="molecular dynamics; barrier-phased shared particle arrays",
+        args=lambda scale: _SCALES[scale],
+        threads=5,
+        expect_races=False,
+        paper_lines="650",
+        notes="Chord's barrier blind spot vs RccJava's barrier_owned proof",
+    )
+)

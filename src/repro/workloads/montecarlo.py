@@ -1,0 +1,67 @@
+"""``montecarlo``: Monte-Carlo option pricing (Java Grande, Table 1 row 5).
+
+Idiom mix: each thread prices many paths using *thread-local objects*
+(every step is a checked dynamic access that the same-thread short circuit
+settles -- the paper reports a 99.93% short-circuit rate), plus a
+lock-protected global accumulator.  Statically everything is eliminable:
+escape analysis kills the path objects, the must-lock stage kills the
+accumulator -- matching the paper's drop from 2.2x to ~1.1x.
+"""
+
+from .base import Workload, register
+
+SOURCE = """
+class Path { float price; float drift; int steps; }
+class Accumulator { float total; int count; }
+
+def simulate(acc, lock, me, paths, steps) {
+    var localTotal = 0.0;
+    for (var p = 0; p < paths; p = p + 1) {
+        var path = new Path();
+        path.price = 100.0;
+        path.drift = 0.0001 * (me + 1);
+        path.steps = steps;
+        for (var s = 0; s < path.steps; s = s + 1) {
+            var shock = (rand() - 0.5) * 0.02;
+            path.price = path.price * (1.0 + path.drift + shock);
+        }
+        localTotal = localTotal + path.price;
+    }
+    sync (lock) {
+        acc.total = acc.total + localTotal;
+        acc.count = acc.count + paths;
+    }
+    return localTotal;
+}
+
+def main(t, paths, steps) {
+    var acc = new Accumulator();
+    var lock = new Object();
+    acc.total = 0.0;
+    acc.count = 0;
+    var hs = new [t];
+    for (var i = 0; i < t; i = i + 1) {
+        hs[i] = spawn simulate(acc, lock, i, paths, steps);
+    }
+    for (var i = 0; i < t; i = i + 1) { join hs[i]; }
+    sync (lock) { return acc.total / acc.count; }
+}
+"""
+
+_SCALES = {
+    "tiny": (2, 2, 4),
+    "small": (5, 8, 12),
+    "full": (5, 30, 30),
+}
+
+register(
+    Workload(
+        name="montecarlo",
+        source=SOURCE,
+        description="Monte-Carlo pricing; thread-local path objects + locked accumulator",
+        args=lambda scale: _SCALES[scale],
+        threads=5,
+        expect_races=False,
+        paper_lines="3K",
+    )
+)

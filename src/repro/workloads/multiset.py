@@ -1,0 +1,163 @@
+"""The transactional ``Multiset`` of Table 3 (paper Section 6.1).
+
+A multiset of integers stored in a fixed-size ``elements`` array (size 10
+in the paper).  Threads concurrently insert, delete, and query.  Following
+the paper's protocol (after Hindman & Grossman's lock-based translation):
+
+* ``insert(a, b)`` first *reserves* space for each value with one
+  transaction per allocation; if every reservation succeeds, all new
+  elements are made visible in one final atomic transaction; if allocation
+  fails due to space contention, the already-reserved slots are freed in a
+  single atomic transaction -- "this mimics transaction rollback";
+* ``delete`` and ``lookup`` are single transactions;
+* the value batches come from a *factory object shared among threads and
+  manipulated outside transactions* (under a plain lock), mixing
+  transactions with other synchronization exactly as Section 6.1 requires.
+
+Slot encoding: ``0`` free, ``-1`` reserved, ``>0`` a value.
+"""
+
+from .base import Workload, register
+
+SOURCE = """
+class Factory { int next; }
+class Opstats { int inserts; int fails; int deletes; int hits; }
+
+def reserve_slot(elems) {
+    // one transaction per allocation attempt (the paper's protocol)
+    var slot = -1;
+    atomic {
+        var i = 0;
+        var n = len(elems);
+        while (i < n) {
+            if (slot == -1 && elems[i] == 0) {
+                elems[i] = -1;
+                slot = i;
+            }
+            i = i + 1;
+        }
+    }
+    return slot;
+}
+
+def publish2(elems, s1, v1, s2, v2) {
+    atomic {
+        elems[s1] = v1;
+        elems[s2] = v2;
+    }
+    return 0;
+}
+
+def rollback(elems, s1, s2) {
+    // free the reserved slots in a single atomic transaction
+    atomic {
+        if (s1 >= 0) { elems[s1] = 0; }
+        if (s2 >= 0) { elems[s2] = 0; }
+    }
+    return 0;
+}
+
+def delete_one(elems, v) {
+    var removed = 0;
+    atomic {
+        var i = 0;
+        var n = len(elems);
+        while (i < n) {
+            if (removed == 0 && elems[i] == v) {
+                elems[i] = 0;
+                removed = 1;
+            }
+            i = i + 1;
+        }
+    }
+    return removed;
+}
+
+def lookup(elems, v) {
+    var found = 0;
+    atomic {
+        var i = 0;
+        var n = len(elems);
+        while (i < n) {
+            if (elems[i] == v) { found = found + 1; }
+            i = i + 1;
+        }
+    }
+    return found;
+}
+
+def client(elems, factory, flock, stats, slock, rounds) {
+    for (var r = 0; r < rounds; r = r + 1) {
+        // fetch a fresh value pair from the shared factory, outside any
+        // transaction (plain lock-based synchronization)
+        var v1 = 0;
+        var v2 = 0;
+        sync (flock) {
+            factory.next = factory.next + 1;
+            v1 = factory.next;
+            factory.next = factory.next + 1;
+            v2 = factory.next;
+        }
+        // insert both values: reserve, then publish or roll back
+        var s1 = reserve_slot(elems);
+        var s2 = reserve_slot(elems);
+        if (s1 >= 0 && s2 >= 0) {
+            publish2(elems, s1, v1, s2, v2);
+            sync (slock) { stats.inserts = stats.inserts + 1; }
+            var seen = lookup(elems, v1);
+            if (seen > 0) { sync (slock) { stats.hits = stats.hits + 1; } }
+            delete_one(elems, v1);
+            delete_one(elems, v2);
+            sync (slock) { stats.deletes = stats.deletes + 2; }
+        } else {
+            rollback(elems, s1, s2);
+            sync (slock) { stats.fails = stats.fails + 1; }
+        }
+    }
+    return rounds;
+}
+
+def main(t, size, rounds) {
+    var elems = new [size, 0];
+    var factory = new Factory();
+    factory.next = 0;
+    var flock = new Object();
+    var stats = new Opstats();
+    var slock = new Object();
+    var hs = new [t];
+    for (var i = 0; i < t; i = i + 1) {
+        hs[i] = spawn client(elems, factory, flock, stats, slock, rounds);
+    }
+    for (var i = 0; i < t; i = i + 1) { join hs[i]; }
+    sync (slock) { return stats.inserts * 1000000 + stats.fails * 10000
+        + stats.deletes * 100 + stats.hits; }
+}
+"""
+
+#: Table 3 sweeps thread counts over a size-10 multiset
+TABLE3_THREADS = (5, 10, 20, 50, 100, 200, 500)
+
+_SCALES = {
+    "tiny": (3, 10, 1),
+    "small": (10, 10, 3),
+    "full": (50, 10, 3),
+}
+
+
+def table3_args(threads: int, rounds: int = 2) -> tuple:
+    """main(...) arguments for one Table 3 row."""
+    return (threads, 10, rounds)
+
+
+register(
+    Workload(
+        name="multiset",
+        source=SOURCE,
+        description="transactional multiset; reserve/publish/rollback + shared factory",
+        args=lambda scale: _SCALES[scale],
+        threads=5,
+        expect_races=False,
+        paper_lines="-",
+        notes="Table 3 workload; mixes atomic transactions with plain locks",
+    )
+)

@@ -1,0 +1,82 @@
+"""``raytracer``: 3D ray tracing (Java Grande, Table 1 row 7).
+
+The second barrier benchmark.  Threads render interleaved scanline bands
+into a shared pixel array (owner-indexed writes), then -- after a barrier --
+run an anti-aliasing pass that reads *neighbouring* pixels (foreign reads),
+then accumulate a checksum under a lock.  The read-only scene is built
+before the fork.
+
+Chord: scene and local ray objects eliminated, but the barrier-protected
+pixel array stays checked (paper: 17.9x -> 11.4x, still high).  RccJava:
+``barrier_owned`` verifies the pixel array too (paper: -> 2.1x).
+"""
+
+from .base import Workload, register
+
+SOURCE = """
+//@ field main.pixels[]: barrier_owned(i)
+//@ field main.smooth[]: barrier_owned(i)
+class Ray { float ox; float dx; float depth; }
+class Checksum { float value; }
+
+def trace(scene, pixels, smooth, check, lock, b, me, t, n, depth) {
+    // render own scanlines: heavy local math + owner-indexed writes
+    for (var i = me; i < n; i = i + t) {
+        var ray = new Ray();
+        ray.ox = scene[i % len(scene)];
+        ray.dx = 1.0 / (i + 1);
+        ray.depth = 0.0;
+        for (var d = 0; d < depth; d = d + 1) {
+            ray.depth = ray.depth + ray.ox * ray.dx / (d + 1);
+        }
+        pixels[i] = ray.depth;
+    }
+    barrier(b);
+    // anti-aliasing: read neighbours (foreign), write own slot of smooth
+    var local = 0.0;
+    for (var i = me; i < n; i = i + t) {
+        var left = pixels[(i + n - 1) % n];
+        var right = pixels[(i + 1) % n];
+        smooth[i] = (left + pixels[i] + right) / 3.0;
+        local = local + smooth[i];
+    }
+    barrier(b);
+    sync (lock) { check.value = check.value + local; }
+    return local;
+}
+
+def main(t, n, depth) {
+    var scene = new [8, 0.0];
+    for (var i = 0; i < 8; i = i + 1) { scene[i] = i * 1.5 + 1.0; }
+    var pixels = new [n, 0.0];
+    var smooth = new [n, 0.0];
+    var check = new Checksum();
+    var lock = new Object();
+    var b = new_barrier(t);
+    check.value = 0.0;
+    var hs = new [t];
+    for (var i = 0; i < t; i = i + 1) {
+        hs[i] = spawn trace(scene, pixels, smooth, check, lock, b, i, t, n, depth);
+    }
+    for (var i = 0; i < t; i = i + 1) { join hs[i]; }
+    sync (lock) { return check.value; }
+}
+"""
+
+_SCALES = {
+    "tiny": (2, 8, 3),
+    "small": (5, 25, 8),
+    "full": (5, 80, 20),
+}
+
+register(
+    Workload(
+        name="raytracer",
+        source=SOURCE,
+        description="ray tracing; barrier-phased pixel array + locked checksum",
+        args=lambda scale: _SCALES[scale],
+        threads=5,
+        expect_races=False,
+        paper_lines="1.2K",
+    )
+)

@@ -1,0 +1,67 @@
+"""``series``: Fourier coefficient computation (Java Grande, Table 1 row 8).
+
+The embarrassingly parallel extreme of the suite: each thread integrates
+its band of Fourier coefficients using only local scalars and hands the
+result back through ``join``/``result``.  There are almost no shared
+accesses to check, so the slowdown is ~1.0x with or without static
+information -- exactly the paper's row (88.4s -> 94.1s, ratio 1.0).
+"""
+
+from .base import Workload, register
+
+SOURCE = """
+class Limits { float lo; float hi; int points; }
+
+def coefficients(limits, me, t, terms) {
+    // trapezoid integration of x^k over [lo, hi] for this thread's band
+    var lo = limits.lo;
+    var hi = limits.hi;
+    var points = limits.points;
+    var dx = (hi - lo) / points;
+    var acc = 0.0;
+    for (var k = me; k < terms; k = k + t) {
+        var sum = 0.0;
+        for (var p = 0; p < points; p = p + 1) {
+            var x = lo + (p + 0.5) * dx;
+            sum = sum + cos(k * x) * dx;
+        }
+        acc = acc + sum;
+    }
+    return acc;
+}
+
+def main(t, terms, points) {
+    var limits = new Limits();
+    limits.lo = 0.0;
+    limits.hi = 2.0;
+    limits.points = points;
+    var hs = new [t];
+    for (var i = 0; i < t; i = i + 1) {
+        hs[i] = spawn coefficients(limits, i, t, terms);
+    }
+    var total = 0.0;
+    for (var i = 0; i < t; i = i + 1) {
+        join hs[i];
+        total = total + result(hs[i]);
+    }
+    return total;
+}
+"""
+
+_SCALES = {
+    "tiny": (2, 4, 6),
+    "small": (10, 20, 20),
+    "full": (10, 60, 60),
+}
+
+register(
+    Workload(
+        name="series",
+        source=SOURCE,
+        description="Fourier series; pure thread-local scalar math",
+        args=lambda scale: _SCALES[scale],
+        threads=10,
+        expect_races=False,
+        paper_lines="380",
+    )
+)

@@ -1,0 +1,69 @@
+"""``sor2``: the lock-free barrier rewrite of ``sor`` (Table 1 row 10).
+
+Same relaxation kernel as ``sor``, but synchronized exclusively with
+barriers (Jacobi style: compute ``next`` from ``cur``, barrier, copy back,
+barrier).  This is the paper's worst case for Chord -- 0% short-circuit
+success, slowdown only 6.3x -> 2.3x -- while RccJava's barrier rule
+verifies both arrays and brings it to 1.1x.
+"""
+
+from .base import Workload, register
+
+SOURCE = """
+//@ field main.cur[]: barrier_owned(i)
+//@ field main.nxt[]: barrier_owned(i)
+
+def relax(b, cur, nxt, me, t, n, sweeps) {
+    var moved = 0.0;
+    for (var s = 0; s < sweeps; s = s + 1) {
+        for (var i = me; i < n; i = i + t) {
+            var left = cur[(i + n - 1) % n];
+            var right = cur[(i + 1) % n];
+            var updated = 0.25 * (left + right) + 0.5 * cur[i];
+            moved = moved + abs(updated - cur[i]);
+            nxt[i] = updated;
+        }
+        barrier(b);
+        for (var i = me; i < n; i = i + t) {
+            cur[i] = nxt[i];
+        }
+        barrier(b);
+    }
+    return moved;
+}
+
+def main(t, n, sweeps) {
+    var cur = new [n, 0.0];
+    var nxt = new [n, 0.0];
+    for (var i = 0; i < n; i = i + 1) { cur[i] = i % 7 + 1.0; }
+    var b = new_barrier(t);
+    var hs = new [t];
+    for (var i = 0; i < t; i = i + 1) {
+        hs[i] = spawn relax(b, cur, nxt, i, t, n, sweeps);
+    }
+    var moved = 0.0;
+    for (var i = 0; i < t; i = i + 1) {
+        join hs[i];
+        moved = moved + result(hs[i]);
+    }
+    return moved;
+}
+"""
+
+_SCALES = {
+    "tiny": (2, 6, 2),
+    "small": (10, 20, 5),
+    "full": (10, 50, 12),
+}
+
+register(
+    Workload(
+        name="sor2",
+        source=SOURCE,
+        description="barrier-phased Jacobi relaxation (lock-free sor)",
+        args=lambda scale: _SCALES[scale],
+        threads=10,
+        expect_races=False,
+        paper_lines="252",
+    )
+)

@@ -1,0 +1,86 @@
+"""``tsp``: branch-and-bound travelling salesman (Table 1 row 11).
+
+Idiom mix: a lock-protected work queue of tour prefixes, a read-only
+distance matrix, thread-local tour expansion, and the benchmark's
+well-known *real* race -- the double-checked best-bound read (threads read
+``best.len`` without the lock before deciding whether to take it).
+The unprotected read races with locked updates and must be flagged.
+"""
+
+from .base import Workload, register
+
+SOURCE = """
+class Best { int len; }
+class Queue { int top; }
+
+def solver(dist, queue, work, qlock, best, block, n, rounds) {
+    for (var r = 0; r < rounds; r = r + 1) {
+        var city = -1;
+        sync (qlock) {
+            if (queue.top > 0) {
+                queue.top = queue.top - 1;
+                city = work[queue.top];
+            }
+        }
+        if (city == -1) { return 0; }
+        // greedy tour starting at `city`, fully thread-local
+        var cost = 0;
+        var here = city;
+        for (var step = 1; step < n; step = step + 1) {
+            var next = (here + step) % n;
+            cost = cost + dist[here * n + next];
+            here = next;
+        }
+        cost = cost + dist[here * n + city];
+        // the tsp race: unprotected test before the locked update
+        if (cost < best.len) {
+            sync (block) {
+                if (cost < best.len) { best.len = cost; }
+            }
+        }
+    }
+    return 0;
+}
+
+def main(t, n, rounds) {
+    var dist = new [n * n, 0];
+    for (var i = 0; i < n; i = i + 1) {
+        for (var j = 0; j < n; j = j + 1) {
+            dist[i * n + j] = (i * 7 + j * 3) % 11 + 1;
+        }
+    }
+    var queue = new Queue();
+    var work = new [n, 0];
+    for (var i = 0; i < n; i = i + 1) { work[i] = i; }
+    queue.top = n;
+    var best = new Best();
+    best.len = 1000000;
+    var qlock = new Object();
+    var block = new Object();
+    var hs = new [t];
+    for (var i = 0; i < t; i = i + 1) {
+        hs[i] = spawn solver(dist, queue, work, qlock, best, block, n, rounds);
+    }
+    for (var i = 0; i < t; i = i + 1) { join hs[i]; }
+    sync (block) { return best.len; }
+}
+"""
+
+_SCALES = {
+    "tiny": (2, 4, 2),
+    "small": (10, 8, 4),
+    "full": (10, 14, 8),
+}
+
+register(
+    Workload(
+        name="tsp",
+        source=SOURCE,
+        description="branch-and-bound TSP; locked queue + racy best-bound test",
+        args=lambda scale: _SCALES[scale],
+        threads=10,
+        expect_races=True,
+        paper_lines="700",
+        notes="Best.len carries the benchmark's double-checked-bound race",
+    )
+)

@@ -1,0 +1,280 @@
+"""Corner cases of the static analyses."""
+
+import pytest
+
+from repro.analysis import AnalysisModel, run_chord, run_rccjava
+from repro.analysis.model import ATOMIC_LOCK, SELF_LOCK, render_expr
+from repro.lang import ast, parse
+
+
+def chord(source):
+    return run_chord(parse(source))
+
+
+def rcc(source):
+    return run_rccjava(parse(source))
+
+
+class TestRenderExpr:
+    def test_canonical_forms(self):
+        program = parse(
+            "def f(a, b) { var x = a.items[b + 1].next; var y = -a.n; }"
+        )
+        decl = program.func("f").body[0]
+        assert render_expr(decl.init) == "a.items[(b+1)].next"
+        neg = program.func("f").body[1].init
+        assert render_expr(neg) == "-a.n"
+
+    def test_call_and_new_forms(self):
+        program = parse(
+            "def f() { var x = g(1); var y = new Object(); }\ndef g(n) { return n; }"
+        )
+        call = program.func("f").body[0].init
+        assert render_expr(call) == "g(...)"
+        new = program.func("f").body[1].init
+        assert render_expr(new).startswith("new Object@")
+
+
+class TestLockReasoning:
+    def test_summary_lock_gives_no_must_object_but_self_lock_survives(self):
+        model = AnalysisModel(
+            parse(
+                """
+                class Node { int v; }
+                def worker(n) { sync (n) { n.v = n.v + 1; } }
+                def main() {
+                    for (var i = 0; i < 3; i = i + 1) {
+                        var node = new Node();
+                        var t = spawn worker(node);
+                    }
+                }
+                """
+            )
+        )
+        sites = [s for s in model.access_sites if s.field_key == "v"]
+        assert sites
+        for site in sites:
+            locks = site.must_locks()
+            assert SELF_LOCK in locks
+            assert all(lock in (SELF_LOCK, ATOMIC_LOCK) for lock in locks), (
+                "loop-allocated locks must not yield concrete must-objects"
+            )
+
+    def test_distinct_single_locks_do_not_protect_a_pair(self):
+        report = chord(
+            """
+            class S { int x; }
+            def w1(s, lock) { sync (lock) { s.x = s.x + 1; } }
+            def w2(s, lock) { sync (lock) { s.x = s.x + 1; } }
+            def main() {
+                var s = new S();
+                var la = new Object();
+                var lb = new Object();
+                var t1 = spawn w1(s, la);
+                var t2 = spawn w2(s, lb);
+                join t1;
+                join t2;
+            }
+            """
+        )
+        assert ("S", "x") in report.may_race_fields
+
+    def test_merged_lock_param_is_not_a_must_lock(self):
+        """One worker function called with two different locks: the merged
+
+        points-to set has two objects, so no must-fact -- flagged, which is
+        also dynamically correct here (the two instances don't exclude)."""
+        report = chord(
+            """
+            class S { int x; }
+            def w(s, lock) { sync (lock) { s.x = s.x + 1; } }
+            def main() {
+                var s = new S();
+                var la = new Object();
+                var lb = new Object();
+                var t1 = spawn w(s, la);
+                var t2 = spawn w(s, lb);
+                join t1;
+                join t2;
+            }
+            """
+        )
+        assert ("S", "x") in report.may_race_fields
+
+
+class TestChordOutputFormat:
+    def test_pairs_carry_source_lines(self):
+        source = """class S { int c; }
+def w(s) { s.c = s.c + 1; }
+def main() {
+    var s = new S();
+    var t1 = spawn w(s);
+    var t2 = spawn w(s);
+    join t1;
+    join t2;
+}
+"""
+        report = chord(source)
+        assert report.pairs
+        pair = report.pairs[0]
+        assert pair.line1 == pair.line2 == 2, "the write races with itself"
+        assert pair.class_name == "S" and pair.field_name == "c"
+
+    def test_race_free_fields_accounting(self):
+        report = chord(
+            """
+            class S { int safe; int unsafe; }
+            def w(s, lock) {
+                sync (lock) { s.safe = s.safe + 1; }
+                s.unsafe = s.unsafe + 1;
+            }
+            def main() {
+                var s = new S();
+                var lock = new Object();
+                var t1 = spawn w(s, lock);
+                var t2 = spawn w(s, lock);
+                join t1;
+                join t2;
+            }
+            """
+        )
+        assert ("S", "unsafe") in report.may_race_fields
+        assert ("S", "safe") in report.race_free_fields()
+        assert report.summary().startswith("[chord]")
+
+
+class TestRccJavaCorners:
+    def test_annotation_on_unknown_discipline_flags_field(self):
+        report = rcc(
+            """
+            //@ field S.x: hope_for_the_best
+            class S { int x; }
+            def w(s) { s.x = 1; }
+            def main() {
+                var s = new S();
+                var t = spawn w(s);
+                var u = spawn w(s);
+                join t;
+                join u;
+            }
+            """
+        )
+        assert ("S", "x") in report.may_race_fields
+        assert any("unknown annotation" in note for note in report.notes)
+
+    def test_post_join_readback_is_exempt_from_lock_discipline(self):
+        report = rcc(
+            """
+            class S { int n; }
+            def w(s, lock) { sync (lock) { s.n = s.n + 1; } }
+            def main() {
+                var s = new S();
+                var lock = new Object();
+                var t1 = spawn w(s, lock);
+                var t2 = spawn w(s, lock);
+                join t1;
+                join t2;
+                var final = s.n;
+                return final;
+            }
+            """
+        )
+        assert ("S", "n") not in report.may_race_fields
+
+    def test_atomic_only_with_pre_fork_init(self):
+        report = rcc(
+            """
+            class S { int t; }
+            def w(s) { atomic { s.t = s.t + 1; } }
+            def main() {
+                var s = new S();
+                s.t = 5;
+                var t1 = spawn w(s);
+                var t2 = spawn w(s);
+                join t1;
+                join t2;
+            }
+            """
+        )
+        assert ("S", "t") not in report.may_race_fields
+
+    def test_readonly_fails_if_any_thread_writes(self):
+        report = rcc(
+            """
+            class Config { int size; }
+            def reader(cfg) { var v = cfg.size; }
+            def rewriter(cfg) { cfg.size = 9; }
+            def main() {
+                var cfg = new Config();
+                cfg.size = 1;
+                var t1 = spawn reader(cfg);
+                var t2 = spawn rewriter(cfg);
+                join t1;
+                join t2;
+            }
+            """
+        )
+        assert ("Config", "size") in report.may_race_fields
+
+    def test_barrier_owned_requires_barriers_in_the_scope(self):
+        report = rcc(
+            """
+            //@ field main.grid[]: barrier_owned(me)
+            def w(grid, me) { grid[me] = 1; }
+            def main() {
+                var grid = new [2];
+                var t1 = spawn w(grid, 0);
+                var t2 = spawn w(grid, 1);
+                join t1;
+                join t2;
+            }
+            """
+        )
+        array_keys = {k for k in report.all_fields if k[1] == "[]"}
+        assert array_keys & report.may_race_fields, (
+            "no barrier statements: the annotation must not verify"
+        )
+
+
+class TestModelRobustness:
+    def test_method_resolution_across_multiple_receiver_classes(self):
+        model = AnalysisModel(
+            parse(
+                """
+                class A { int v; def bump() { this.v = this.v + 1; } }
+                class B { int v; def bump() { this.v = this.v + 2; } }
+                def poke(x) { x.bump(); }
+                def main() {
+                    var a = new A();
+                    var b = new B();
+                    poke(a);
+                    poke(b);
+                }
+                """
+            )
+        )
+        assert model.var_pts[("A.bump", "this")]
+        assert model.var_pts[("B.bump", "this")]
+        v_sites = [s for s in model.access_sites if s.field_key == "v"]
+        classes = set()
+        for site in v_sites:
+            classes |= site.classes
+        assert classes == {"A", "B"}
+
+    def test_recursive_functions_reach_fixpoint(self):
+        model = AnalysisModel(
+            parse(
+                """
+                class Node { Node next; int v; }
+                def build(n) {
+                    if (n == 0) { return null; }
+                    var node = new Node();
+                    node.next = build(n - 1);
+                    return node;
+                }
+                def main() { var head = build(3); }
+                """
+            )
+        )
+        head_pts = model.var_pts[("main", "head")]
+        assert head_pts, "recursion must still produce points-to facts"

@@ -1,0 +1,227 @@
+"""Tests for the shared static-analysis model (points-to, escape, roots)."""
+
+from repro.analysis.model import AnalysisModel, array_class_name
+from repro.lang import parse
+
+
+def model_of(source):
+    return AnalysisModel(parse(source))
+
+
+def test_points_to_tracks_allocation_sites_through_locals_and_fields():
+    model = model_of(
+        """
+        class Box { Item item; }
+        class Item { int x; }
+        def main() {
+            var box = new Box();
+            var item = new Item();
+            box.item = item;
+            var alias = box.item;
+            alias.x = 1;
+        }
+        """
+    )
+    box_pts = model.var_pts[("main", "box")]
+    item_pts = model.var_pts[("main", "item")]
+    alias_pts = model.var_pts[("main", "alias")]
+    assert {o.class_name for o in box_pts} == {"Box"}
+    assert alias_pts == item_pts
+    assert all(o.single for o in box_pts | item_pts)
+
+
+def test_loop_allocations_are_summary_sites():
+    model = model_of(
+        """
+        class Node { int v; }
+        def main() {
+            for (var i = 0; i < 3; i = i + 1) {
+                var n = new Node();
+                n.v = i;
+            }
+        }
+        """
+    )
+    nodes = model.var_pts[("main", "n")]
+    assert len(nodes) == 1
+    assert not next(iter(nodes)).single
+
+
+def test_spawn_arguments_escape_transitively():
+    model = model_of(
+        """
+        class Holder { Inner inner; }
+        class Inner { int x; }
+        def worker(h) { h.inner.x = 1; }
+        def main() {
+            var keep = new Holder();
+            var shared = new Holder();
+            shared.inner = new Inner();
+            keep.inner = new Inner();
+            var t = spawn worker(shared);
+            join t;
+        }
+        """
+    )
+    escaping_classes = {(o.class_name, o.line) for o in model.escaping}
+    assert any(cls == "Holder" for cls, _ in escaping_classes)
+    assert any(cls == "Inner" for cls, _ in escaping_classes)
+    # keep and its Inner never escape
+    keep_objs = model.var_pts[("main", "keep")]
+    assert not (keep_objs & model.escaping)
+
+
+def test_roots_and_call_graph_reachability():
+    model = model_of(
+        """
+        def helper(o) { o.x = 1; }
+        def worker(o) { helper(o); }
+        def mainonly(o) { o.y = 2; }
+        class O { int x; int y; }
+        def main() {
+            var o = new O();
+            mainonly(o);
+            var t = spawn worker(o);
+            join t;
+        }
+        """
+    )
+    assert model.roots_of["helper"] == {"worker"}
+    assert model.roots_of["mainonly"] == {"main"}
+    assert model.roots_of["worker"] == {"worker"}
+    assert not model.root_multi["worker"]
+
+
+def test_multiply_spawned_root_is_multi():
+    model = model_of(
+        """
+        def worker(o) { o.x = 1; }
+        class O { int x; }
+        def main() {
+            var o = new O();
+            var t1 = spawn worker(o);
+            var t2 = spawn worker(o);
+            join t1;
+            join t2;
+        }
+        """
+    )
+    assert model.root_multi["worker"]
+
+
+def test_spawn_in_loop_is_multi():
+    model = model_of(
+        """
+        def worker(o) { o.x = 1; }
+        class O { int x; }
+        def main() {
+            var o = new O();
+            for (var i = 0; i < 4; i = i + 1) { var t = spawn worker(o); }
+        }
+        """
+    )
+    assert model.root_multi["worker"]
+
+
+def test_access_sites_record_locks_and_atomic():
+    model = model_of(
+        """
+        class S { int a; int b; int c; }
+        def main() {
+            var s = new S();
+            var lock = new Object();
+            sync (lock) { s.a = 1; }
+            atomic { s.b = 2; }
+            s.c = 3;
+        }
+        """
+    )
+    sites = {
+        (site.field_key, site.is_write): site
+        for site in model.access_sites
+        if site.field_key in ("a", "b", "c")
+    }
+    a_site = sites[("a", True)]
+    assert len(a_site.locks) == 1
+    assert a_site.locks[0].must_object() is not None
+    b_site = sites[("b", True)]
+    assert b_site.in_atomic
+    c_site = sites[("c", True)]
+    assert not c_site.locks and not c_site.in_atomic
+
+
+def test_volatile_fields_produce_no_access_sites():
+    model = model_of(
+        """
+        class F { volatile bool ready; int data; }
+        def main() {
+            var f = new F();
+            f.ready = true;
+            f.data = 1;
+            var r = f.ready;
+        }
+        """
+    )
+    keys = {site.field_key for site in model.access_sites}
+    assert "data" in keys
+    assert "ready" not in keys
+
+
+def test_synchronized_method_implies_this_lock():
+    model = model_of(
+        """
+        class A {
+            int x;
+            synchronized def bump() { this.x = this.x + 1; }
+        }
+        def main() {
+            var a = new A();
+            a.bump();
+        }
+        """
+    )
+    x_sites = [s for s in model.access_sites if s.field_key == "x"]
+    assert x_sites
+    for site in x_sites:
+        assert site.must_locks(), "synchronized method must supply a must-lock"
+
+
+def test_fork_join_ordering_of_main_accesses():
+    model = model_of(
+        """
+        class S { int x; }
+        def worker(s) { s.x = s.x + 1; }
+        def main() {
+            var s = new S();
+            s.x = 0;
+            var t = spawn worker(s);
+            join t;
+            var r = s.x;
+        }
+        """
+    )
+    main_sites = [s for s in model.access_sites if s.scope == "main"]
+    worker_sites = [s for s in model.access_sites if s.scope == "worker"]
+    init = next(s for s in main_sites if s.is_write)
+    readback = next(s for s in main_sites if not s.is_write)
+    for worker_site in worker_sites:
+        assert not model.may_run_in_parallel(init, worker_site)
+        assert not model.may_run_in_parallel(readback, worker_site)
+    # But the two worker sites (read + write) of two... one root, single: the
+    # same-root single-instance case is not parallel with itself either.
+    assert not model.may_run_in_parallel(worker_sites[0], worker_sites[-1])
+
+
+def test_array_class_names_match_interpreter_convention():
+    model = model_of(
+        """
+        def main() {
+            var a = new [4];
+            a[0] = 1;
+        }
+        """
+    )
+    site = next(s for s in model.access_sites if s.field_key == "[]")
+    (cls,) = site.classes
+    # the allocation is on source line 3 of the snippet
+    assert cls == array_class_name(3)

@@ -1,0 +1,191 @@
+"""RccJava-style checker tests: annotations, inference, barrier rule."""
+
+from repro.analysis import run_rccjava
+from repro.lang import parse
+
+
+def rcc(source):
+    return run_rccjava(parse(source))
+
+
+def test_guarded_by_annotation_verifies_consistent_lock():
+    report = rcc(
+        """
+        //@ field Account.bal: guarded_by(this)
+        class Account {
+            int bal;
+            synchronized def withdraw(a) { this.bal = this.bal - a; }
+            synchronized def peek() { return this.bal; }
+        }
+        def worker(acct) { acct.withdraw(1); }
+        def main() {
+            var acct = new Account();
+            var t1 = spawn worker(acct);
+            var t2 = spawn worker(acct);
+            join t1;
+            join t2;
+        }
+        """
+    )
+    assert ("Account", "bal") not in report.may_race_fields
+
+
+def test_guarded_by_fails_when_an_access_skips_the_lock():
+    report = rcc(
+        """
+        //@ field Account.bal: guarded_by(this)
+        class Account {
+            int bal;
+            synchronized def withdraw(a) { this.bal = this.bal - a; }
+            def sneak() { return this.bal; }
+        }
+        def worker(acct) { acct.withdraw(1); var v = acct.sneak(); }
+        def main() {
+            var acct = new Account();
+            var t1 = spawn worker(acct);
+            var t2 = spawn worker(acct);
+            join t1;
+            join t2;
+        }
+        """
+    )
+    assert ("Account", "bal") in report.may_race_fields
+    assert any("did not verify" in note for note in report.notes)
+
+
+def test_inference_accepts_consistent_sync_block_lock():
+    report = rcc(
+        """
+        class S { int n; }
+        def worker(s, lock) { sync (lock) { s.n = s.n + 1; } }
+        def main() {
+            var s = new S();
+            var lock = new Object();
+            var t1 = spawn worker(s, lock);
+            var t2 = spawn worker(s, lock);
+            join t1;
+            join t2;
+        }
+        """
+    )
+    assert ("S", "n") not in report.may_race_fields
+
+
+def test_inference_accepts_thread_local_and_atomic_only():
+    report = rcc(
+        """
+        class Mine { int v; }
+        class Shared { int t; }
+        def worker(shared) {
+            var mine = new Mine();
+            mine.v = 1;
+            atomic { shared.t = shared.t + 1; }
+        }
+        def main() {
+            var shared = new Shared();
+            var t1 = spawn worker(shared);
+            join t1;
+        }
+        """
+    )
+    assert ("Mine", "v") not in report.may_race_fields
+    assert ("Shared", "t") not in report.may_race_fields
+
+
+def test_readonly_inference_for_config_initialized_before_spawn():
+    report = rcc(
+        """
+        class Config { int size; }
+        def worker(cfg) { var s = cfg.size; }
+        def main() {
+            var cfg = new Config();
+            cfg.size = 100;
+            var t1 = spawn worker(cfg);
+            var t2 = spawn worker(cfg);
+            join t1;
+            join t2;
+        }
+        """
+    )
+    assert ("Config", "size") not in report.may_race_fields
+
+
+def test_unprotected_shared_field_is_flagged():
+    report = rcc(
+        """
+        class S { int count; }
+        def worker(s) { s.count = s.count + 1; }
+        def main() {
+            var s = new S();
+            var t1 = spawn worker(s);
+            var t2 = spawn worker(s);
+            join t1;
+            join t2;
+        }
+        """
+    )
+    assert ("S", "count") in report.may_race_fields
+
+
+BARRIER_PROGRAM = """
+//@ field main.grid[]: barrier_owned(me)
+def worker(b, grid, me, n, rounds) {
+    for (var r = 0; r < rounds; r = r + 1) {
+        grid[me] = grid[me] + 1;
+        barrier(b);
+        var sum = 0;
+        for (var j = 0; j < n; j = j + 1) { sum = sum + grid[j]; }
+        barrier(b);
+    }
+}
+def main() {
+    var n = 2;
+    var b = new_barrier(n);
+    var grid = new [n];
+    var t1 = spawn worker(b, grid, 0, n, 3);
+    var t2 = spawn worker(b, grid, 1, n, 3);
+    join t1;
+    join t2;
+}
+"""
+
+
+def test_barrier_owned_annotation_verifies_the_moldyn_pattern():
+    """This is RccJava's Table 1 superpower: barrier benchmarks verify."""
+    report = rcc(BARRIER_PROGRAM)
+    array_keys = {key for key in report.all_fields if key[1] == "[]"}
+    assert array_keys
+    assert not (array_keys & report.may_race_fields)
+
+
+def test_barrier_owned_fails_without_the_trailing_barrier():
+    source = BARRIER_PROGRAM.replace(
+        """        for (var j = 0; j < n; j = j + 1) { sum = sum + grid[j]; }
+        barrier(b);""",
+        """        for (var j = 0; j < n; j = j + 1) { sum = sum + grid[j]; }""",
+    )
+    report = rcc(source)
+    array_keys = {key for key in report.all_fields if key[1] == "[]"}
+    assert array_keys & report.may_race_fields, (
+        "without the trailing barrier the wrap-around write races with reads"
+    )
+
+
+def test_barrier_owned_fails_when_writing_a_foreign_slot():
+    source = BARRIER_PROGRAM.replace(
+        "grid[me] = grid[me] + 1;", "grid[0] = grid[0] + 1;"
+    )
+    report = rcc(source)
+    array_keys = {key for key in report.all_fields if key[1] == "[]"}
+    assert array_keys & report.may_race_fields
+
+
+def test_chord_and_rccjava_disagree_exactly_on_barriers():
+    """The Table 1 story in one assertion pair."""
+    from repro.analysis import run_chord
+
+    chord_report = run_chord(parse(BARRIER_PROGRAM))
+    rcc_report = rcc(BARRIER_PROGRAM)
+    array_keys = {key for key in rcc_report.all_fields if key[1] == "[]"}
+    assert array_keys & chord_report.may_race_fields     # Chord flags them
+    assert not (array_keys & rcc_report.may_race_fields)  # RccJava proves them

@@ -1,0 +1,63 @@
+"""Unit tests for the transaction-oblivious adapter (Section 6.1 ablation)."""
+
+from repro.baselines import TransactionObliviousAdapter
+from repro.core import LazyGoldilocks, Obj, Tid
+from repro.core.actions import DataVar
+from repro.trace import TraceBuilder
+
+T1, T2 = Tid(1), Tid(2)
+
+
+def transactional_trace():
+    tb = TraceBuilder()
+    var = DataVar(Obj(1), "x")
+    tb.commit(T1, writes=[var])
+    tb.commit(T2, reads=[var], writes=[var])
+    return tb.build(), var
+
+
+def test_oblivious_view_stays_race_free_via_the_impl_lock():
+    events, _ = transactional_trace()
+    adapter = TransactionObliviousAdapter(LazyGoldilocks())
+    assert adapter.process_all(events) == []
+
+
+def test_oblivious_view_does_strictly_more_work():
+    events, _ = transactional_trace()
+    aware = LazyGoldilocks()
+    aware.process_all(events)
+    oblivious = TransactionObliviousAdapter(LazyGoldilocks())
+    oblivious.process_all(events)
+    assert oblivious.stats.sync_events > aware.stats.sync_events
+    assert oblivious.stats.sc_xact == 0, "no transactional short circuit anymore"
+
+
+def test_oblivious_still_catches_txn_vs_plain_races():
+    tb = TraceBuilder()
+    var = DataVar(Obj(1), "x")
+    tb.write(T1, Obj(1), "x")
+    tb.commit(T2, writes=[var])
+    events = tb.build()
+    adapter = TransactionObliviousAdapter(LazyGoldilocks())
+    reports = adapter.process_all(events)
+    assert [r.var for r in reports] == [var]
+
+
+def test_non_commit_events_pass_through_unchanged():
+    tb = TraceBuilder()
+    o, m = Obj(1), Obj(2)
+    tb.acq(T1, m)
+    tb.write(T1, o, "x")
+    tb.rel(T1, m)
+    adapter = TransactionObliviousAdapter(LazyGoldilocks())
+    assert adapter.process_all(tb.build()) == []
+    assert adapter.stats.accesses_checked == 1
+
+
+def test_stats_proxy_reads_the_inner_detector():
+    inner = LazyGoldilocks()
+    adapter = TransactionObliviousAdapter(inner)
+    events, _ = transactional_trace()
+    adapter.process_all(events)
+    assert adapter.stats is inner.stats
+    assert adapter.name == "goldilocks+txn-oblivious"

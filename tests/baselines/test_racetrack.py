@@ -1,0 +1,129 @@
+"""The RaceTrack hybrid: no false alarms (exact clocks), but misses races.
+
+The paper's Section 7 on hybrid lockset/happens-before detectors:
+"these variants are neither sound nor precise".  With our exact-clock
+threadset the imprecision all lands on the unsound side: every report is a
+real race (tested against the oracle), but the Eraser stage can suppress
+real races that Goldilocks finds.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines import EraserDetector, RaceTrackDetector
+from repro.core import EagerGoldilocksRW, Obj, Tid
+from repro.core.actions import DataVar
+from repro.oracle import HappensBeforeOracle
+from repro.trace import RandomTraceGenerator, TraceBuilder
+
+from tests.core.test_paper_figures import build_figure6_trace
+
+T1, T2, T3 = Tid(1), Tid(2), Tid(3)
+
+
+def test_no_false_alarm_on_thread_local_reepochs():
+    """Ownership handoff then lock-free local use: Eraser alarms, the
+
+    hybrid's vector-clock half sees the accessors are ordered."""
+    tb = TraceBuilder()
+    o, m = Obj(1), Obj(2)
+    for tid in (T1, T2):
+        tb.acq(tid, m)
+        tb.write(tid, o, "x")
+        tb.rel(tid, m)
+    tb.acq(T2, m)
+    tb.write(T2, o, "x")
+    tb.rel(T2, m)
+    tb.write(T2, o, "x")   # thread-local again: no lock held
+    tb.write(T2, o, "x")
+    events = tb.build()
+    assert RaceTrackDetector().process_all(events) == []
+    assert EraserDetector().process_all(events), "Eraser's known false alarm"
+
+
+def test_no_false_alarm_on_figure6_lock_rotation():
+    """Even Figure 6's lock rotation: exact clocks keep the hybrid silent
+
+    (the real RaceTrack's approximate clocks would not guarantee this)."""
+    events, o, ma, mb = build_figure6_trace()
+    assert RaceTrackDetector().process_all(events) == []
+    assert EraserDetector().process_all(events), "Eraser still alarms here"
+
+
+def test_unprotected_concurrent_writes_are_caught():
+    tb = TraceBuilder()
+    o = Obj(1)
+    tb.fork(T1, T2)
+    tb.write(T1, o, "x")
+    tb.write(T2, o, "x")
+    reports = RaceTrackDetector().process_all(tb.build())
+    assert [r.var for r in reports] == [DataVar(o, "x")]
+
+
+def test_consistent_lock_discipline_is_accepted():
+    tb = TraceBuilder()
+    o, m = Obj(1), Obj(2)
+    for tid in (T1, T2, T3, T1):
+        tb.acq(tid, m)
+        tb.read(tid, o, "x")
+        tb.write(tid, o, "x")
+        tb.rel(tid, m)
+    assert RaceTrackDetector().process_all(tb.build()) == []
+
+
+def test_concurrent_readers_do_not_race():
+    tb = TraceBuilder()
+    o, m = Obj(1), Obj(2)
+    tb.write(T1, o, "x")
+    tb.acq(T1, m).rel(T1, m)
+    tb.acq(T2, m).rel(T2, m)
+    tb.acq(T3, m).rel(T3, m)
+    tb.read(T2, o, "x")
+    tb.read(T3, o, "x")
+    assert RaceTrackDetector().process_all(tb.build()) == []
+
+
+def test_documented_unsoundness_unrelated_lock_masks_a_real_race():
+    """The hybrid's blind spot: the first moment of sharing initializes the
+
+    candidate set from whatever the accessor happens to hold."""
+    tb = TraceBuilder()
+    o, unrelated = Obj(1), Obj(2)
+    tb.write(T1, o, "x")              # T1, no lock
+    tb.acq(T2, unrelated)
+    tb.write(T2, o, "x")              # concurrent conflicting -- a REAL race
+    tb.rel(T2, unrelated)
+    events = tb.build()
+    var = DataVar(o, "x")
+    assert var in HappensBeforeOracle(events).racy_vars()
+    assert var in {r.var for r in EagerGoldilocksRW().process_all(events)}
+    assert RaceTrackDetector().process_all(events) == [], (
+        "the unrelated held lock seeds a non-empty candidate set: missed"
+    )
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**9))
+def test_every_racetrack_report_is_a_real_race(seed):
+    """Precision property: exact clocks mean no report without a genuine
+
+    unordered conflicting pair (checked against the oracle)."""
+    events = RandomTraceGenerator(
+        with_transactions=False, p_discipline=0.5
+    ).generate(seed)
+    reported = {r.var for r in RaceTrackDetector().process_all(events)}
+    truly_racy = HappensBeforeOracle(events).racy_vars()
+    assert reported <= truly_racy, f"seed {seed}: false alarm {reported - truly_racy}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**9))
+def test_racetrack_misses_are_possible_but_goldilocks_never_misses(seed):
+    """On the same traces Goldilocks reports exactly the oracle's racy vars
+
+    (first-race view); RaceTrack reports a subset."""
+    events = RandomTraceGenerator(
+        with_transactions=False, p_discipline=0.5
+    ).generate(seed)
+    goldilocks = {r.var for r in EagerGoldilocksRW().process_all(events)}
+    racetrack = {r.var for r in RaceTrackDetector().process_all(events)}
+    assert racetrack <= goldilocks, f"seed {seed}"

@@ -1,0 +1,115 @@
+"""Unit tests for the vector-clock machinery and the FastTrack adaptivity."""
+
+from repro.baselines import FastTrackDetector, VectorClock, VectorClockDetector
+from repro.baselines.fasttrack import _FastVarState
+from repro.core import Obj, Tid
+from repro.core.actions import DataVar
+from repro.trace import TraceBuilder
+
+T1, T2, T3 = Tid(1), Tid(2), Tid(3)
+
+
+class TestVectorClock:
+    def test_tick_and_get(self):
+        clock = VectorClock()
+        assert clock.get(T1) == 0
+        clock.tick(T1)
+        clock.tick(T1)
+        assert clock.get(T1) == 2
+        assert clock.get(T2) == 0
+
+    def test_join_is_pointwise_max(self):
+        a = VectorClock({T1: 3, T2: 1})
+        b = VectorClock({T2: 5, T3: 2})
+        a.join(b)
+        assert a.clocks == {T1: 3, T2: 5, T3: 2}
+
+    def test_join_returns_entries_touched(self):
+        a = VectorClock()
+        touched = a.join(VectorClock({T1: 1, T2: 2}))
+        assert touched == 2
+
+    def test_covers(self):
+        clock = VectorClock({T1: 3})
+        assert clock.covers(T1, 3)
+        assert clock.covers(T1, 2)
+        assert not clock.covers(T1, 4)
+        assert clock.covers(T2, 0)
+
+    def test_copy_is_independent(self):
+        a = VectorClock({T1: 1})
+        b = a.copy()
+        b.tick(T1)
+        assert a.get(T1) == 1
+
+    def test_repr_is_sorted(self):
+        assert repr(VectorClock({T2: 1, T1: 2})) == "<T1:2, T2:1>"
+
+
+class TestFastTrackAdaptivity:
+    def state_after(self, events):
+        detector = FastTrackDetector()
+        detector.process_all(events)
+        return detector, detector._fast_vars
+
+    def test_sequential_reads_stay_an_epoch(self):
+        tb = TraceBuilder()
+        o, m = Obj(1), Obj(2)
+        tb.write(T1, o, "x")
+        tb.acq(T1, m).rel(T1, m)
+        tb.acq(T2, m)
+        tb.read(T2, o, "x")
+        tb.read(T2, o, "x")
+        tb.rel(T2, m)
+        detector, states = self.state_after(tb.build())
+        state = states[DataVar(Obj(1), "x")]
+        assert state.read_epoch is not None
+        assert state.read_map is None
+
+    def test_concurrent_reads_promote_to_a_map(self):
+        tb = TraceBuilder()
+        o, m = Obj(1), Obj(2)
+        tb.write(T1, o, "x")
+        tb.acq(T1, m).rel(T1, m)
+        tb.acq(T2, m).rel(T2, m)
+        tb.acq(T3, m).rel(T3, m)
+        tb.read(T2, o, "x")
+        tb.read(T3, o, "x")   # concurrent with T2's read -> promotion
+        detector, states = self.state_after(tb.build())
+        state = states[DataVar(Obj(1), "x")]
+        assert state.read_map is not None
+        assert set(state.read_map) == {T2, T3}
+
+    def test_write_demotes_back_to_epochs(self):
+        tb = TraceBuilder()
+        o, m = Obj(1), Obj(2)
+        tb.write(T1, o, "x")
+        tb.acq(T1, m).rel(T1, m)
+        tb.acq(T2, m).rel(T2, m)
+        tb.acq(T3, m).rel(T3, m)
+        tb.read(T2, o, "x")
+        tb.read(T3, o, "x")
+        # Joining both readers through the lock, then writing.
+        tb.acq(T2, m).rel(T2, m)
+        tb.acq(T3, m).rel(T3, m)
+        tb.acq(T1, m)
+        tb.write(T1, o, "x")
+        tb.rel(T1, m)
+        detector, states = self.state_after(tb.build())
+        state = states[DataVar(Obj(1), "x")]
+        assert state.read_map is None
+        assert state.read_epoch is None
+        assert state.write_epoch is not None
+
+    def test_fasttrack_and_vectorclock_report_identically(self):
+        tb = TraceBuilder()
+        o = Obj(1)
+        tb.write(T1, o, "x")
+        tb.read(T2, o, "x")     # race
+        tb.write(T3, o, "x")    # races with the read and the write
+        events = tb.build()
+        ft = [str(r) for r in FastTrackDetector().process_all(events)]
+        vc = [str(r) for r in VectorClockDetector().process_all(events)]
+        assert [s.replace("fasttrack", "D") for s in ft] == [
+            s.replace("vectorclock", "D") for s in vc
+        ]

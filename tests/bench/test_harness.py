@@ -1,0 +1,106 @@
+"""Tests for the evaluation harness (structure, not timing)."""
+
+import pytest
+
+from repro.bench import (
+    bench_table1,
+    bench_table2,
+    bench_table3,
+    render_table1,
+    render_table2,
+    render_table3,
+)
+from repro.bench.harness import Table1Row, static_filters
+from repro.workloads import get
+
+
+def test_table1_rows_for_a_subset():
+    rows = bench_table1(scale="tiny", names=["philo", "tsp"])
+    assert [row.name for row in rows] == ["philo", "tsp"]
+    for row in rows:
+        assert row.uninstrumented > 0
+        assert row.plain > 0
+        assert row.slowdown_plain == pytest.approx(row.plain / row.uninstrumented)
+        assert 0 <= row.sc_chord <= 100
+    philo, tsp = rows
+    assert philo.races == 0
+    assert tsp.races >= 1
+
+
+def test_table1_detector_work_drops_with_static_filters():
+    """The deterministic cost model behind the slowdown columns."""
+    (row,) = bench_table1(scale="tiny", names=["montecarlo"])
+    assert row.work_chord < row.work_plain
+    assert row.work_rccjava < row.work_plain
+
+
+def test_table1_barrier_split_in_work_counters():
+    (row,) = bench_table1(scale="tiny", names=["moldyn"])
+    # Chord leaves the barrier arrays checked; RccJava removes them.
+    assert row.work_rccjava < row.work_chord
+    assert row.work_chord > 0.5 * row.work_plain, (
+        "Chord should NOT have eliminated moldyn's main cost"
+    )
+
+
+def test_table2_rows():
+    rows = bench_table2(scale="tiny", names=["moldyn", "sor"])
+    by_name = {row.name: row for row in rows}
+    assert by_name["moldyn"].vars_checked_chord > 50
+    assert by_name["moldyn"].vars_checked_rccjava == 0
+    assert by_name["sor"].vars_checked_chord == 0
+
+
+def test_table3_rows_scale_with_threads():
+    rows = bench_table3(thread_counts=(5, 10), rounds=1)
+    assert [row.threads for row in rows] == [5, 10]
+    assert rows[1].accesses > rows[0].accesses
+    assert rows[1].transactions > rows[0].transactions
+    for row in rows:
+        assert row.slowdown == pytest.approx(
+            row.instrumented / row.uninstrumented
+        )
+
+
+def test_static_filters_are_cached_per_workload_call():
+    chord_filter, rcc_filter = static_filters(get("philo"))
+    assert not chord_filter.should_check("Fork", "uses")
+    assert not rcc_filter.should_check("Fork", "uses")
+
+
+def test_render_tables_produce_aligned_text():
+    rows1 = bench_table1(scale="tiny", names=["series"])
+    text1 = render_table1(rows1)
+    assert "series" in text1 and "Benchmark" in text1
+    rows2 = bench_table2(scale="tiny", names=["series"])
+    text2 = render_table2(rows2)
+    assert "Vars%" in text2
+    rows3 = bench_table3(thread_counts=(5,), rounds=1)
+    text3 = render_table3(rows3)
+    assert "#Threads" in text3 and "Slowdown" in text3
+    for text in (text1, text2, text3):
+        lines = text.splitlines()
+        assert len(lines) >= 3
+        assert len(lines[0]) == len(lines[1])  # underline matches header
+
+
+def test_bench_cli_main_runs_table_subsets(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["table1", "--scale", "tiny", "--workloads", "series"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "series" in out
+
+    assert main(["figures"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6" in out and "Figure 7" in out
+    assert "** RACE **" not in out
+
+
+def test_bench_cli_table3_threads_flag(capsys):
+    from repro.bench.__main__ import main
+
+    assert main(["table3", "--threads", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 3" in out
+    assert "       5 " in out

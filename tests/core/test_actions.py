@@ -1,0 +1,151 @@
+"""Unit tests for the action vocabulary."""
+
+import pickle
+
+import pytest
+
+from repro.core.actions import (
+    TL,
+    Acquire,
+    Alloc,
+    Commit,
+    DataVar,
+    Event,
+    Fork,
+    Join,
+    LockVar,
+    Obj,
+    Read,
+    Release,
+    Tid,
+    VolatileRead,
+    VolatileVar,
+    VolatileWrite,
+    Write,
+    accesses_of,
+    commit,
+    conflict,
+    element_sort_key,
+    is_data_access,
+    is_sync,
+)
+
+
+class TestIdentity:
+    def test_same_payload_different_kinds_are_distinct(self):
+        """The bug class that motivated dataclasses over NamedTuples."""
+        assert Tid(3) != Obj(3)
+        assert DataVar(Obj(1), "f") != VolatileVar(Obj(1), "f")
+        assert Read(DataVar(Obj(1), "f")) != Write(DataVar(Obj(1), "f"))
+        assert Acquire(Obj(1)) != Release(Obj(1))
+        assert Fork(Tid(1)) != Join(Tid(1))
+        assert LockVar(Obj(1)) != Obj(1)
+
+    def test_equal_values_are_equal_and_hash_equal(self):
+        assert Tid(5) == Tid(5)
+        assert hash(DataVar(Obj(2), "x")) == hash(DataVar(Obj(2), "x"))
+        s = {Tid(1), Tid(1), Obj(1)}
+        assert len(s) == 2
+
+    def test_tl_is_a_singleton_and_survives_pickle(self):
+        from repro.core.actions import _TransactionLock
+
+        assert _TransactionLock() is TL
+        assert pickle.loads(pickle.dumps(TL)) is TL
+
+    def test_mixed_lockset_membership(self):
+        elements = {Tid(1), LockVar(Obj(1)), VolatileVar(Obj(1), "v"),
+                    DataVar(Obj(1), "d"), TL}
+        assert len(elements) == 5
+        assert Tid(1) in elements
+        assert Obj(1) not in elements
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "action,sync,data",
+        [
+            (Acquire(Obj(1)), True, False),
+            (Release(Obj(1)), True, False),
+            (VolatileRead(VolatileVar(Obj(1), "v")), True, False),
+            (VolatileWrite(VolatileVar(Obj(1), "v")), True, False),
+            (Fork(Tid(2)), True, False),
+            (Join(Tid(2)), True, False),
+            (commit(), True, False),
+            (Read(DataVar(Obj(1), "d")), False, True),
+            (Write(DataVar(Obj(1), "d")), False, True),
+            (Alloc(Obj(1)), False, False),
+        ],
+    )
+    def test_is_sync_and_is_data(self, action, sync, data):
+        assert is_sync(action) is sync
+        assert is_data_access(action) is data
+
+
+class TestCommit:
+    def test_footprint_is_union(self):
+        a, b, c = (DataVar(Obj(1), f) for f in "abc")
+        txn = commit(reads=[a, b], writes=[b, c])
+        assert txn.footprint == {a, b, c}
+        assert txn.reads == {a, b}
+        assert txn.writes == {b, c}
+
+    def test_accesses_of(self):
+        var = DataVar(Obj(1), "x")
+        assert accesses_of(Read(var)) == {var}
+        assert accesses_of(Write(var)) == {var}
+        assert accesses_of(commit(reads=[var])) == {var}
+        assert accesses_of(Acquire(Obj(1))) == frozenset()
+
+
+class TestConflict:
+    var = DataVar(Obj(1), "x")
+    other = DataVar(Obj(2), "y")
+
+    def test_write_write_and_write_read(self):
+        assert conflict(Write(self.var), Write(self.var)) == {self.var}
+        assert conflict(Write(self.var), Read(self.var)) == {self.var}
+        assert conflict(Read(self.var), Write(self.var)) == {self.var}
+
+    def test_read_read_does_not_conflict(self):
+        assert conflict(Read(self.var), Read(self.var)) == frozenset()
+
+    def test_different_variables_do_not_conflict(self):
+        assert conflict(Write(self.var), Write(self.other)) == frozenset()
+
+    def test_write_vs_commit_footprint(self):
+        txn = commit(reads=[self.var])
+        assert conflict(Write(self.var), txn) == {self.var}
+        assert conflict(txn, Write(self.var)) == {self.var}
+
+    def test_read_vs_commit_only_on_commit_writes(self):
+        reading_txn = commit(reads=[self.var])
+        writing_txn = commit(writes=[self.var])
+        assert conflict(Read(self.var), reading_txn) == frozenset()
+        assert conflict(Read(self.var), writing_txn) == {self.var}
+
+    def test_commit_commit_never_conflicts(self):
+        t1 = commit(writes=[self.var])
+        t2 = commit(writes=[self.var])
+        assert conflict(t1, t2) == frozenset()
+
+
+def test_element_sort_key_total_order():
+    elements = [
+        TL,
+        Tid(2),
+        Tid(1),
+        LockVar(Obj(3)),
+        VolatileVar(Obj(1), "v"),
+        DataVar(Obj(1), "d"),
+    ]
+    ordered = sorted(elements, key=element_sort_key)
+    assert ordered[0] == Tid(1)
+    assert ordered[1] == Tid(2)
+    assert ordered[-1] is TL
+
+
+def test_event_repr_mentions_thread_and_action():
+    event = Event(Tid(7), 3, Read(DataVar(Obj(1), "x")))
+    text = repr(event)
+    assert "T7" in text and "read" in text and "#3" in text

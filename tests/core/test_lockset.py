@@ -1,0 +1,67 @@
+"""Unit tests for the Lockset container."""
+
+from repro.core import TL, Lockset
+from repro.core.actions import DataVar, LockVar, Obj, Tid, VolatileVar
+
+
+def test_basic_set_protocol():
+    ls = Lockset([Tid(1)])
+    assert Tid(1) in ls
+    assert len(ls) == 1
+    assert ls
+    assert not Lockset()
+    ls.add(TL)
+    assert ls.transactional()
+    assert set(ls) == {Tid(1), TL}
+
+
+def test_equality_with_locksets_and_plain_sets():
+    assert Lockset([Tid(1)]) == Lockset([Tid(1)])
+    assert Lockset([Tid(1)]) == {Tid(1)}
+    assert Lockset([Tid(1)]) != Lockset([Tid(2)])
+
+
+def test_reset_update_clear():
+    ls = Lockset([Tid(1), TL])
+    ls.update([LockVar(Obj(1)), DataVar(Obj(2), "x")])
+    assert len(ls) == 4
+    ls.reset([Tid(2)])
+    assert ls == {Tid(2)}
+    ls.clear()
+    assert not ls
+
+
+def test_copy_is_independent():
+    original = Lockset([Tid(1)])
+    duplicate = original.copy()
+    duplicate.add(Tid(2))
+    assert Tid(2) not in original
+
+
+def test_intersects_both_directions():
+    small = Lockset([Tid(1)])
+    big = {Tid(1), Tid(2), Tid(3), TL}
+    assert small.intersects(big)
+    assert not small.intersects({Tid(9)})
+    large_ls = Lockset(big)
+    assert large_ls.intersects({Tid(3)})
+    assert not large_ls.intersects(set())
+
+
+def test_domain_queries():
+    lock1, lock2 = LockVar(Obj(5)), LockVar(Obj(2))
+    vol = VolatileVar(Obj(1), "flag")
+    data = DataVar(Obj(1), "x")
+    ls = Lockset([Tid(1), Tid(4), lock1, lock2, vol, data, TL])
+    assert ls.owns(Tid(1)) and not ls.owns(Tid(2))
+    assert ls.threads() == {Tid(1), Tid(4)}
+    assert ls.volatiles() == {vol}
+    assert ls.data_vars() == {data}
+    # any_lock is deterministic: the lowest-address lock.
+    assert ls.any_lock() == lock2
+    assert Lockset([Tid(1)]).any_lock() is None
+
+
+def test_repr_is_deterministic_and_sorted():
+    ls = Lockset([TL, Tid(2), Tid(1), LockVar(Obj(3))])
+    assert repr(ls) == "{T1, T2, o3.l, TL}"

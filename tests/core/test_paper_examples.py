@@ -1,0 +1,206 @@
+"""The paper's motivating examples (Section 2) as detector tests.
+
+Example 1 (ftp server) is exercised at the runtime level in
+``tests/runtime/test_ftpserver.py``; here we cover its trace skeleton plus
+Examples 2-4, including the orders in which races must and must not be
+reported.
+"""
+
+import pytest
+
+from repro.core import (
+    EagerGoldilocks,
+    EagerGoldilocksRW,
+    LazyGoldilocks,
+    Obj,
+    Tid,
+)
+from repro.core.actions import DataVar
+from repro.oracle import HappensBeforeOracle
+from repro.trace import TraceBuilder
+
+T1, T2 = Tid(1), Tid(2)
+
+ALL_DETECTORS = [EagerGoldilocks, EagerGoldilocksRW, LazyGoldilocks]
+
+
+def detectors():
+    return [cls() for cls in ALL_DETECTORS]
+
+
+class TestExample1Skeleton:
+    """The ftp-server race: close() nulls m_writer while run() reads it.
+
+    run() reads ``conn.m_writer`` repeatedly without holding the connection
+    lock; close() writes it after a synchronized block on the connection.
+    The synchronized block orders only what is inside it, so the write to
+    ``m_writer`` (outside it, line 9 of close()) races with run()'s read.
+    """
+
+    def build(self):
+        tb = TraceBuilder()
+        conn = Obj(1)
+        # run() thread services a command (reads a field close() leaves alone).
+        tb.read(T1, conn, "m_request")
+        # close() thread: synchronized check of the closed flag...
+        tb.acq(T2, conn)
+        tb.read(T2, conn, "m_isConnectionClosed")
+        tb.write(T2, conn, "m_isConnectionClosed")
+        tb.rel(T2, conn)
+        # ... then the unsynchronized nulling of the fields.
+        tb.write(T2, conn, "m_writer")
+        # run() reads m_writer again: this access completes the race.
+        tb.read(T1, conn, "m_writer")
+        return tb.build(), DataVar(conn, "m_writer")
+
+    @pytest.mark.parametrize("detector_cls", ALL_DETECTORS)
+    def test_race_reported_at_the_reader(self, detector_cls):
+        events, m_writer = self.build()
+        reports = detector_cls().process_all(events)
+        race_vars = {r.var for r in reports}
+        assert m_writer in race_vars
+        # The race must be flagged at the read that is about to go wrong:
+        # thread T1's second read of m_writer (program-order index 1).
+        report = next(r for r in reports if r.var == m_writer)
+        assert report.second.tid == T1
+        assert report.second.kind == "read"
+
+    def test_oracle_agrees(self):
+        events, m_writer = self.build()
+        assert m_writer in HappensBeforeOracle(events).racy_vars()
+
+
+class TestExample4BankAccounts:
+    """Example 4: a transaction and a synchronized method race on checking.bal.
+
+    Thread 1 transfers money inside an ``atomic`` transaction; Thread 2
+    withdraws under the object lock.  The transaction implementation's
+    internal synchronization is invisible -- the race must be reported in
+    both commit-first and lock-first orders.
+    """
+
+    def build(self, txn_first: bool):
+        tb = TraceBuilder()
+        savings, checking = Obj(1), Obj(2)
+        savings_bal = DataVar(savings, "bal")
+        checking_bal = DataVar(checking, "bal")
+
+        def txn():
+            tb.commit(
+                T1,
+                reads=[savings_bal, checking_bal],
+                writes=[savings_bal, checking_bal],
+            )
+
+        def locked_withdraw():
+            tb.acq(T2, checking)
+            tb.read(T2, checking, "bal")
+            tb.write(T2, checking, "bal")
+            tb.rel(T2, checking)
+
+        if txn_first:
+            txn()
+            locked_withdraw()
+        else:
+            locked_withdraw()
+            txn()
+        return tb.build(), checking_bal, savings_bal
+
+    @pytest.mark.parametrize("txn_first", [True, False])
+    @pytest.mark.parametrize("detector_cls", ALL_DETECTORS)
+    def test_race_on_checking_bal(self, detector_cls, txn_first):
+        events, checking_bal, savings_bal = self.build(txn_first)
+        reports = detector_cls().process_all(events)
+        assert checking_bal in {r.var for r in reports}
+        # savings.bal is only ever touched by the transaction: no race.
+        assert savings_bal not in {r.var for r in reports}
+
+    @pytest.mark.parametrize("txn_first", [True, False])
+    def test_oracle_agrees(self, txn_first):
+        events, checking_bal, savings_bal = self.build(txn_first)
+        racy = HappensBeforeOracle(events).racy_vars()
+        assert checking_bal in racy
+        assert savings_bal not in racy
+
+
+class TestTransactionsOnlySynchronizeWhenFootprintsIntersect:
+    """Two transactions over disjoint variables do not synchronize.
+
+    A variable handed from one thread to another "through" two disjoint
+    transactions stays unordered, so a subsequent plain access must race.
+    """
+
+    def test_disjoint_commits_do_not_order_accesses(self):
+        tb = TraceBuilder()
+        o, p, q = Obj(1), Obj(2), Obj(3)
+        tb.write(T1, o, "data")
+        tb.commit(T1, writes=[DataVar(p, "x")])
+        tb.commit(T2, writes=[DataVar(q, "y")])   # disjoint from T1's commit
+        tb.write(T2, o, "data")
+        events = tb.build()
+        for detector in detectors():
+            reports = detector.process_all(events)
+            assert DataVar(o, "data") in {r.var for r in reports}, detector.name
+        assert DataVar(o, "data") in HappensBeforeOracle(events).racy_vars()
+
+    def test_intersecting_commits_do_order_accesses(self):
+        tb = TraceBuilder()
+        o, p = Obj(1), Obj(2)
+        shared = DataVar(p, "x")
+        tb.write(T1, o, "data")
+        tb.commit(T1, writes=[shared])
+        tb.commit(T2, reads=[shared])
+        tb.write(T2, o, "data")
+        events = tb.build()
+        for detector in detectors():
+            assert detector.process_all(events) == [], detector.name
+        assert HappensBeforeOracle(events).racy_vars() == set()
+
+
+class TestReadWriteDistinction:
+    """Concurrent reads are race-free for the RW variants but not checked apart
+
+    by the original Figure 5 rules, which treat every access pair as
+    conflicting -- the paper generalized the algorithm precisely for this.
+    """
+
+    def build_concurrent_readers(self):
+        tb = TraceBuilder()
+        o, m = Obj(1), Obj(2)
+        # An initializing write, properly published via lock m to both readers.
+        tb.write(T1, o, "data")
+        tb.acq(T1, m)
+        tb.rel(T1, m)
+        tb.acq(T2, m)
+        tb.rel(T2, m)
+        tb.acq(Tid(3), m)
+        tb.rel(Tid(3), m)
+        # Both threads read concurrently with no further synchronization.
+        tb.read(T2, o, "data")
+        tb.read(Tid(3), o, "data")
+        return tb.build(), DataVar(o, "data")
+
+    def test_rw_variants_accept_concurrent_readers(self):
+        events, var = self.build_concurrent_readers()
+        for detector in (EagerGoldilocksRW(), LazyGoldilocks()):
+            assert detector.process_all(events) == [], detector.name
+
+    def test_original_rules_flag_read_read_pairs(self):
+        """Documented conservatism of Figure 5: the second read is flagged."""
+        events, var = self.build_concurrent_readers()
+        reports = EagerGoldilocks().process_all(events)
+        assert var in {r.var for r in reports}
+
+    def test_oracle_says_reads_do_not_race(self):
+        events, _ = self.build_concurrent_readers()
+        assert HappensBeforeOracle(events).racy_vars() == set()
+
+    def test_unordered_write_after_read_races(self):
+        tb = TraceBuilder()
+        o = Obj(1)
+        tb.read(T1, o, "data")
+        tb.write(T2, o, "data")
+        events = tb.build()
+        for detector in detectors():
+            reports = detector.process_all(events)
+            assert DataVar(o, "data") in {r.var for r in reports}, detector.name

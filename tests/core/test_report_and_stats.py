@@ -1,0 +1,95 @@
+"""Unit tests for race reports, the first-race policy, and detector stats."""
+
+from repro.core import AccessRef, DetectorStats, FirstRacePolicy, RaceReport
+from repro.core.actions import DataVar, Obj, Tid
+
+
+def make_report(field="x", obj=1):
+    return RaceReport(
+        var=DataVar(Obj(obj), field),
+        first=AccessRef(Tid(1), 0, "write"),
+        second=AccessRef(Tid(2), 3, "read"),
+        detector="test",
+    )
+
+
+class TestRaceReport:
+    def test_str_mentions_both_sides(self):
+        text = str(make_report())
+        assert "write by T1" in text
+        assert "read by T2" in text
+        assert "o1.x" in text
+
+    def test_str_without_first_access(self):
+        report = RaceReport(
+            var=DataVar(Obj(1), "x"),
+            first=None,
+            second=AccessRef(Tid(2), 0, "write"),
+        )
+        assert "unordered" not in str(report)
+
+    def test_transactional_access_is_annotated(self):
+        ref = AccessRef(Tid(1), 0, "write", xact=True)
+        assert "in txn" in repr(ref)
+        assert "in txn" not in repr(AccessRef(Tid(1), 0, "commit"))
+
+
+class TestFirstRacePolicy:
+    def test_scalar_field_disables_only_that_variable(self):
+        policy = FirstRacePolicy()
+        report = make_report("x")
+        assert policy.should_check(report.var)
+        policy.record(report)
+        assert not policy.should_check(report.var)
+        assert policy.should_check(DataVar(Obj(1), "y"))
+        assert policy.race_count == 1
+        assert policy.raced_vars() == {report.var}
+
+    def test_array_element_disables_the_whole_array(self):
+        policy = FirstRacePolicy()
+        element = RaceReport(
+            var=DataVar(Obj(5), "[3]"),
+            first=None,
+            second=AccessRef(Tid(1), 0, "write"),
+        )
+        policy.record(element)
+        assert not policy.should_check(DataVar(Obj(5), "[0]"))
+        assert not policy.should_check(DataVar(Obj(5), "[9]"))
+        assert policy.should_check(DataVar(Obj(6), "[3]"))
+
+    def test_whole_object_flag(self):
+        policy = FirstRacePolicy()
+        policy.record(make_report("x", obj=7), whole_object=True)
+        assert not policy.should_check(DataVar(Obj(7), "anything"))
+
+
+class TestDetectorStats:
+    def test_short_circuit_accounting(self):
+        stats = DetectorStats(
+            sc_same_thread=5,
+            sc_alock=3,
+            sc_xact=2,
+            sc_thread_restricted=1,
+            sc_fresh=4,
+            full_lockset_computations=5,
+        )
+        assert stats.hb_queries == 20
+        assert stats.short_circuit_hits == 15
+        assert stats.short_circuit_rate == 0.75
+
+    def test_empty_stats_report_perfect_rate(self):
+        assert DetectorStats().short_circuit_rate == 1.0
+
+    def test_merge_accumulates_every_counter(self):
+        a = DetectorStats(accesses_checked=3, races=1, cells_traversed=10)
+        b = DetectorStats(accesses_checked=2, races=0, cells_traversed=5)
+        a.merge(b)
+        assert a.accesses_checked == 5
+        assert a.races == 1
+        assert a.cells_traversed == 15
+
+    def test_as_dict_round_trips_all_fields(self):
+        stats = DetectorStats(accesses_checked=1, sync_events=2)
+        snapshot = stats.as_dict()
+        rebuilt = DetectorStats(**snapshot)
+        assert rebuilt.as_dict() == snapshot

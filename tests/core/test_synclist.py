@@ -1,0 +1,83 @@
+"""Unit tests for the synchronization-event list."""
+
+import pytest
+
+from repro.core import SyncEventList
+from repro.core.actions import Acquire, Obj, Release, Tid
+
+
+def test_tail_is_always_an_empty_cell():
+    events = SyncEventList()
+    assert not events.tail.filled
+    cell = events.enqueue(Tid(1), Acquire(Obj(1)))
+    assert cell.filled
+    assert not events.tail.filled
+    assert cell.next is events.tail
+
+
+def test_length_and_counters():
+    events = SyncEventList()
+    for i in range(5):
+        events.enqueue(Tid(1), Acquire(Obj(i)))
+    assert len(events) == 5
+    assert events.total_enqueued == 5
+    assert events.total_collected == 0
+
+
+def test_events_from_iterates_filled_cells_only():
+    events = SyncEventList()
+    first = events.enqueue(Tid(1), Acquire(Obj(1)))
+    events.enqueue(Tid(1), Release(Obj(1)))
+    cells = list(events.events_from(first))
+    assert len(cells) == 2
+    assert cells[0] is first
+    assert list(events.events_from(events.tail)) == []
+
+
+def test_refcounts_guard_collection():
+    events = SyncEventList()
+    cells = [events.enqueue(Tid(1), Acquire(Obj(i))) for i in range(4)]
+    events.incref(cells[2])
+    collected = events.collect_prefix()
+    assert collected == 2          # cells 0 and 1 reclaimed
+    assert events.head is cells[2]
+    assert len(events) == 2
+    # Releasing the pin lets the rest go.
+    events.decref(cells[2])
+    assert events.collect_prefix() == 2
+    assert len(events) == 0
+    assert events.head is events.tail
+
+
+def test_collect_stops_at_first_pinned_cell_even_with_free_cells_behind():
+    events = SyncEventList()
+    cells = [events.enqueue(Tid(1), Acquire(Obj(i))) for i in range(3)]
+    events.incref(cells[0])       # pin the very first cell
+    assert events.collect_prefix() == 0
+    assert events.head is cells[0]
+
+
+def test_decref_underflow_is_an_error():
+    events = SyncEventList()
+    cell = events.enqueue(Tid(1), Acquire(Obj(1)))
+    with pytest.raises(AssertionError):
+        events.decref(cell)
+
+
+def test_prefix_cells_and_cell_at():
+    events = SyncEventList()
+    cells = [events.enqueue(Tid(1), Acquire(Obj(i))) for i in range(5)]
+    assert events.prefix_cells(3) == cells[:3]
+    assert events.prefix_cells(99) == cells
+    assert events.cell_at(0) is cells[0]
+    assert events.cell_at(4) is cells[4]
+    assert events.cell_at(5) is events.tail
+    assert events.cell_at(50) is events.tail
+
+
+def test_collected_cells_have_snapped_links():
+    events = SyncEventList()
+    first = events.enqueue(Tid(1), Acquire(Obj(1)))
+    events.enqueue(Tid(1), Release(Obj(1)))
+    events.collect_prefix()
+    assert first.next is None, "stale pointers into collected cells must fail loudly"

@@ -1,0 +1,68 @@
+"""Unit tests for the TeeDetector."""
+
+import pytest
+
+from repro.core import EagerGoldilocksRW, LazyGoldilocks, Obj, TeeDetector, Tid
+from repro.trace import TraceBuilder, TraceRecorder
+
+
+def racy_trace():
+    tb = TraceBuilder()
+    o = Obj(1)
+    tb.write(Tid(1), o, "x")
+    tb.write(Tid(2), o, "x")
+    return tb.build()
+
+
+def test_primary_reports_are_returned():
+    tee = TeeDetector(LazyGoldilocks(), TraceRecorder())
+    reports = tee.process_all(racy_trace())
+    assert len(reports) == 1
+    assert reports[0].detector == "goldilocks"
+
+
+def test_observers_see_every_event():
+    recorder = TraceRecorder()
+    tee = TeeDetector(LazyGoldilocks(), recorder)
+    events = racy_trace()
+    tee.process_all(events)
+    assert recorder.events == events
+
+
+def test_stats_are_the_primarys():
+    primary = LazyGoldilocks()
+    tee = TeeDetector(primary, TraceRecorder())
+    tee.process_all(racy_trace())
+    assert tee.stats is primary.stats
+    assert tee.stats.races == 1
+
+
+def test_suppression_flag_propagates_to_all_children():
+    primary, secondary = LazyGoldilocks(), EagerGoldilocksRW()
+    tee = TeeDetector(primary, secondary)
+    tee.suppress_racy_updates = True
+    assert primary.suppress_racy_updates
+    assert secondary.suppress_racy_updates
+    assert tee.suppress_racy_updates
+
+
+def test_two_detectors_agree_through_a_tee():
+    primary, secondary = LazyGoldilocks(), EagerGoldilocksRW()
+    tee = TeeDetector(primary, secondary)
+    tee.process_all(racy_trace())
+    assert primary.stats.races == secondary.stats.races == 1
+
+
+def test_empty_tee_is_rejected():
+    with pytest.raises(ValueError):
+        TeeDetector()
+
+
+def test_reset_resets_all_children():
+    primary = LazyGoldilocks()
+    recorder = TraceRecorder()
+    tee = TeeDetector(primary, recorder)
+    tee.process_all(racy_trace())
+    tee.reset()
+    assert tee.children[0].stats.races == 0
+    assert tee.children[1].events == []

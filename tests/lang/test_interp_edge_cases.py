@@ -1,0 +1,211 @@
+"""Edge cases of MiniLang semantics."""
+
+import pytest
+
+from repro.core import LazyGoldilocks, TransactionError
+from repro.lang import parse, run_program
+from repro.lang.interp import MiniLangError
+from repro.runtime import RoundRobinScheduler
+
+
+def run(source, **kwargs):
+    kwargs.setdefault("detector", LazyGoldilocks())
+    kwargs.setdefault("scheduler", RoundRobinScheduler())
+    return run_program(parse(source), **kwargs)
+
+
+class TestControlFlow:
+    def test_break_and_continue(self):
+        result = run(
+            """
+            def main() {
+                var total = 0;
+                for (var i = 0; i < 10; i = i + 1) {
+                    if (i % 2 == 0) { continue; }
+                    if (i > 6) { break; }
+                    total = total + i;
+                }
+                return total;
+            }
+            """
+        )
+        assert result.main_result == 1 + 3 + 5
+
+    def test_while_with_break(self):
+        result = run(
+            """
+            def main() {
+                var i = 0;
+                while (true) {
+                    i = i + 1;
+                    if (i == 7) { break; }
+                }
+                return i;
+            }
+            """
+        )
+        assert result.main_result == 7
+
+    def test_nested_loops_break_only_inner(self):
+        result = run(
+            """
+            def main() {
+                var count = 0;
+                for (var i = 0; i < 3; i = i + 1) {
+                    for (var j = 0; j < 10; j = j + 1) {
+                        if (j == 2) { break; }
+                        count = count + 1;
+                    }
+                }
+                return count;
+            }
+            """
+        )
+        assert result.main_result == 6
+
+    def test_short_circuit_evaluation_guards_side_conditions(self):
+        result = run(
+            """
+            class Probe { int hits; }
+            def bump(p) { p.hits = p.hits + 1; return true; }
+            def main() {
+                var p = new Probe();
+                var a = false && bump(p);
+                var b = true || bump(p);
+                return p.hits;
+            }
+            """
+        )
+        assert result.main_result == 0
+
+
+class TestFunctionsAndMethods:
+    def test_mutual_recursion(self):
+        result = run(
+            """
+            def is_even(n) { if (n == 0) { return true; } return is_odd(n - 1); }
+            def is_odd(n) { if (n == 0) { return false; } return is_even(n - 1); }
+            def main() { return is_even(10) && is_odd(7); }
+            """
+        )
+        assert result.main_result is True
+
+    def test_methods_dispatch_on_runtime_class(self):
+        result = run(
+            """
+            class Square { int side; def area() { return this.side * this.side; } }
+            class Rect { int w; int h; def area() { return this.w * this.h; } }
+            def measure(shape) { return shape.area(); }
+            def main() {
+                var s = new Square();
+                s.side = 3;
+                var r = new Rect();
+                r.w = 2;
+                r.h = 5;
+                return measure(s) * 100 + measure(r);
+            }
+            """
+        )
+        assert result.main_result == 910
+
+    def test_constructor_arity_errors(self):
+        result = run(
+            "class A { int x; } def main() { var a = new A(1); return 0; }"
+        )
+        assert result.uncaught and isinstance(result.uncaught[0][1], MiniLangError)
+
+    def test_return_inside_sync_releases_the_monitor(self):
+        result = run(
+            """
+            class Box { int v; }
+            def peek(box, lock) { sync (lock) { return box.v; } }
+            def main() {
+                var lock = new Object();
+                var box = new Box();
+                box.v = 5;
+                var a = peek(box, lock);
+                var b = peek(box, lock);   // deadlocks if the lock leaked
+                return a + b;
+            }
+            """
+        )
+        assert result.main_result == 10
+        assert result.uncaught == []
+
+
+class TestTransactionsInMiniLang:
+    def test_function_calls_inside_atomic_stay_transactional(self):
+        result = run(
+            """
+            class Acc { int total; }
+            def add(acc, n) { acc.total = acc.total + n; }
+            def main() {
+                var acc = new Acc();
+                atomic { add(acc, 3); add(acc, 4); }
+                return acc.total;
+            }
+            """
+        )
+        assert result.main_result == 7
+        assert result.stm_commits == 1
+
+    def test_sync_inside_atomic_is_rejected(self):
+        result = run(
+            """
+            def main() {
+                var lock = new Object();
+                atomic { sync (lock) { } }
+                return 0;
+            }
+            """
+        )
+        assert result.uncaught and isinstance(result.uncaught[0][1], TransactionError)
+
+    def test_allocation_inside_atomic_is_rejected(self):
+        result = run("class A { int x; } def main() { atomic { var a = new A(); } return 0; }")
+        assert result.uncaught and isinstance(result.uncaught[0][1], TransactionError)
+
+    def test_atomic_array_sweep(self):
+        result = run(
+            """
+            def main() {
+                var a = new [6, 1];
+                var total = 0;
+                atomic {
+                    var i = 0;
+                    while (i < len(a)) {
+                        total = total + a[i];
+                        a[i] = a[i] * 2;
+                        i = i + 1;
+                    }
+                }
+                var check = 0;
+                atomic {
+                    var i = 0;
+                    while (i < len(a)) { check = check + a[i]; i = i + 1; }
+                }
+                return total * 100 + check;
+            }
+            """
+        )
+        assert result.main_result == 6 * 100 + 12
+
+
+class TestErrorsSurfaceInThreads:
+    def test_division_by_zero(self):
+        result = run("def main() { return 1 / 0; }")
+        assert result.uncaught and isinstance(result.uncaught[0][1], MiniLangError)
+
+    def test_array_index_out_of_bounds(self):
+        result = run("def main() { var a = new [2]; return a[5]; }")
+        assert result.uncaught and isinstance(result.uncaught[0][1], IndexError)
+
+    def test_calling_method_on_null(self):
+        result = run(
+            "class A { def f() { return 1; } } def main() { var a = null; return a.f(); }"
+        )
+        assert result.uncaught and isinstance(result.uncaught[0][1], MiniLangError)
+
+    def test_spawn_unknown_function(self):
+        result = run("def main() { var t = spawn nothere(); return 0; }")
+        assert result.uncaught and isinstance(result.uncaught[0][1], KeyError)

@@ -1,0 +1,86 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.lang.lexer import LexError, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "eof"]
+
+
+def test_keywords_identifiers_numbers():
+    assert kinds("var x = 42;") == [
+        ("kw", "var"),
+        ("ident", "x"),
+        ("sym", "="),
+        ("int", "42"),
+        ("sym", ";"),
+    ]
+
+
+def test_floats_and_scientific_notation():
+    assert kinds("1.5 2e3 4.2e-1 .5") == [
+        ("float", "1.5"),
+        ("float", "2e3"),
+        ("float", "4.2e-1"),
+        ("float", ".5"),
+    ]
+
+
+def test_two_char_symbols_win_over_one_char():
+    assert kinds("a<=b&&c==d||e!=f") == [
+        ("ident", "a"),
+        ("sym", "<="),
+        ("ident", "b"),
+        ("sym", "&&"),
+        ("ident", "c"),
+        ("sym", "=="),
+        ("ident", "d"),
+        ("sym", "||"),
+        ("ident", "e"),
+        ("sym", "!="),
+        ("ident", "f"),
+    ]
+
+
+def test_line_numbers_are_tracked():
+    tokens = tokenize("a\nb\n\nc")
+    lines = {t.text: t.line for t in tokens if t.kind == "ident"}
+    assert lines == {"a": 1, "b": 2, "c": 4}
+
+
+def test_comments_are_skipped_but_annotations_kept():
+    source = """
+    // plain comment
+    //@ field Account.bal: guarded_by(this)
+    /* block
+       comment */
+    var x = 1;
+    """
+    tokens = tokenize(source)
+    annotations = [t for t in tokens if t.kind == "annotation"]
+    assert len(annotations) == 1
+    assert annotations[0].text == "field Account.bal: guarded_by(this)"
+    assert any(t.kind == "kw" and t.text == "var" for t in tokens)
+
+
+def test_string_literals_with_escapes():
+    tokens = tokenize('"hello\\nworld"')
+    assert tokens[0].kind == "string"
+    assert tokens[0].text == "hello\nworld"
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(LexError):
+        tokenize('"oops')
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(LexError):
+        tokenize("/* never ends")
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(LexError):
+        tokenize("a @ b")

@@ -1,0 +1,164 @@
+"""Parser tests: structure, precedence, positions, and error reporting."""
+
+import pytest
+
+from repro.lang import ast, parse
+from repro.lang.parser import ParseError
+
+
+def test_class_with_fields_methods_and_volatile():
+    program = parse(
+        """
+        class Account {
+            int bal;
+            volatile bool closed;
+            Foo next;
+            synchronized def withdraw(amt) {
+                this.bal = this.bal - amt;
+            }
+            def peek() { return this.bal; }
+        }
+        """
+    )
+    account = program.cls("Account")
+    assert account.field_names() == ["bal", "closed", "next"]
+    assert account.volatile_names() == ("closed",)
+    assert account.fields[0].type_name == "int"
+    assert account.fields[0].default_value() == 0
+    assert account.fields[2].default_value() is None
+    withdraw = account.method("withdraw")
+    assert withdraw.synchronized
+    assert withdraw.params == ["amt"]
+    assert not account.method("peek").synchronized
+    assert account.method("missing") is None
+
+
+def test_operator_precedence():
+    program = parse("def main() { var x = 1 + 2 * 3 < 7 && true; }")
+    decl = program.func("main").body[0]
+    assert isinstance(decl, ast.VarDecl)
+    top = decl.init
+    assert isinstance(top, ast.Binary) and top.op == "&&"
+    cmp_node = top.left
+    assert isinstance(cmp_node, ast.Binary) and cmp_node.op == "<"
+    add = cmp_node.left
+    assert isinstance(add, ast.Binary) and add.op == "+"
+    mul = add.right
+    assert isinstance(mul, ast.Binary) and mul.op == "*"
+
+
+def test_postfix_chains():
+    program = parse("def main(o) { var v = o.next.items[3].count; }")
+    init = program.func("main").body[0].init
+    assert isinstance(init, ast.FieldGet) and init.field_name == "count"
+    index = init.target
+    assert isinstance(index, ast.Index)
+    items = index.array
+    assert isinstance(items, ast.FieldGet) and items.field_name == "items"
+
+
+def test_concurrency_statements():
+    program = parse(
+        """
+        def worker(shared, lock, b) {
+            sync (lock) { shared.n = shared.n + 1; }
+            atomic { shared.m = shared.m + 1; }
+            barrier(b);
+            wait(lock);
+            notify(lock);
+            notifyall(lock);
+        }
+        def main() {
+            var b = new_barrier(2);
+            var lock = new Object();
+            var shared = new Object();
+            var t = spawn worker(shared, lock, b);
+            join t;
+        }
+        """
+    )
+    worker = program.func("worker")
+    assert isinstance(worker.body[0], ast.SyncBlock)
+    assert isinstance(worker.body[1], ast.AtomicBlock)
+    assert isinstance(worker.body[2], ast.BarrierStmt)
+    assert isinstance(worker.body[3], ast.WaitStmt)
+    assert isinstance(worker.body[4], ast.NotifyStmt) and not worker.body[4].all_waiters
+    assert isinstance(worker.body[5], ast.NotifyStmt) and worker.body[5].all_waiters
+    main = program.func("main")
+    spawn = main.body[3].init
+    assert isinstance(spawn, ast.SpawnExpr) and spawn.func == "worker"
+    assert isinstance(main.body[4], ast.JoinStmt)
+
+
+def test_for_loop_and_new_array():
+    program = parse(
+        """
+        def main() {
+            var a = new [10, 1.5];
+            for (var i = 0; i < len(a); i = i + 1) { a[i] = i; }
+        }
+        """
+    )
+    body = program.func("main").body
+    arr = body[0].init
+    assert isinstance(arr, ast.NewArrayExpr) and arr.fill is not None
+    loop = body[1]
+    assert isinstance(loop, ast.For) and loop.var == "i"
+
+
+def test_else_if_chains():
+    program = parse(
+        """
+        def f(x) {
+            if (x < 0) { return -1; }
+            else if (x == 0) { return 0; }
+            else { return 1; }
+        }
+        """
+    )
+    outer = program.func("f").body[0]
+    assert isinstance(outer, ast.If)
+    inner = outer.else_body[0]
+    assert isinstance(inner, ast.If)
+    assert inner.else_body != []
+
+
+def test_annotations_are_collected():
+    program = parse(
+        """
+        //@ field Grid.cells[]: barrier_owned(me)
+        //@ field Account.bal: guarded_by(this)
+        class Account { int bal; }
+        """
+    )
+    assert len(program.annotations) == 2
+    first = program.annotations[0]
+    assert (first.class_name, first.field_name, first.key, first.arg) == (
+        "Grid",
+        "cells[]",
+        "barrier_owned",
+        "me",
+    )
+
+
+def test_source_lines_recorded_for_accesses():
+    program = parse("def main(o) {\n\n  o.x = 1;\n}")
+    assign = program.func("main").body[0]
+    assert assign.line == 3
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "def main() { 1 + ; }",
+        "def main() { x = 1; }  def main() { }",   # duplicate function
+        "class A { } class A { }",
+        "def main() { 3 = x; }",
+        "def f() { for (var i = 0; i < 3; j = j + 1) {} }",  # wrong update var
+        "def f() { if x { } }",
+        "//@ not a valid annotation",
+    ],
+)
+def test_parse_errors(bad):
+    with pytest.raises(ParseError):
+        parse(bad)

@@ -1,0 +1,93 @@
+"""Unparser round-trip properties."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lang import parse
+from repro.lang.unparse import unparse, unparse_expr
+from repro.workloads import all_workloads
+
+from tests.property.test_minilang_fuzz import generate_program
+
+
+def normalize(source: str, name: str = "<t>") -> str:
+    return unparse(parse(source, source_name=name))
+
+
+def test_unparse_is_a_fixpoint_on_workloads():
+    for workload in all_workloads():
+        once = unparse(workload.program())
+        twice = normalize(once, workload.name)
+        assert once == twice, workload.name
+
+
+def test_reparsed_workloads_behave_identically():
+    """The round-tripped source runs to the same result and race verdicts."""
+    from repro.core import LazyGoldilocks
+    from repro.lang import run_program
+    from repro.runtime import StridedScheduler
+    from repro.workloads import get
+
+    for name in ("philo", "tsp", "sor2"):
+        workload = get(name)
+        original = run_program(
+            workload.program(),
+            detector=LazyGoldilocks(),
+            race_policy="disable",
+            main_args=workload.args("tiny"),
+            scheduler=StridedScheduler(stride=8),
+        )
+        reparsed_program = parse(unparse(workload.program()), source_name=name)
+        reparsed = run_program(
+            reparsed_program,
+            detector=LazyGoldilocks(),
+            race_policy="disable",
+            main_args=workload.args("tiny"),
+            scheduler=StridedScheduler(stride=8),
+        )
+        assert original.main_result == reparsed.main_result, name
+        assert len(original.races) == len(reparsed.races), name
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**9))
+def test_unparse_fixpoint_on_fuzzed_programs(seed):
+    source = generate_program(seed)
+    once = normalize(source)
+    twice = normalize(once)
+    assert once == twice
+
+
+@pytest.mark.parametrize(
+    "expr,expected",
+    [
+        ("1 + 2 * 3", "1 + 2 * 3"),
+        ("(1 + 2) * 3", "(1 + 2) * 3"),
+        ("1 - (2 - 3)", "1 - (2 - 3)"),
+        ("1 - 2 - 3", "1 - 2 - 3"),
+        ("-(a + b)", "-(a + b)"),
+        ("!(a && b) || c", "!(a && b) || c"),
+        ("a.b[c + 1].d", "a.b[c + 1].d"),
+        ('x == "hi\\n"', 'x == "hi\\n"'),
+        ("a / b % c", "a / b % c"),
+        ("a / (b % c)", "a / (b % c)"),
+    ],
+)
+def test_precedence_aware_parenthesization(expr, expected):
+    program = parse(f"def f(a, b, c, x) {{ var v = {expr}; }}")
+    rendered = unparse_expr(program.func("f").body[0].init)
+    assert rendered == expected
+
+
+def test_annotations_and_volatile_fields_survive():
+    source = (
+        "//@ field main.grid[]: barrier_owned(i)\n"
+        "class F { volatile bool ready; int int_field; Foo untyped; }\n"
+        "def main() { return 0; }\n"
+    )
+    once = normalize(source)
+    assert "//@ field main.grid[]: barrier_owned(i)" in once
+    assert "volatile bool ready;" in once
+    program = parse(once)
+    assert program.annotations[0].key == "barrier_owned"
+    assert program.cls("F").volatile_names() == ("ready",)

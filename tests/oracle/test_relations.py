@@ -1,0 +1,176 @@
+"""Unit tests for the happens-before oracle on hand-computed cases."""
+
+import pytest
+
+from repro.core.actions import DataVar, Obj, Tid
+from repro.oracle import HappensBeforeOracle
+from repro.trace import TraceBuilder
+
+T1, T2, T3 = Tid(1), Tid(2), Tid(3)
+
+
+def oracle_of(tb):
+    return HappensBeforeOracle(tb.build())
+
+
+class TestProgramOrder:
+    def test_same_thread_events_are_ordered(self):
+        tb = TraceBuilder()
+        tb.write(T1, Obj(1), "x").read(T1, Obj(1), "x").write(T1, Obj(1), "x")
+        oracle = oracle_of(tb)
+        assert oracle.happens_before(0, 1)
+        assert oracle.happens_before(0, 2)
+        assert oracle.happens_before(1, 2)
+        assert not oracle.happens_before(2, 0)
+        assert not oracle.happens_before(1, 1)
+
+    def test_different_threads_without_sync_are_unordered(self):
+        tb = TraceBuilder()
+        tb.write(T1, Obj(1), "x").write(T2, Obj(1), "x")
+        oracle = oracle_of(tb)
+        assert not oracle.ordered(0, 1)
+
+
+class TestLockEdges:
+    def test_release_orders_every_later_acquire(self):
+        """Not just the next one: rel(T1) must reach T3's acquire too."""
+        tb = TraceBuilder()
+        m = Obj(9)
+        tb.write(T1, Obj(1), "x")   # 0
+        tb.acq(T1, m).rel(T1, m)    # 1, 2
+        tb.acq(T2, m).rel(T2, m)    # 3, 4
+        tb.acq(T3, m)               # 5
+        tb.write(T3, Obj(1), "x")   # 6
+        oracle = oracle_of(tb)
+        assert oracle.happens_before(2, 3)
+        assert oracle.happens_before(2, 5), "rel must order later acquires too"
+        assert oracle.happens_before(0, 6)
+        assert oracle.racy_vars() == set()
+
+    def test_acquire_does_not_order_backwards(self):
+        tb = TraceBuilder()
+        m = Obj(9)
+        tb.acq(T1, m).rel(T1, m)
+        tb.acq(T2, m).rel(T2, m)
+        oracle = oracle_of(tb)
+        assert not oracle.happens_before(2, 0)
+
+
+class TestVolatileEdges:
+    def test_every_write_orders_every_later_read(self):
+        tb = TraceBuilder()
+        f = Obj(3)
+        tb.vwrite(T1, f, "flag")    # 0
+        tb.vwrite(T2, f, "flag")    # 1
+        tb.vread(T3, f, "flag")     # 2
+        oracle = oracle_of(tb)
+        assert oracle.happens_before(0, 2), "the EARLIER write also synchronizes"
+        assert oracle.happens_before(1, 2)
+        assert not oracle.ordered(0, 1), "writes do not synchronize with writes"
+
+    def test_read_does_not_order_later_writes(self):
+        tb = TraceBuilder()
+        f = Obj(3)
+        tb.vread(T1, f, "flag")
+        tb.vwrite(T2, f, "flag")
+        oracle = oracle_of(tb)
+        assert not oracle.ordered(0, 1)
+
+
+class TestForkJoin:
+    def test_fork_orders_parent_prefix_below_child(self):
+        tb = TraceBuilder()
+        tb.write(T1, Obj(1), "x")   # 0
+        tb.fork(T1, T2)             # 1
+        tb.write(T2, Obj(1), "x")   # 2
+        tb.write(T1, Obj(2), "y")   # 3: after fork, unordered with child
+        oracle = oracle_of(tb)
+        assert oracle.happens_before(0, 2)
+        assert oracle.happens_before(1, 2)
+        assert not oracle.ordered(2, 3)
+
+    def test_join_orders_child_below_parent_suffix(self):
+        tb = TraceBuilder()
+        tb.fork(T1, T2)             # 0
+        tb.write(T2, Obj(1), "x")   # 1
+        tb.join(T1, T2)             # 2
+        tb.write(T1, Obj(1), "x")   # 3
+        oracle = oracle_of(tb)
+        assert oracle.happens_before(1, 3)
+        assert oracle.racy_vars() == set()
+
+
+class TestCommitEdges:
+    def test_intersecting_footprints_synchronize_transitively(self):
+        tb = TraceBuilder()
+        a = DataVar(Obj(1), "a")
+        b = DataVar(Obj(1), "b")
+        tb.commit(T1, writes=[a])            # 0
+        tb.commit(T2, reads=[a], writes=[b])  # 1
+        tb.commit(T3, reads=[b])             # 2
+        oracle = oracle_of(tb)
+        assert oracle.happens_before(0, 1)
+        assert oracle.happens_before(1, 2)
+        assert oracle.happens_before(0, 2), "esw is transitively closed"
+
+    def test_disjoint_footprints_do_not_synchronize(self):
+        tb = TraceBuilder()
+        tb.commit(T1, writes=[DataVar(Obj(1), "a")])
+        tb.commit(T2, writes=[DataVar(Obj(2), "b")])
+        oracle = oracle_of(tb)
+        assert not oracle.ordered(0, 1)
+
+    def test_empty_footprint_commits_are_isolated(self):
+        tb = TraceBuilder()
+        tb.commit(T1)
+        tb.commit(T2)
+        oracle = oracle_of(tb)
+        assert not oracle.ordered(0, 1)
+
+
+class TestRaceEnumeration:
+    def test_race_pairs_and_first_race(self):
+        tb = TraceBuilder()
+        o = Obj(1)
+        tb.write(T1, o, "x")   # 0
+        tb.write(T2, o, "x")   # 1: races with 0
+        tb.write(T3, o, "x")   # 2: races with 0 and 1
+        oracle = oracle_of(tb)
+        pairs = {(i, j) for i, j, var in oracle.races()}
+        assert pairs == {(0, 1), (0, 2), (1, 2)}
+        firsts = oracle.first_race_per_var()
+        assert firsts[DataVar(o, "x")] == (0, 1)
+
+    def test_incarnations_split_reallocated_addresses(self):
+        tb = TraceBuilder()
+        o = Obj(1)
+        tb.write(T1, o, "x")   # incarnation 0
+        tb.alloc(T2, o)        # address reused
+        tb.write(T2, o, "x")   # incarnation 1: no conflict with event 0
+        oracle = oracle_of(tb)
+        assert oracle.racy_vars() == set()
+
+    def test_same_incarnation_still_races_after_unrelated_alloc(self):
+        tb = TraceBuilder()
+        o, other = Obj(1), Obj(2)
+        tb.write(T1, o, "x")
+        tb.alloc(T2, other)   # different object: no reset of o
+        tb.write(T2, o, "x")
+        oracle = oracle_of(tb)
+        assert oracle.racy_vars() == {DataVar(o, "x")}
+
+    def test_commit_vs_plain_conflicts(self):
+        tb = TraceBuilder()
+        var = DataVar(Obj(1), "x")
+        tb.commit(T1, writes=[var])   # 0
+        tb.read(T2, Obj(1), "x")      # 1: races (read vs commit-write)
+        oracle = oracle_of(tb)
+        assert {(i, j) for i, j, v in oracle.races()} == {(0, 1)}
+
+    def test_read_vs_commit_read_is_not_a_race(self):
+        tb = TraceBuilder()
+        var = DataVar(Obj(1), "x")
+        tb.commit(T1, reads=[var])
+        tb.read(T2, Obj(1), "x")
+        oracle = oracle_of(tb)
+        assert oracle.races() == []

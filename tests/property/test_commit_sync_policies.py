@@ -1,0 +1,199 @@
+"""The Section 3 alternative strong-atomicity interpretations.
+
+The paper closes Section 3 with: "Other ways of specifying the interaction
+between strongly-atomic transactions and the Java memory model can easily
+be incorporated ... The algorithms and tools presented in this paper can
+easily be adapted to such alternative interpretations."
+
+Implemented and cross-validated here:
+
+* ``footprint`` -- commits synchronize iff their footprints intersect (the
+  paper's default);
+* ``atomic-order`` -- every commit synchronizes with every later commit;
+* ``writes`` -- a commit synchronizes with a later one iff the later
+  touches something the earlier *wrote*.  **Oracle-only**: this suite's
+  ``TestWritesPolicyIncompatibility`` carries the three-event
+  counterexample showing that the paper's last-access compression cannot
+  support this interpretation -- a transactional access answers checks
+  against other transactional accesses *vacuously* (commit-commit pairs
+  never race), and under ``writes`` that vacuity no longer coincides with
+  ordering, so subsuming or clearing earlier records silently drops real
+  happens-before obligations.  "Easily adapted" has a real boundary.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import EagerGoldilocksRW, LazyGoldilocks
+from repro.core.actions import DataVar, Obj, Tid
+from repro.core.goldilocks import COMMIT_SYNC_POLICIES as DETECTOR_POLICIES
+from repro.oracle import HappensBeforeOracle
+from repro.oracle.relations import COMMIT_SYNC_POLICIES as ORACLE_POLICIES
+from repro.trace import RandomTraceGenerator, TraceBuilder
+
+from tests.helpers import detector_first_races
+
+GENERATOR = RandomTraceGenerator(steps_per_thread=16)
+seeds = st.integers(min_value=0, max_value=10**9)
+
+T1, T2 = Tid(1), Tid(2)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+@pytest.mark.parametrize("policy", DETECTOR_POLICIES)
+def test_detectors_match_oracle_under_every_supported_policy(policy, seed):
+    events = GENERATOR.generate(seed)
+    oracle = HappensBeforeOracle(events, commit_sync=policy)
+    expected = {var: j for var, (i, j) in oracle.first_race_per_var().items()}
+    for detector in (
+        EagerGoldilocksRW(commit_sync=policy),
+        LazyGoldilocks(commit_sync=policy),
+    ):
+        got = detector_first_races(detector, events)
+        assert got == expected, f"{detector.name}/{policy} on seed {seed}"
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_policy_strength_ordering(seed):
+    """More synchronization can only remove races: atomic-order races are a
+
+    subset of footprint races, which are a subset of the writes policy's."""
+    events = GENERATOR.generate(seed)
+    racy = {
+        policy: HappensBeforeOracle(events, commit_sync=policy).racy_vars()
+        for policy in ORACLE_POLICIES
+    }
+    assert racy["atomic-order"] <= racy["footprint"] <= racy["writes"]
+
+
+def disjoint_commit_handoff():
+    """T1 hands o.data through a commit whose footprint is DISJOINT from
+
+    T2's commit: ordered under atomic-order only."""
+    tb = TraceBuilder()
+    o = Obj(1)
+    tb.write(T1, o, "data")
+    tb.commit(T1, writes=[DataVar(Obj(2), "p")])
+    tb.commit(T2, writes=[DataVar(Obj(3), "q")])
+    tb.write(T2, o, "data")
+    return tb.build(), DataVar(o, "data")
+
+
+def read_only_intersection_handoff():
+    """The commits intersect only through READS: ordered under footprint
+
+    but not under the writes interpretation."""
+    tb = TraceBuilder()
+    o = Obj(1)
+    shared = DataVar(Obj(2), "s")
+    tb.write(T1, o, "data")
+    tb.commit(T1, reads=[shared])
+    tb.commit(T2, reads=[shared])
+    tb.write(T2, o, "data")
+    return tb.build(), DataVar(o, "data")
+
+
+@pytest.mark.parametrize(
+    "builder,verdicts",
+    [
+        (
+            disjoint_commit_handoff,
+            {"footprint": True, "atomic-order": False, "writes": True},
+        ),
+        (
+            read_only_intersection_handoff,
+            {"footprint": False, "atomic-order": False, "writes": True},
+        ),
+    ],
+    ids=["disjoint-footprints", "read-only-intersection"],
+)
+def test_policies_disagree_exactly_where_they_should(builder, verdicts):
+    events, var = builder()
+    for policy, should_race in verdicts.items():
+        oracle_racy = var in HappensBeforeOracle(events, commit_sync=policy).racy_vars()
+        assert oracle_racy == should_race, f"oracle/{policy}"
+        if policy not in DETECTOR_POLICIES:
+            continue
+        for detector in (
+            EagerGoldilocksRW(commit_sync=policy),
+            LazyGoldilocks(commit_sync=policy),
+        ):
+            reports = detector.process_all(events)
+            assert (var in {r.var for r in reports}) == should_race, (
+                f"{detector.name}/{policy}"
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=seeds,
+    sc_xact=st.booleans(),
+    memoize=st.booleans(),
+    gc_threshold=st.sampled_from([None, 40]),
+)
+@pytest.mark.parametrize("policy", DETECTOR_POLICIES)
+def test_policy_is_orthogonal_to_every_lazy_optimization(
+    policy, seed, sc_xact, memoize, gc_threshold
+):
+    """The commit-sync policy composes with short circuits, memoization and
+
+    event-list GC without changing any verdict."""
+    events = GENERATOR.generate(seed)
+    reference = [
+        (r.var, r.second.tid, r.second.index)
+        for r in EagerGoldilocksRW(commit_sync=policy).process_all(events)
+    ]
+    detector = LazyGoldilocks(
+        sc_xact=sc_xact,
+        memoize=memoize,
+        gc_threshold=gc_threshold,
+        commit_sync=policy,
+    )
+    got = [
+        (r.var, r.second.tid, r.second.index) for r in detector.process_all(events)
+    ]
+    assert got == reference, f"{policy} seed {seed}"
+
+
+class TestWritesPolicyIncompatibility:
+    """Why the detectors reject ``commit_sync="writes"``.
+
+    The three-event counterexample: T1's commit READS x; T2's commit WRITES
+    x; T2 then writes x plainly.  Under the writes interpretation T1's
+    commit has no outgoing edges (it wrote nothing), so T2's plain write is
+    unordered with T1's transactional read -- a real race (clause 2 of the
+    extended-race definition).  But the paper's last-access scheme has, by
+    then, *cleared* T1's read record at T2's commit (whose pair with T1's
+    commit is vacuous, commit-commit) -- the race is structurally
+    invisible.  Under footprint/atomic-order the vacuous pair is always
+    also ordered, which is exactly what makes clearing sound.
+    """
+
+    def counterexample(self):
+        tb = TraceBuilder()
+        x = DataVar(Obj(1), "x")
+        tb.commit(T1, reads=[x])             # transactional read of x
+        tb.commit(T2, writes=[x])            # commit-commit: vacuous pair
+        tb.write(T2, Obj(1), "x")            # plain write by T2
+        return tb.build(), x
+
+    def test_the_oracle_sees_the_race_under_writes(self):
+        events, x = self.counterexample()
+        assert x in HappensBeforeOracle(events, commit_sync="writes").racy_vars()
+        # ... and under footprint the same trace is race-free: the two
+        # commits share x, ordering everything.
+        assert (
+            x not in HappensBeforeOracle(events, commit_sync="footprint").racy_vars()
+        )
+
+    def test_detectors_reject_the_policy_explicitly(self):
+        with pytest.raises(ValueError):
+            EagerGoldilocksRW(commit_sync="writes")
+        with pytest.raises(ValueError):
+            LazyGoldilocks(commit_sync="writes")
+
+    def test_oracle_rejects_garbage_policies_too(self):
+        with pytest.raises(ValueError):
+            HappensBeforeOracle([], commit_sync="nope")

@@ -1,0 +1,123 @@
+"""End-to-end precision: the live runtime agrees with the offline oracle.
+
+A randomized simulated program runs once with a ``TeeDetector`` combining
+the production detector and a trace recorder.  The recorded linearization
+is then judged by the happens-before oracle: the detector's first race per
+variable (observed live, while scheduling was happening) must equal the
+oracle's verdict on the recorded execution -- across program shapes and
+schedules.
+
+This closes the loop the paper's Theorem 1 promises for the *runtime*, not
+just for pre-recorded traces.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import LazyGoldilocks, TeeDetector
+from repro.oracle import HappensBeforeOracle
+from repro.runtime import RandomScheduler, Runtime
+from repro.trace import TraceRecorder
+
+
+def random_program(rng):
+    """A random small multithreaded program over a few objects and locks."""
+    n_workers = rng.randint(2, 4)
+    n_fields = rng.randint(1, 3)
+    use_lock = [rng.random() < 0.6 for _ in range(n_workers)]
+    use_txn = [rng.random() < 0.3 for _ in range(n_workers)]
+    rounds = rng.randint(1, 3)
+
+    def worker(th, shared, lock, me):
+        for r in range(rounds):
+            field = f"f{(me + r) % n_fields}"
+            if use_txn[me]:
+                def body(txn, field=field):
+                    txn.write(shared, field, me)
+                yield th.atomic(body)
+            elif use_lock[me]:
+                yield th.acquire(lock)
+                value = yield th.read(shared, field)
+                yield th.write(shared, field, (value or 0) + 1)
+                yield th.release(lock)
+            else:
+                yield th.write(shared, field, me)
+            yield th.step()
+        return me
+
+    def main(th):
+        shared = yield th.new("Shared", **{f"f{i}": 0 for i in range(n_fields)})
+        lock = yield th.new("Lock")
+        handles = []
+        for i in range(n_workers):
+            handle = yield th.fork(worker, shared, lock, i)
+            handles.append(handle)
+        for handle in handles:
+            yield th.join(handle)
+        total = 0
+        for i in range(n_fields):
+            value = yield th.read(shared, f"f{i}")
+            total += value or 0
+        return total
+
+    return main
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**9))
+def test_live_detection_matches_oracle_on_recorded_trace(seed):
+    rng = random.Random(seed)
+    main = random_program(rng)
+
+    recorder = TraceRecorder()
+    detector = LazyGoldilocks()
+    runtime = Runtime(
+        detector=TeeDetector(detector, recorder),
+        scheduler=RandomScheduler(seed=seed),
+        race_policy="record",
+    )
+    runtime.spawn_main(main)
+    result = runtime.run()
+    assert result.uncaught == []
+
+    oracle = HappensBeforeOracle(recorder.events)
+    oracle_first = {var: j for var, (i, j) in oracle.first_race_per_var().items()}
+
+    live_first = {}
+    # Reconstruct each report's event index from (tid, index, kind).
+    positions = {}
+    for pos, event in enumerate(recorder.events):
+        positions[(event.tid, event.index)] = pos
+    for report in result.races:
+        key = (report.second.tid, report.second.index)
+        live_first.setdefault(report.var, positions[key])
+
+    assert live_first == oracle_first, f"seed {seed}"
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**9))
+def test_throw_policy_never_lets_an_unraced_exception_escape(seed):
+    """Under throw, uncaught exceptions are precisely DataRaceExceptions and
+
+    occur only in executions whose recorded trace truly races."""
+    from repro.core import DataRaceException
+
+    rng = random.Random(seed)
+    main = random_program(rng)
+    recorder = TraceRecorder()
+    runtime = Runtime(
+        detector=TeeDetector(LazyGoldilocks(), recorder),
+        scheduler=RandomScheduler(seed=seed),
+        race_policy="throw",
+    )
+    runtime.spawn_main(main)
+    result = runtime.run()
+    racy_vars = HappensBeforeOracle(recorder.events).racy_vars()
+    for tid, exc in result.uncaught:
+        assert isinstance(exc, DataRaceException)
+    if result.uncaught:
+        assert racy_vars or result.races, "an exception implies a race"
+    if not racy_vars:
+        assert result.uncaught == []

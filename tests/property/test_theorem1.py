@@ -1,0 +1,134 @@
+"""Property tests for Theorem 1: Goldilocks is sound *and* precise.
+
+Strategy: generate feasible executions with the seeded trace fuzzer, compute
+the ground truth with the happens-before oracle, and compare every detector
+variant.
+
+What exactly is compared.  Goldilocks checks each access against the most
+recent conflicting accesses; by transitivity of happens-before along the
+linearization this is equivalent to checking all pairs *up to the first race
+on each variable* (after a race the detector resets the lockset to ``{t}``
+and its notion of "race" intentionally diverges from the any-pair oracle --
+the paper's runtime disables the variable at that point anyway).  The
+properties are therefore:
+
+1. **Precision**: on race-free traces no detector reports anything.
+2. **First-race exactness**: for every variable, the detector's first report
+   happens at exactly the oracle's first racy access (same event, same var).
+3. **Implementation equivalence**: the lazy Figure 8 detector (in every
+   short-circuit/GC/memoization configuration) produces the *identical
+   report sequence* to the eager reference, race or no race.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import EagerGoldilocks, EagerGoldilocksRW, LazyGoldilocks
+from repro.oracle import HappensBeforeOracle
+from repro.trace import RandomTraceGenerator
+
+from tests.helpers import (
+    detector_first_races,
+    oracle_first_races,
+    oracle_first_races_read_read,
+    report_key,
+)
+
+#: one generator reused across examples; generation is per-seed deterministic
+GENERATOR = RandomTraceGenerator()
+#: a second mix with more threads and longer runs, less discipline
+WILD_GENERATOR = RandomTraceGenerator(
+    max_threads=6, steps_per_thread=20, p_discipline=0.3
+)
+
+seeds = st.integers(min_value=0, max_value=10**9)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=seeds)
+def test_rw_goldilocks_first_races_match_oracle(seed):
+    events = GENERATOR.generate(seed)
+    expected = oracle_first_races(events)
+    for detector in (EagerGoldilocksRW(), LazyGoldilocks()):
+        got = detector_first_races(detector, events)
+        assert got == expected, f"{detector.name} on seed {seed}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_rw_goldilocks_first_races_match_oracle_wild_mix(seed):
+    events = WILD_GENERATOR.generate(seed)
+    expected = oracle_first_races(events)
+    for detector in (EagerGoldilocksRW(), LazyGoldilocks()):
+        got = detector_first_races(detector, events)
+        assert got == expected, f"{detector.name} on seed {seed}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_original_goldilocks_matches_read_read_conflict_oracle(seed):
+    events = GENERATOR.generate(seed)
+    expected = oracle_first_races_read_read(events)
+    got = detector_first_races(EagerGoldilocks(), events)
+    assert got == expected, f"seed {seed}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_precision_no_reports_on_race_free_traces(seed):
+    events = GENERATOR.generate(seed)
+    if HappensBeforeOracle(events).racy_vars():
+        return  # only the race-free subset exercises precision
+    for detector in (EagerGoldilocksRW(), LazyGoldilocks()):
+        assert detector.process_all(events) == [], f"{detector.name} on seed {seed}"
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_lazy_equals_eager_report_sequences(seed):
+    """The optimized implementation is *identical* to the reference, not just
+    equal on first races: every report, in order, matches."""
+    events = WILD_GENERATOR.generate(seed)
+    eager = [report_key(r) for r in EagerGoldilocksRW().process_all(events)]
+    lazy = [report_key(r) for r in LazyGoldilocks().process_all(events)]
+    assert lazy == eager, f"seed {seed}"
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=seeds,
+    sc_xact=st.booleans(),
+    sc_same_thread=st.booleans(),
+    sc_alock=st.booleans(),
+    sc_thread_restricted=st.booleans(),
+    memoize=st.booleans(),
+)
+def test_lazy_configurations_all_agree(
+    seed, sc_xact, sc_same_thread, sc_alock, sc_thread_restricted, memoize
+):
+    """Short circuits and memoization are pure optimizations: any on/off
+    combination yields the same reports."""
+    events = GENERATOR.generate(seed)
+    reference = [report_key(r) for r in EagerGoldilocksRW().process_all(events)]
+    detector = LazyGoldilocks(
+        sc_xact=sc_xact,
+        sc_same_thread=sc_same_thread,
+        sc_alock=sc_alock,
+        sc_thread_restricted=sc_thread_restricted,
+        memoize=memoize,
+    )
+    got = [report_key(r) for r in detector.process_all(events)]
+    assert got == reference, f"seed {seed}"
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=seeds, threshold=st.integers(min_value=4, max_value=64))
+def test_event_list_gc_does_not_change_reports(seed, threshold):
+    """Aggressive collection with partially-eager evaluation is transparent."""
+    events = WILD_GENERATOR.generate(seed)
+    reference = [report_key(r) for r in LazyGoldilocks(gc_threshold=None).process_all(events)]
+    aggressive = LazyGoldilocks(gc_threshold=threshold)
+    got = [report_key(r) for r in aggressive.process_all(events)]
+    assert got == reference, f"seed {seed}"
+    if aggressive.events.total_enqueued > threshold:
+        assert aggressive.stats.cells_collected > 0

@@ -1,0 +1,100 @@
+"""Theorem 1, tested as stated (not just via race reports).
+
+    "Suppose a, b are such that a < b, p(a) and p(b) access (o, d), and no
+    p(j) accesses (o, d) in between.  Then:
+      1. u ∈ LS_b(o, d)  iff  p(a) →ehb p(b)   [u the thread of p(b)]
+      2. TL ∈ LS_b(o, d) iff  s(a) = commit(R, W) and (o, d) ∈ R ∪ W"
+
+We replay random traces through the eager Figure 5 algorithm, snapshot
+``LS(o, d)`` immediately before each access, and compare both clauses
+against the happens-before oracle for every consecutive access pair --
+stopping per variable at its first race, after which the reset-to-``{t}``
+semantics intentionally diverges from the all-pairs oracle.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import TL, EagerGoldilocks
+from repro.core.actions import Commit, accesses_of
+from repro.oracle import HappensBeforeOracle
+from repro.trace import RandomTraceGenerator
+
+GENERATOR = RandomTraceGenerator(steps_per_thread=14)
+seeds = st.integers(min_value=0, max_value=10**9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=seeds)
+def test_theorem1_clause_by_clause(seed):
+    events = GENERATOR.generate(seed)
+    oracle = HappensBeforeOracle(events)
+    detector = EagerGoldilocks()
+
+    last_access = {}      # var -> index of the previous access event
+    raced = set()         # vars past their first race: semantics diverge
+
+    for b_index, event in enumerate(events):
+        touched = accesses_of(event.action)
+        for var in touched:
+            if var in raced:
+                continue
+            a_index = last_access.get(var)
+            # Incarnation check: rule 8 resets locksets at re-allocation; the
+            # oracle models the same via incarnations.  Only compare pairs in
+            # the same incarnation.
+            if a_index is not None:
+                inc_a = oracle._incarnations[a_index].get(var)
+                inc_b = oracle._incarnations[b_index].get(var)
+                if inc_a != inc_b:
+                    a_index = None
+            if a_index is not None:
+                lockset = detector.lockset_of(var)
+                # Clause 1: ownership iff happens-before.  For a commit, the
+                # theorem's LS_b is the lockset after rule 9's *incoming*
+                # step (the committer becomes an owner through its own
+                # footprint); equivalently, membership-or-footprint-overlap.
+                expected_hb = oracle.happens_before(a_index, b_index)
+                owned = event.tid in lockset
+                if isinstance(event.action, Commit):
+                    owned = owned or lockset.intersects(event.action.footprint)
+                assert owned == expected_hb, (
+                    f"seed {seed}: clause 1 fails for {var!r} between events "
+                    f"#{a_index} and #{b_index}"
+                )
+                # Clause 2: TL iff the previous access was transactional.
+                prev_action = events[a_index].action
+                expected_tl = isinstance(prev_action, Commit) and (
+                    var in prev_action.footprint
+                )
+                assert (TL in lockset) == expected_tl, (
+                    f"seed {seed}: clause 2 fails for {var!r} before event "
+                    f"#{b_index}"
+                )
+
+        reports = detector.process(event)
+        for report in reports:
+            raced.add(report.var)
+        for var in touched:
+            last_access[var] = b_index
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_first_access_has_empty_lockset(seed):
+    """The freshness clause: LS is empty exactly until the first access
+
+    (and again right after a re-allocation)."""
+    events = GENERATOR.generate(seed)
+    detector = EagerGoldilocks()
+    seen = set()
+    for event in events:
+        from repro.core.actions import Alloc
+
+        if isinstance(event.action, Alloc):
+            seen = {v for v in seen if v.obj != event.action.obj}
+        for var in accesses_of(event.action):
+            lockset = detector.lockset_of(var)
+            if var not in seen:
+                assert not lockset, f"seed {seed}: fresh {var!r} has {lockset!r}"
+            seen.add(var)
+        detector.process(event)

@@ -1,0 +1,226 @@
+"""The DataRaceException mechanism: thrown into the thread, before the access.
+
+The paper's two guarantees: (1) the exception is raised *before* the racy
+access takes effect, so the program state is still sequentially consistent;
+(2) a program that catches it can continue (or terminate the operation
+gracefully), and the exception can serve as optimistic conflict detection.
+"""
+
+import pytest
+
+from repro.core import DataRaceException, EagerGoldilocksRW, LazyGoldilocks
+from repro.runtime import RandomScheduler, RoundRobinScheduler, Runtime
+
+
+def test_exception_is_thrown_into_the_racing_thread_and_catchable():
+    def first(th, shared):
+        yield th.write(shared, "x", 1)
+
+    def second(th, shared):
+        try:
+            yield th.write(shared, "x", 2)
+        except DataRaceException as exc:
+            return ("caught", exc.report.var.field)
+        return ("no-race",)
+
+    def main(th):
+        shared = yield th.new("S")
+        h1 = yield th.fork(first, shared)
+        yield th.join(h1)
+        h2 = yield th.fork(second, shared)
+        yield th.join(h2)
+        return h2.result
+
+    # main forks-joins h1 and then h2... join(h1) orders h1 before h2's fork,
+    # so that is NOT a race. Remove the join to create one.
+    def main_racy(th):
+        shared = yield th.new("S")
+        h1 = yield th.fork(first, shared)
+        h2 = yield th.fork(second, shared)
+        yield th.join(h1)
+        yield th.join(h2)
+        return h2.result
+
+    rt = Runtime(detector=LazyGoldilocks(), scheduler=RoundRobinScheduler())
+    rt.spawn_main(main)
+    assert rt.run().main_result == ("no-race",)
+
+    # Round-robin runs first's write before second's: second observes the race.
+    rt = Runtime(detector=LazyGoldilocks(), scheduler=RoundRobinScheduler())
+    rt.spawn_main(main_racy)
+    result = rt.run()
+    assert result.main_result == ("caught", "x")
+
+
+def test_racy_write_does_not_take_effect():
+    """The access raising DataRaceException must not modify the heap.
+
+    The fork edge orders everything main did *before* the fork below the
+    child, so main writes ``x`` only after forking -- the two writes are
+    genuinely unordered.  The child delays a few steps so main's write lands
+    first and the child's write is the one completing the race.
+    """
+
+    def racer(th, shared):
+        for _ in range(4):
+            yield th.step()
+        try:
+            yield th.write(shared, "x", 999)
+        except DataRaceException:
+            pass
+        return "done"
+
+    def main(th):
+        shared = yield th.new("S")
+        h = yield th.fork(racer, shared)
+        yield th.write(shared, "x", 1)
+        yield th.join(h)
+        # Reading our own variable again: we still own it (the racy write
+        # was suppressed and never reset the lockset to the racer).
+        return (yield th.read(shared, "x"))
+
+    rt = Runtime(detector=LazyGoldilocks(), scheduler=RoundRobinScheduler())
+    rt.spawn_main(main)
+    result = rt.run()
+    assert result.main_result == 1, "the racy write leaked into the heap"
+
+
+def test_uncaught_dataraceexception_terminates_only_that_thread():
+    def racer(th, shared):
+        for _ in range(4):
+            yield th.step()
+        yield th.write(shared, "x", 2)   # uncaught race: thread dies
+        return "unreachable"
+
+    def main(th):
+        shared = yield th.new("S")
+        h = yield th.fork(racer, shared)
+        yield th.write(shared, "x", 1)
+        yield th.join(h)
+        return (yield th.read(shared, "x"))
+
+    rt = Runtime(detector=LazyGoldilocks(), scheduler=RoundRobinScheduler())
+    rt.spawn_main(main)
+    result = rt.run()
+    assert result.main_result == 1
+    assert len(result.uncaught) == 1
+    tid, exc = result.uncaught[0]
+    assert isinstance(exc, DataRaceException)
+
+
+def test_disable_policy_records_and_continues():
+    def racer(th, shared, n):
+        for _ in range(4):
+            yield th.step()
+        for i in range(n):
+            yield th.write(shared, "x", i)
+        return "done"
+
+    def main(th):
+        shared = yield th.new("S")
+        h = yield th.fork(racer, shared, 5)
+        yield th.write(shared, "x", -1)
+        yield th.join(h)
+        return h.result
+
+    rt = Runtime(
+        detector=LazyGoldilocks(),
+        scheduler=RoundRobinScheduler(),
+        race_policy="disable",
+    )
+    rt.spawn_main(main)
+    result = rt.run()
+    assert result.main_result == "done"
+    # Only the FIRST race on the variable is recorded; checking then stops.
+    assert len(result.races) == 1
+    assert rt.first_race.race_count == 1
+
+
+def test_disable_policy_disables_whole_array_on_element_race():
+    def racer(th, arr):
+        for _ in range(8):
+            yield th.step()
+        for i in range(4):
+            yield th.write_elem(arr, i, i)
+
+    def main(th):
+        arr = yield th.new_array(4)
+        h = yield th.fork(racer, arr)
+        for i in range(4):
+            yield th.write_elem(arr, i, -1)
+        yield th.join(h)
+
+    rt = Runtime(
+        detector=LazyGoldilocks(),
+        scheduler=RoundRobinScheduler(),
+        race_policy="disable",
+    )
+    rt.spawn_main(main)
+    result = rt.run()
+    # The first element race disables the entire array (Section 6 protocol).
+    assert len(result.races) == 1
+
+
+def test_record_policy_reports_every_race():
+    def racer(th, shared):
+        for _ in range(6):
+            yield th.step()
+        yield th.write(shared, "x", 10)
+        yield th.write(shared, "y", 11)
+
+    def main(th):
+        shared = yield th.new("S")
+        h = yield th.fork(racer, shared)
+        yield th.write(shared, "x", 0)
+        yield th.write(shared, "y", 0)
+        yield th.join(h)
+
+    rt = Runtime(
+        detector=LazyGoldilocks(),
+        scheduler=RoundRobinScheduler(),
+        race_policy="record",
+    )
+    rt.spawn_main(main)
+    result = rt.run()
+    assert {r.var.field for r in result.races} == {"x", "y"}
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_exception_precision_across_schedules(seed):
+    """Across many interleavings: exception iff the interleaving truly raced.
+
+    The writer publishes under a lock; the reader sometimes takes the lock
+    first (no race in that order per happens-before? No: lock-ordered
+    accesses never race regardless of order).  This program is race-free in
+    every interleaving, so no DataRaceException may ever surface.
+    """
+
+    def writer(th, shared, lock):
+        yield th.acquire(lock)
+        yield th.write(shared, "v", 5)
+        yield th.release(lock)
+
+    def reader(th, shared, lock):
+        yield th.acquire(lock)
+        value = yield th.read(shared, "v")
+        yield th.release(lock)
+        return value
+
+    def main(th):
+        lock = yield th.new("Lock")
+        shared = yield th.new("S")
+        yield th.acquire(lock)
+        yield th.write(shared, "v", 0)
+        yield th.release(lock)
+        w = yield th.fork(writer, shared, lock)
+        r = yield th.fork(reader, shared, lock)
+        yield th.join(w)
+        yield th.join(r)
+        return r.result
+
+    rt = Runtime(detector=LazyGoldilocks(), scheduler=RandomScheduler(seed=seed))
+    rt.spawn_main(main)
+    result = rt.run()
+    assert result.uncaught == []
+    assert result.races == []
+    assert result.main_result in (0, 5)

@@ -1,0 +1,195 @@
+"""Exhaustive schedule exploration: precision claims over ALL interleavings."""
+
+import pytest
+
+from repro.core import DataRaceException, LazyGoldilocks
+from repro.runtime import Runtime
+from repro.runtime.explore import ReplayScheduler, explore
+
+
+def build_factory(main, race_policy="record"):
+    def build(scheduler):
+        runtime = Runtime(
+            detector=LazyGoldilocks(), scheduler=scheduler, race_policy=race_policy
+        )
+        runtime.spawn_main(main)
+        return runtime
+
+    return build
+
+
+class TestExplorerMechanics:
+    def test_single_thread_has_exactly_one_schedule(self):
+        def main(th):
+            obj = yield th.new("S", x=0)
+            yield th.write(obj, "x", 1)
+            return (yield th.read(obj, "x"))
+
+        result = explore(build_factory(main))
+        assert result.complete
+        assert result.count == 1
+        assert result.runs[0].main_result == 1
+
+    def test_two_independent_threads_enumerate_interleavings(self):
+        def child(th, mine):
+            yield th.write(mine, "v", 1)
+            yield th.write(mine, "v", 2)
+
+        def main(th):
+            a = yield th.new("A", v=0)
+            b = yield th.new("B", v=0)
+            t1 = yield th.fork(child, a)
+            t2 = yield th.fork(child, b)
+            yield th.join(t1)
+            yield th.join(t2)
+
+        result = explore(build_factory(main))
+        assert result.complete
+        assert result.count > 1
+        # Every schedule is distinct.
+        as_tuples = {tuple(s) for s in result.schedules}
+        assert len(as_tuples) == result.count
+
+    def test_max_schedules_caps_and_reports_incomplete(self):
+        def child(th, shared):
+            for _ in range(4):
+                yield th.step()
+
+        def main(th):
+            shared = yield th.new("S")
+            handles = []
+            for _ in range(3):
+                handles.append((yield th.fork(child, shared)))
+            for handle in handles:
+                yield th.join(handle)
+
+        result = explore(build_factory(main), max_schedules=10)
+        assert not result.complete
+        assert result.count == 10
+
+    def test_replay_scheduler_clamps_out_of_range_prefix(self):
+        scheduler = ReplayScheduler(prefix=[5])
+        from repro.core.actions import Tid
+
+        picked = scheduler.pick([Tid(1), Tid(2)])
+        assert picked == Tid(2)
+
+
+class TestPrecisionAcrossAllInterleavings:
+    def test_lock_counter_is_race_free_in_every_schedule(self):
+        def worker(th, shared, lock):
+            yield th.acquire(lock)
+            value = yield th.read(shared, "n")
+            yield th.write(shared, "n", value + 1)
+            yield th.release(lock)
+
+        def main(th):
+            lock = yield th.new("Lock")
+            shared = yield th.new("S", n=0)
+            t1 = yield th.fork(worker, shared, lock)
+            t2 = yield th.fork(worker, shared, lock)
+            yield th.join(t1)
+            yield th.join(t2)
+            return (yield th.read(shared, "n"))
+
+        result = explore(build_factory(main), max_schedules=20000)
+        assert result.complete, "the space should be small enough to finish"
+        assert result.count > 10
+        assert result.all_satisfy(lambda run: run.races == [])
+        assert result.all_satisfy(lambda run: run.main_result == 2)
+
+    def test_unsynchronized_writes_race_in_every_schedule(self):
+        def writer(th, shared, value):
+            yield th.write(shared, "x", value)
+
+        def main(th):
+            shared = yield th.new("S")
+            t1 = yield th.fork(writer, shared, 1)
+            t2 = yield th.fork(writer, shared, 2)
+            yield th.join(t1)
+            yield th.join(t2)
+
+        result = explore(build_factory(main), max_schedules=5000)
+        assert result.complete
+        assert result.all_satisfy(lambda run: len(run.races) == 1), (
+            "two unsynchronized writes are unordered in EVERY interleaving"
+        )
+
+    def test_volatile_publication_is_race_free_in_every_schedule(self):
+        def producer(th, flag, data):
+            yield th.write(data, "payload", 7)
+            yield th.write(flag, "ready", True)
+
+        def consumer(th, flag, data):
+            ready = yield th.read(flag, "ready")
+            if ready:
+                return (yield th.read(data, "payload"))
+            return None
+
+        def main(th):
+            flag = yield th.new("F", volatile_fields=("ready",))
+            yield th.write(flag, "ready", False)
+            data = yield th.new("D", payload=0)
+            p = yield th.fork(producer, flag, data)
+            c = yield th.fork(consumer, flag, data)
+            yield th.join(p)
+            yield th.join(c)
+            return c.result
+
+        result = explore(build_factory(main), max_schedules=5000)
+        assert result.complete
+        assert result.all_satisfy(lambda run: run.races == [])
+        outcomes = {run.main_result for run in result.runs}
+        assert outcomes == {None, 7}, "both orderings must be reachable"
+
+    def test_example4_races_in_every_schedule_with_rollback(self):
+        """The bank-account race exists in EVERY interleaving, and under the
+
+        throw policy the accounts stay consistent in every one of them."""
+
+        def locked_withdraw(th, checking):
+            yield th.acquire(checking)
+            bal = yield th.read(checking, "bal")
+            yield th.write(checking, "bal", bal - 42)
+            yield th.release(checking)
+
+        def txn_transfer(th, savings, checking):
+            def body(txn):
+                txn.write(savings, "bal", txn.read(savings, "bal") - 42)
+                txn.write(checking, "bal", txn.read(checking, "bal") + 42)
+
+            try:
+                yield th.atomic(body)
+                return "ok"
+            except DataRaceException:
+                return "rolled-back"
+
+        def main(th):
+            savings = yield th.new("Account", bal=100)
+            checking = yield th.new("Account", bal=100)
+            t1 = yield th.fork(locked_withdraw, checking)
+            t2 = yield th.fork(txn_transfer, savings, checking)
+            yield th.join(t1)
+            yield th.join(t2)
+            s = yield th.read(savings, "bal")
+            c = yield th.read(checking, "bal")
+            return (t2.result, s, c)
+
+        result = explore(build_factory(main, race_policy="throw"), max_schedules=5000)
+        assert result.complete
+        assert result.all_satisfy(lambda run: len(run.races) >= 1)
+
+        def consistent(run):
+            outcome, savings, checking = run.main_result
+            if outcome == "rolled-back":
+                # The transaction saw the race and undid itself; only the
+                # withdrawal is visible.
+                return savings == 100 and checking == 58
+            if run.uncaught:
+                # The transfer won; the WITHDRAWING thread got the exception
+                # at its read and died before writing (suppressed access).
+                return savings == 58 and checking == 142
+            return savings == 58 and checking == 100  # both completed
+
+        bad = result.counterexample(consistent)
+        assert bad is None, f"inconsistent books under schedule {bad}"

@@ -1,0 +1,76 @@
+"""Unit tests for the Monitor primitive (re-entrancy, wait sets)."""
+
+import pytest
+
+from repro.core import SynchronizationError
+from repro.core.actions import Obj, Tid
+from repro.runtime import Monitor
+
+T1, T2 = Tid(1), Tid(2)
+
+
+def test_acquire_release_outermost_flags():
+    monitor = Monitor(Obj(1))
+    assert monitor.acquire(T1) is True      # outermost enter
+    assert monitor.acquire(T1) is False     # re-enter
+    assert monitor.release(T1) is False     # inner exit
+    assert monitor.release(T1) is True      # outermost exit
+    assert monitor.owner is None
+
+
+def test_can_acquire_semantics():
+    monitor = Monitor(Obj(1))
+    assert monitor.can_acquire(T1)
+    monitor.acquire(T1)
+    assert monitor.can_acquire(T1)          # re-entrant
+    assert not monitor.can_acquire(T2)
+
+
+def test_acquire_while_held_by_other_raises():
+    monitor = Monitor(Obj(1))
+    monitor.acquire(T1)
+    with pytest.raises(SynchronizationError):
+        monitor.acquire(T2)
+
+
+def test_release_by_non_owner_raises():
+    monitor = Monitor(Obj(1))
+    monitor.acquire(T1)
+    with pytest.raises(SynchronizationError):
+        monitor.release(T2)
+    with pytest.raises(SynchronizationError):
+        Monitor(Obj(2)).release(T1)
+
+
+def test_wait_releases_fully_and_saves_count():
+    monitor = Monitor(Obj(1))
+    monitor.acquire(T1)
+    monitor.acquire(T1)
+    saved = monitor.start_wait(T1)
+    assert saved == 2
+    assert monitor.owner is None
+    assert monitor.waiters() == [T1]
+    # Another thread can now take the monitor.
+    assert monitor.acquire(T2)
+    monitor.release(T2)
+    # The waiter is removed and its count handed back on wake.
+    assert monitor.finish_wait(T1) == 2
+    assert monitor.waiters() == []
+
+
+def test_wait_without_ownership_raises():
+    monitor = Monitor(Obj(1))
+    with pytest.raises(SynchronizationError):
+        monitor.start_wait(T1)
+
+
+def test_notify_one_is_deterministic_lowest_tid():
+    monitor = Monitor(Obj(1))
+    for tid in (Tid(5), Tid(2), Tid(9)):
+        monitor.acquire(tid)
+        monitor.start_wait(tid)
+    assert monitor.notify_one() == Tid(2)
+    assert monitor.notify_one() == Tid(2)   # selection does not pop
+    monitor.finish_wait(Tid(2))
+    assert monitor.notify_one() == Tid(5)
+    assert Monitor(Obj(2)).notify_one() is None

@@ -1,0 +1,334 @@
+"""Basic machinery of the simulated runtime: heap, monitors, threads."""
+
+import pytest
+
+from repro.core import DeadlockError, LazyGoldilocks, SynchronizationError
+from repro.runtime import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    Runtime,
+    StridedScheduler,
+    ThreadState,
+)
+
+
+def make_runtime(**kwargs):
+    kwargs.setdefault("detector", LazyGoldilocks())
+    kwargs.setdefault("scheduler", RandomScheduler(seed=7))
+    return Runtime(**kwargs)
+
+
+def test_single_thread_reads_back_writes():
+    def body(th):
+        obj = yield th.new("Point", x=1, y=2)
+        x = yield th.read(obj, "x")
+        yield th.write(obj, "y", x + 10)
+        y = yield th.read(obj, "y")
+        return (x, y)
+
+    rt = make_runtime()
+    rt.spawn_main(body)
+    result = rt.run()
+    assert result.main_result == (1, 11)
+    assert result.races == []
+
+
+def test_arrays_read_back_and_bounds_checked():
+    def body(th):
+        arr = yield th.new_array(3, fill=5)
+        yield th.write_elem(arr, 1, 42)
+        a = yield th.read_elem(arr, 0)
+        b = yield th.read_elem(arr, 1)
+        try:
+            yield th.read_elem(arr, 3)
+        except IndexError:
+            return (a, b, "bounds")
+        return (a, b, "no-bounds")
+
+    rt = make_runtime()
+    rt.spawn_main(body)
+    assert rt.run().main_result == (5, 42, "bounds")
+
+
+def test_fork_join_passes_results():
+    def child(th, base):
+        obj = yield th.new("Box", value=base * 2)
+        value = yield th.read(obj, "value")
+        return value
+
+    def main(th):
+        handles = []
+        for i in range(3):
+            handle = yield th.fork(child, i + 1, name=f"child-{i}")
+            handles.append(handle)
+        total = 0
+        for handle in handles:
+            yield th.join(handle)
+            total += handle.result
+        return total
+
+    rt = make_runtime()
+    rt.spawn_main(main)
+    result = rt.run()
+    assert result.main_result == (2 + 4 + 6)
+    assert result.races == []
+
+
+def test_monitors_provide_mutual_exclusion():
+    def worker(th, shared, lock, rounds):
+        for _ in range(rounds):
+            yield th.acquire(lock)
+            value = yield th.read(shared, "count")
+            yield th.step()  # widen the window: a race would corrupt count
+            yield th.write(shared, "count", value + 1)
+            yield th.release(lock)
+
+    def main(th):
+        lock = yield th.new("Lock")
+        shared = yield th.new("Counter", count=0)
+        workers = []
+        for i in range(4):
+            handle = yield th.fork(worker, shared, lock, 10)
+            workers.append(handle)
+        for handle in workers:
+            yield th.join(handle)
+        final = yield th.read(shared, "count")
+        return final
+
+    rt = make_runtime(scheduler=RandomScheduler(seed=123))
+    rt.spawn_main(main)
+    result = rt.run()
+    assert result.main_result == 40
+    assert result.races == []
+
+
+def test_reentrant_monitor():
+    def body(th):
+        lock = yield th.new("Lock")
+        yield th.acquire(lock)
+        yield th.acquire(lock)   # re-enter
+        yield th.release(lock)
+        yield th.release(lock)
+        return "ok"
+
+    rt = make_runtime()
+    rt.spawn_main(body)
+    assert rt.run().main_result == "ok"
+
+
+def test_release_of_unheld_monitor_raises_in_thread():
+    def body(th):
+        lock = yield th.new("Lock")
+        try:
+            yield th.release(lock)
+        except SynchronizationError:
+            return "caught"
+        return "not-caught"
+
+    rt = make_runtime()
+    rt.spawn_main(body)
+    assert rt.run().main_result == "caught"
+
+
+def test_deadlock_is_detected():
+    def left(th, a, b, ready):
+        yield th.acquire(a)
+        yield th.write(ready, "left", True)
+        # Spin until the other thread holds b, guaranteeing the deadlock.
+        while not (yield th.read(ready, "right")):
+            yield th.step()
+        yield th.acquire(b)
+
+    def right(th, a, b, ready):
+        yield th.acquire(b)
+        yield th.write(ready, "right", True)
+        while not (yield th.read(ready, "left")):
+            yield th.step()
+        yield th.acquire(a)
+
+    def main(th):
+        a = yield th.new("Lock")
+        b = yield th.new("Lock")
+        ready = yield th.new("Flags", volatile_fields=("left", "right"))
+        yield th.write(ready, "left", False)
+        yield th.write(ready, "right", False)
+        h1 = yield th.fork(left, a, b, ready)
+        h2 = yield th.fork(right, a, b, ready)
+        yield th.join(h1)
+        yield th.join(h2)
+
+    rt = make_runtime(scheduler=RoundRobinScheduler())
+    rt.spawn_main(main)
+    with pytest.raises(DeadlockError):
+        rt.run()
+
+
+def test_wait_notify_handoff():
+    def producer(th, box):
+        yield th.acquire(box)
+        yield th.write(box, "value", 99)
+        yield th.write(box, "full", True)
+        yield th.notify(box)
+        yield th.release(box)
+
+    def consumer(th, box):
+        yield th.acquire(box)
+        while not (yield th.read(box, "full")):
+            yield th.wait(box)
+        value = yield th.read(box, "value")
+        yield th.release(box)
+        return value
+
+    def main(th):
+        box = yield th.new("Box", full=False, value=0)
+        c = yield th.fork(consumer, box)
+        # Give the consumer a head start so it actually waits sometimes.
+        yield th.step()
+        p = yield th.fork(producer, box)
+        yield th.join(p)
+        yield th.join(c)
+        return c.result
+
+    for seed in range(6):
+        rt = make_runtime(scheduler=RandomScheduler(seed=seed))
+        rt.spawn_main(main)
+        result = rt.run()
+        assert result.main_result == 99, f"seed {seed}"
+        assert result.races == [], f"seed {seed}"
+
+
+def test_notify_all_wakes_every_waiter():
+    def waiter(th, box):
+        yield th.acquire(box)
+        while not (yield th.read(box, "go")):
+            yield th.wait(box)
+        yield th.release(box)
+        return "woke"
+
+    def main(th):
+        box = yield th.new("Box", go=False)
+        waiters = []
+        for _ in range(3):
+            handle = yield th.fork(waiter, box)
+            waiters.append(handle)
+        for _ in range(10):
+            yield th.step()  # let the waiters park
+        yield th.acquire(box)
+        yield th.write(box, "go", True)
+        yield th.notify_all(box)
+        yield th.release(box)
+        for handle in waiters:
+            yield th.join(handle)
+        return [h.result for h in waiters]
+
+    rt = make_runtime(scheduler=RandomScheduler(seed=5))
+    rt.spawn_main(main)
+    result = rt.run()
+    assert result.main_result == ["woke"] * 3
+    assert result.races == []
+
+
+def test_volatile_fields_synchronize_and_do_not_race():
+    def writer(th, flag, data):
+        yield th.write(data, "payload", 7)     # plain data write
+        yield th.write(flag, "ready", True)    # volatile publish
+
+    def reader(th, flag, data):
+        while not (yield th.read(flag, "ready")):
+            yield th.step()
+        value = yield th.read(data, "payload")
+        return value
+
+    def main(th):
+        flag = yield th.new("Flag", volatile_fields=("ready",))
+        yield th.write(flag, "ready", False)
+        data = yield th.new("Data", payload=0)
+        r = yield th.fork(reader, flag, data)
+        w = yield th.fork(writer, flag, data)
+        yield th.join(w)
+        yield th.join(r)
+        return r.result
+
+    for seed in range(8):
+        rt = make_runtime(scheduler=RandomScheduler(seed=seed))
+        rt.spawn_main(main)
+        result = rt.run()
+        assert result.main_result == 7
+        assert result.races == [], f"seed {seed}: {result.races}"
+
+
+def test_barrier_orders_phases_racelessly():
+    def worker(th, barrier, grid, me, n):
+        # Phase 1: each thread writes its own slot.
+        yield th.write_elem(grid, me, me * 10)
+        yield th.barrier(barrier)
+        # Phase 2: each thread reads its neighbour's slot.
+        neighbour = (me + 1) % n
+        value = yield th.read_elem(grid, neighbour)
+        return value
+
+    def main(th):
+        n = 4
+        barrier = None  # created below via the runtime (needs parties count)
+        grid = yield th.new_array(n)
+        handles = []
+        for i in range(n):
+            handle = yield th.fork(worker, BARRIER[0], grid, i, n)
+            handles.append(handle)
+        results = []
+        for handle in handles:
+            yield th.join(handle)
+            results.append(handle.result)
+        return results
+
+    BARRIER = []
+    for seed in range(6):
+        rt = make_runtime(scheduler=RandomScheduler(seed=seed))
+        BARRIER.clear()
+        BARRIER.append(rt.new_barrier(4))
+        rt.spawn_main(main)
+        result = rt.run()
+        assert result.main_result == [10, 20, 30, 0]
+        assert result.races == [], f"seed {seed}: {result.races}"
+
+
+def test_strided_scheduler_runs_to_completion():
+    def worker(th, shared, lock):
+        for _ in range(5):
+            yield th.acquire(lock)
+            v = yield th.read(shared, "n")
+            yield th.write(shared, "n", v + 1)
+            yield th.release(lock)
+
+    def main(th):
+        lock = yield th.new("Lock")
+        shared = yield th.new("S", n=0)
+        hs = []
+        for _ in range(3):
+            h = yield th.fork(worker, shared, lock)
+            hs.append(h)
+        for h in hs:
+            yield th.join(h)
+        return (yield th.read(shared, "n"))
+
+    rt = make_runtime(scheduler=StridedScheduler(stride=4))
+    rt.spawn_main(main)
+    assert rt.run().main_result == 15
+
+
+def test_uninstrumented_mode_reports_nothing_but_runs():
+    def t1(th, shared):
+        yield th.write(shared, "x", 1)
+
+    def main(th):
+        shared = yield th.new("S", x=0)
+        h = yield th.fork(t1, shared)
+        yield th.write(shared, "x", 2)  # deliberate race
+        yield th.join(h)
+
+    rt = Runtime(detector=None, scheduler=RandomScheduler(seed=1))
+    rt.spawn_main(main)
+    result = rt.run()
+    assert result.races == []
+    assert result.counts.accesses_total > 0
+    assert result.counts.accesses_checked == 0

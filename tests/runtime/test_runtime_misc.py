@@ -1,0 +1,167 @@
+"""Remaining runtime surfaces: setup helpers, guards, event emission."""
+
+import pytest
+
+from repro.core import DeadlockError, LazyGoldilocks, Tid
+from repro.core.actions import Acquire, Alloc, Fork, Release
+from repro.core.tee import TeeDetector
+from repro.runtime import RoundRobinScheduler, Runtime
+from repro.trace import TraceRecorder
+
+
+def test_spawn_main_rejects_non_generator_bodies():
+    runtime = Runtime()
+
+    def not_a_generator(th):
+        return 42
+
+    with pytest.raises(TypeError):
+        runtime.spawn_main(not_a_generator)
+
+
+def test_run_without_threads_is_an_error():
+    with pytest.raises(ValueError):
+        Runtime().run()
+
+
+def test_new_shared_sets_raw_fields_without_events():
+    recorder = TraceRecorder()
+    runtime = Runtime(detector=recorder)
+    obj = runtime.new_shared("Config", volatile_fields=("flag",), size=10)
+    assert obj.raw_get("size") == 10
+    assert obj.is_volatile("flag")
+    assert recorder.events == []
+
+
+def test_max_steps_guards_against_livelock():
+    def spinner(th):
+        while True:
+            yield th.step()
+
+    runtime = Runtime(max_steps=100)
+    runtime.spawn_main(spinner)
+    with pytest.raises(DeadlockError):
+        runtime.run()
+
+
+def test_race_vars_property_on_run_result():
+    def racer(th, shared):
+        for _ in range(3):
+            yield th.step()
+        yield th.write(shared, "x", 1)
+
+    def main(th):
+        shared = yield th.new("S")
+        handle = yield th.fork(racer, shared)
+        yield th.write(shared, "x", 2)
+        yield th.join(handle)
+
+    runtime = Runtime(
+        detector=LazyGoldilocks(),
+        scheduler=RoundRobinScheduler(),
+        race_policy="record",
+    )
+    runtime.spawn_main(main)
+    result = runtime.run()
+    assert {var.field for var in result.race_vars} == {"x"}
+
+
+def test_reentrant_monitor_emits_only_outermost_events():
+    recorder = TraceRecorder()
+
+    def main(th):
+        lock = yield th.new("Lock")
+        yield th.acquire(lock)
+        yield th.acquire(lock)   # re-entry: no event
+        yield th.release(lock)   # inner exit: no event
+        yield th.release(lock)
+
+    runtime = Runtime(detector=recorder, scheduler=RoundRobinScheduler())
+    runtime.spawn_main(main)
+    runtime.run()
+    kinds = [type(e.action).__name__ for e in recorder.events]
+    assert kinds.count("Acquire") == 1
+    assert kinds.count("Release") == 1
+
+
+def test_dying_thread_force_releases_monitors_with_events():
+    """A thread killed by an uncaught error must not strand its monitors."""
+    recorder = TraceRecorder()
+
+    def crasher(th, lock):
+        yield th.acquire(lock)
+        raise RuntimeError("boom")
+
+    def main(th):
+        lock = yield th.new("Lock")
+        handle = yield th.fork(crasher, lock)
+        yield th.join(handle)
+        # If the crasher's monitor leaked, this would deadlock.
+        yield th.acquire(lock)
+        yield th.release(lock)
+        return "recovered"
+
+    runtime = Runtime(
+        detector=TeeDetector(LazyGoldilocks(), recorder),
+        scheduler=RoundRobinScheduler(),
+    )
+    runtime.spawn_main(main)
+    result = runtime.run()
+    assert result.main_result == "recovered"
+    assert len(result.uncaught) == 1
+    releases = [e for e in recorder.events if isinstance(e.action, Release)]
+    acquires = [e for e in recorder.events if isinstance(e.action, Acquire)]
+    assert len(releases) == len(acquires), "the forced release must be visible"
+
+
+def test_alloc_and_fork_events_reach_the_detector():
+    recorder = TraceRecorder()
+
+    def child(th):
+        yield th.step()
+
+    def main(th):
+        obj = yield th.new("Thing")
+        handle = yield th.fork(child)
+        yield th.join(handle)
+
+    runtime = Runtime(detector=recorder, scheduler=RoundRobinScheduler())
+    runtime.spawn_main(main)
+    runtime.run()
+    kinds = [type(e.action).__name__ for e in recorder.events]
+    assert "Alloc" in kinds
+    assert "Fork" in kinds
+    assert "Join" in kinds
+
+
+def test_thread_handle_surface():
+    def child(th, n):
+        yield th.step()
+        return n * 2
+
+    def main(th):
+        handle = yield th.fork(child, 21, name="doubler")
+        assert handle.name == "doubler"
+        assert isinstance(handle.tid, Tid)
+        yield th.join(handle)
+        assert handle.done
+        assert handle.uncaught is None
+        return handle.result
+
+    runtime = Runtime(scheduler=RoundRobinScheduler())
+    runtime.spawn_main(main)
+    assert runtime.run().main_result == 42
+
+
+def test_notify_without_monitor_ownership_is_an_error():
+    def main(th):
+        box = yield th.new("Box")
+        try:
+            yield th.notify(box)
+        except Exception as exc:  # SynchronizationError
+            return type(exc).__name__
+        return "no-error"
+
+    runtime = Runtime(scheduler=RoundRobinScheduler())
+    runtime.spawn_main(main)
+    assert runtime.run().main_result == "SynchronizationError"

@@ -1,0 +1,113 @@
+"""Unit tests for schedulers, the heap, and check filters."""
+
+import pytest
+
+from repro.core.actions import DataVar, Obj, Tid, VolatileVar
+from repro.runtime import (
+    Heap,
+    RaceFreeFieldsFilter,
+    RandomScheduler,
+    RoundRobinScheduler,
+    StridedScheduler,
+    field_key,
+)
+
+T = [Tid(i) for i in range(5)]
+
+
+class TestSchedulers:
+    def test_round_robin_rotates(self):
+        scheduler = RoundRobinScheduler()
+        runnable = [T[0], T[1], T[2]]
+        picks = [scheduler.pick(runnable) for _ in range(6)]
+        assert picks == [T[0], T[1], T[2], T[0], T[1], T[2]]
+
+    def test_round_robin_skips_blocked_threads(self):
+        scheduler = RoundRobinScheduler()
+        assert scheduler.pick([T[0], T[1], T[2]]) == T[0]
+        assert scheduler.pick([T[2]]) == T[2]
+        assert scheduler.pick([T[0], T[1], T[2]]) == T[0]
+
+    def test_random_scheduler_is_seeded(self):
+        a = [RandomScheduler(seed=3).pick([T[0], T[1], T[2]]) for _ in range(10)]
+        b = [RandomScheduler(seed=3).pick([T[0], T[1], T[2]]) for _ in range(10)]
+        assert a == b
+
+    def test_random_scheduler_covers_all_threads(self):
+        scheduler = RandomScheduler(seed=0)
+        picks = {scheduler.pick([T[0], T[1], T[2]]) for _ in range(60)}
+        assert picks == {T[0], T[1], T[2]}
+
+    def test_strided_scheduler_runs_bursts(self):
+        scheduler = StridedScheduler(stride=3)
+        picks = [scheduler.pick([T[0], T[1]]) for _ in range(8)]
+        assert picks == [T[0]] * 3 + [T[1]] * 3 + [T[0]] * 2
+
+    def test_strided_scheduler_moves_on_when_current_blocks(self):
+        scheduler = StridedScheduler(stride=4)
+        assert scheduler.pick([T[0], T[1]]) == T[0]
+        assert scheduler.pick([T[1]]) == T[1]   # T0 blocked mid-burst
+
+    def test_strided_rejects_nonpositive_stride(self):
+        with pytest.raises(ValueError):
+            StridedScheduler(stride=0)
+
+
+class TestHeap:
+    def test_fresh_addresses_are_unique(self):
+        heap = Heap()
+        objs = [heap.new_object() for _ in range(10)]
+        assert len({o.obj for o in objs}) == 10
+        assert heap.object_count() == 10
+
+    def test_volatile_fields_are_recorded(self):
+        heap = Heap()
+        obj = heap.new_object("Flag", volatile_fields=("ready",))
+        assert obj.is_volatile("ready")
+        assert not obj.is_volatile("payload")
+
+    def test_var_interning(self):
+        heap = Heap()
+        obj = heap.new_object()
+        assert obj.data_var("x") is obj.data_var("x")
+        assert obj.volatile_var("x") is obj.volatile_var("x")
+        assert obj.data_var("x") == DataVar(obj.obj, "x")
+        assert obj.volatile_var("x") == VolatileVar(obj.obj, "x")
+        assert obj.data_var("x") != obj.volatile_var("x")
+
+    def test_arrays_bounds_and_element_vars(self):
+        heap = Heap()
+        arr = heap.new_array(3, fill=7, element_class="arr9")
+        assert arr.class_name == "arr9[]"
+        assert arr.raw_get("[0]") == 7
+        assert arr.element_var(2) == DataVar(arr.obj, "[2]")
+        with pytest.raises(IndexError):
+            arr.element_var(3)
+        with pytest.raises(ValueError):
+            heap.new_array(-1)
+
+
+class TestCheckFilters:
+    def test_field_key_collapses_indices(self):
+        assert field_key("[17]") == "[]"
+        assert field_key("count") == "count"
+
+    def test_race_free_fields_filter(self):
+        check = RaceFreeFieldsFilter(
+            may_race={("S", "count"), ("arr5[]", "[]")},
+            analyzed_classes={"S", "Clean", "arr5[]", "arr9[]"},
+        )
+        assert check.should_check("S", "count")
+        assert not check.should_check("S", "other")
+        assert not check.should_check("Clean", "anything")
+        assert check.should_check("arr5[]", "[3]")     # index collapse
+        assert not check.should_check("arr9[]", "[3]")
+        # Classes outside the analysis stay checked (sound default).
+        assert check.should_check("Unknown", "x")
+
+    def test_describe_strings(self):
+        from repro.runtime import CheckFilter
+
+        assert "no static" in CheckFilter().describe()
+        named = RaceFreeFieldsFilter(set(), set(), name="chord")
+        assert "chord" in named.describe()

@@ -1,0 +1,260 @@
+"""Software transactions: atomicity, rollback, commit events, regions."""
+
+import pytest
+
+from repro.core import (
+    DataRaceException,
+    LazyGoldilocks,
+    TransactionError,
+)
+from repro.runtime import RandomScheduler, RoundRobinScheduler, Runtime
+
+
+def test_atomic_transfer_is_atomic_and_race_free_with_other_transactions():
+    def transfer(th, a, b, amount, rounds):
+        def body(txn):
+            bal_a = txn.read(a, "bal")
+            bal_b = txn.read(b, "bal")
+            txn.write(a, "bal", bal_a - amount)
+            txn.write(b, "bal", bal_b + amount)
+
+        for _ in range(rounds):
+            yield th.atomic(body)
+
+    def main(th):
+        a = yield th.new("Account", bal=100)
+        b = yield th.new("Account", bal=100)
+        h1 = yield th.fork(transfer, a, b, 5, 10)
+        h2 = yield th.fork(transfer, b, a, 3, 10)
+        yield th.join(h1)
+        yield th.join(h2)
+
+        def read_both(txn):
+            return (txn.read(a, "bal"), txn.read(b, "bal"))
+
+        return (yield th.atomic(read_both))
+
+    for seed in range(5):
+        rt = Runtime(detector=LazyGoldilocks(), scheduler=RandomScheduler(seed=seed))
+        rt.spawn_main(main)
+        result = rt.run()
+        bal_a, bal_b = result.main_result
+        assert bal_a + bal_b == 200, "atomicity violated"
+        assert bal_a == 100 - 50 + 30
+        assert result.races == [], f"seed {seed}"
+        assert result.stm_commits == 21
+
+
+def test_explicit_retry_rolls_back_and_reruns():
+    attempts = []
+
+    def body(txn, shared):
+        attempts.append(1)
+        txn.write(shared, "x", 42)
+        if len(attempts) < 3:
+            txn.retry("not yet")
+        return "committed"
+
+    def main(th):
+        shared = yield th.new("S", x=0)
+        outcome = yield th.atomic(body, shared)
+        value = yield th.read(shared, "x")
+        return (outcome, value)
+
+    rt = Runtime(detector=LazyGoldilocks(), scheduler=RoundRobinScheduler())
+    rt.spawn_main(main)
+    result = rt.run()
+    assert result.main_result == ("committed", 42)
+    assert len(attempts) == 3
+    assert result.stm_aborts == 2
+    assert result.stm_commits == 1
+
+
+def test_aborted_writes_never_reach_the_heap():
+    def body(txn, shared):
+        txn.write(shared, "x", 999)
+        txn.retry("always")
+
+    def main(th):
+        shared = yield th.new("S", x=7)
+        try:
+            yield th.atomic(body, shared, max_retries=3)
+        except TransactionError:
+            pass
+        return (yield th.read(shared, "x"))
+
+    rt = Runtime(detector=LazyGoldilocks(), scheduler=RoundRobinScheduler())
+    rt.spawn_main(main)
+    assert rt.run().main_result == 7
+
+
+def test_volatile_access_inside_transaction_is_rejected():
+    def body(txn, flag):
+        return txn.read(flag, "ready")
+
+    def main(th):
+        flag = yield th.new("Flag", volatile_fields=("ready",))
+        try:
+            yield th.atomic(body, flag)
+        except TransactionError:
+            return "rejected"
+        return "allowed"
+
+    rt = Runtime(detector=LazyGoldilocks(), scheduler=RoundRobinScheduler())
+    rt.spawn_main(main)
+    assert rt.run().main_result == "rejected"
+
+
+def test_example4_transaction_vs_lock_races_and_rolls_back():
+    """Example 4 at the runtime level: the transaction sees the race and,
+
+    under the throw policy, its effects are rolled back ("optimistic use of
+    the DataRaceException as conflict detection")."""
+
+    def locked_withdraw(th, checking):
+        yield th.acquire(checking)
+        bal = yield th.read(checking, "bal")
+        yield th.write(checking, "bal", bal - 42)
+        yield th.release(checking)
+
+    def transactional_transfer(th, savings, checking):
+        # Delay so the locked withdrawal lands first under round-robin; the
+        # two operations are unordered either way (no join between them).
+        for _ in range(10):
+            yield th.step()
+
+        def body(txn):
+            txn.write(savings, "bal", txn.read(savings, "bal") - 42)
+            txn.write(checking, "bal", txn.read(checking, "bal") + 42)
+
+        try:
+            yield th.atomic(body)
+        except DataRaceException as exc:
+            return ("race", exc.report.var.field)
+        return ("ok",)
+
+    def main(th):
+        savings = yield th.new("Account", bal=100)
+        checking = yield th.new("Account", bal=100)
+        h1 = yield th.fork(locked_withdraw, checking)
+        h2 = yield th.fork(transactional_transfer, savings, checking)
+        yield th.join(h1)
+        yield th.join(h2)
+        cb = yield th.read(checking, "bal")
+        return (h2.result, cb)
+
+    rt = Runtime(detector=LazyGoldilocks(), scheduler=RoundRobinScheduler())
+    rt.spawn_main(main)
+    result = rt.run()
+    (status, *_rest), checking_bal = result.main_result
+    assert status == "race"
+    # The transaction rolled back: only the locked withdrawal is visible.
+    assert checking_bal == 58
+
+
+def test_lock_translated_region_emits_commit_and_hides_internal_locks():
+    """Section 6.1 protocol: region accesses are race-checked as one commit.
+
+    Two threads update the same variable inside lock-translated regions
+    protected by the same object lock: the internal lock is invisible, but
+    the commits share a footprint, so the execution is race-free *through
+    the transactional happens-before*, not through the hidden lock.
+    """
+
+    def worker(th, shared, lock):
+        yield th.txn_region_begin()
+        yield th.acquire(lock)
+        v = yield th.read(shared, "x")
+        yield th.write(shared, "x", v + 1)
+        yield th.release(lock)   # commit point
+        yield th.txn_region_end()
+
+    def main(th):
+        lock = yield th.new("Lock")
+        shared = yield th.new("S")
+
+        def init(txn):
+            txn.write(shared, "x", 0)
+
+        yield th.atomic(init)
+        hs = []
+        for _ in range(3):
+            h = yield th.fork(worker, shared, lock)
+            hs.append(h)
+        for h in hs:
+            yield th.join(h)
+
+        def read_x(txn):
+            return txn.read(shared, "x")
+
+        return (yield th.atomic(read_x))
+
+    for seed in range(5):
+        rt = Runtime(detector=LazyGoldilocks(), scheduler=RandomScheduler(seed=seed))
+        rt.spawn_main(main)
+        result = rt.run()
+        assert result.main_result == 3
+        assert result.races == [], f"seed {seed}: {result.races}"
+        # init + 3 workers + final read = 5 commits
+        assert result.stm_commits == 5
+
+
+def test_region_access_after_commit_point_is_rejected():
+    def worker(th, shared, lock):
+        yield th.txn_region_begin()
+        yield th.acquire(lock)
+        yield th.write(shared, "x", 1)
+        yield th.release(lock)  # commit point
+        try:
+            yield th.write(shared, "x", 2)  # too late
+        except TransactionError:
+            yield th.txn_region_end()
+            return "rejected"
+        return "allowed"
+
+    def main(th):
+        lock = yield th.new("Lock")
+        shared = yield th.new("S")
+        h = yield th.fork(worker, shared, lock)
+        yield th.join(h)
+        return h.result
+
+    rt = Runtime(detector=LazyGoldilocks(), scheduler=RoundRobinScheduler())
+    rt.spawn_main(main)
+    assert rt.run().main_result == "rejected"
+
+
+def test_plain_access_races_with_region_transaction():
+    """A lock-free plain write against a region transaction on the same var
+
+    must race (the region's internal lock must NOT protect it, because the
+    lock belongs to the transaction implementation, not the program)."""
+
+    def plain(th, shared):
+        yield th.write(shared, "x", 7)
+
+    def region(th, shared, lock):
+        for _ in range(6):
+            yield th.step()  # let the plain write land first
+        yield th.txn_region_begin()
+        yield th.acquire(lock)
+        yield th.write(shared, "x", 8)
+        yield th.release(lock)
+        yield th.txn_region_end()
+
+    def main(th):
+        lock = yield th.new("Lock")
+        shared = yield th.new("S")
+        h1 = yield th.fork(plain, shared)
+        h2 = yield th.fork(region, shared, lock)
+        yield th.join(h1)
+        yield th.join(h2)
+
+    rt = Runtime(
+        detector=LazyGoldilocks(),
+        scheduler=RoundRobinScheduler(),
+        race_policy="record",
+    )
+    rt.spawn_main(main)
+    result = rt.run()
+    assert {r.var.field for r in result.races} == {"x"}

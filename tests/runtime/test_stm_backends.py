@@ -1,0 +1,176 @@
+"""Both STM backends (lazy write-buffer, eager undo-log) behave identically.
+
+The detector never sees the difference -- only ``commit(R, W)`` actions --
+which is exactly the paper's modularity claim about transaction
+implementations.
+"""
+
+import pytest
+
+from repro.core import DataRaceException, LazyGoldilocks, TransactionError
+from repro.runtime import RandomScheduler, RoundRobinScheduler, Runtime
+from repro.runtime.stm import TransactionManager, UndoLogTxnView
+
+MODES = ["lazy", "eager"]
+
+
+def run_with_mode(main, mode, seed=0, race_policy="throw"):
+    runtime = Runtime(
+        detector=LazyGoldilocks(),
+        scheduler=RandomScheduler(seed=seed),
+        race_policy=race_policy,
+        stm_mode=mode,
+    )
+    runtime.spawn_main(main)
+    return runtime.run()
+
+
+def transfer_program(rounds=6):
+    def mover(th, shared):
+        def body(txn):
+            txn.write(shared, "a", txn.read(shared, "a") - 1)
+            txn.write(shared, "b", txn.read(shared, "b") + 1)
+
+        for _ in range(rounds):
+            yield th.atomic(body)
+
+    def main(th):
+        shared = yield th.new("S", a=100, b=0)
+
+        def init(txn):
+            pass
+
+        t1 = yield th.fork(mover, shared)
+        t2 = yield th.fork(mover, shared)
+        yield th.join(t1)
+        yield th.join(t2)
+
+        def readback(txn):
+            return (txn.read(shared, "a"), txn.read(shared, "b"))
+
+        return (yield th.atomic(readback))
+
+    return main
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("seed", range(3))
+def test_transfers_conserve_total_under_both_backends(mode, seed):
+    result = run_with_mode(transfer_program(), mode, seed=seed)
+    a, b = result.main_result
+    assert a + b == 100
+    assert (a, b) == (100 - 12, 12)
+    assert result.races == []
+    assert result.stm_commits == 13
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_explicit_retry_rolls_back_under_both_backends(mode):
+    attempts = []
+
+    def body(txn, shared):
+        attempts.append(1)
+        txn.write(shared, "x", 999)
+        if len(attempts) < 3:
+            txn.retry("again")
+        return "done"
+
+    def main(th):
+        shared = yield th.new("S", x=5)
+        outcome = yield th.atomic(body, shared)
+        value = yield th.read(shared, "x")
+        return (outcome, value)
+
+    attempts.clear()
+    result = run_with_mode(main, mode)
+    assert result.main_result == ("done", 999)
+    assert len(attempts) == 3
+    assert result.stm_aborts == 2
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_aborted_effects_invisible_under_both_backends(mode):
+    def body(txn, shared):
+        txn.write(shared, "x", 111)
+        txn.write(shared, "y", 222)
+        txn.retry("always")
+
+    def main(th):
+        shared = yield th.new("S", x=1, y=2)
+        try:
+            yield th.atomic(body, shared, max_retries=2)
+        except TransactionError:
+            pass
+        x = yield th.read(shared, "x")
+        y = yield th.read(shared, "y")
+        return (x, y)
+
+    result = run_with_mode(main, mode)
+    assert result.main_result == (1, 2), f"{mode}: aborted writes leaked"
+
+
+@pytest.mark.parametrize("mode", MODES)
+def test_race_rollback_under_both_backends(mode):
+    """Example 4 shape: the racing transaction's effects must vanish."""
+
+    def locked(th, acct):
+        yield th.acquire(acct)
+        bal = yield th.read(acct, "bal")
+        yield th.write(acct, "bal", bal - 42)
+        yield th.release(acct)
+
+    def txn(th, acct):
+        for _ in range(8):
+            yield th.step()
+
+        def body(t):
+            t.write(acct, "bal", t.read(acct, "bal") + 1000)
+
+        try:
+            yield th.atomic(body)
+            return "ok"
+        except DataRaceException:
+            return "rolled-back"
+
+    def main(th):
+        acct = yield th.new("Account", bal=100)
+        t1 = yield th.fork(locked, acct)
+        t2 = yield th.fork(txn, acct)
+        yield th.join(t1)
+        yield th.join(t2)
+        return (t2.result, (yield th.read(acct, "bal")))
+
+    runtime = Runtime(
+        detector=LazyGoldilocks(),
+        scheduler=RoundRobinScheduler(),
+        race_policy="throw",
+        stm_mode=mode,
+    )
+    runtime.spawn_main(main)
+    result = runtime.run()
+    outcome, bal = result.main_result
+    assert outcome == "rolled-back"
+    assert bal == 58, f"{mode}: rollback failed, balance {bal}"
+
+
+def test_undo_log_unit_semantics():
+    """White-box: direct writes land immediately, rollback restores order."""
+    from repro.runtime import Heap
+
+    heap = Heap()
+    obj = heap.new_object("S")
+    obj.raw_set("x", 1)
+    stm = TransactionManager()
+    txn = UndoLogTxnView(stm)
+    txn.write(obj, "x", 2)
+    assert obj.raw_get("x") == 2, "eager backend writes in place"
+    txn.write(obj, "x", 3)
+    assert txn.writes == {obj.data_var("x")}
+    assert len(txn.undo_log) == 1, "one undo entry per variable"
+    txn.rollback()
+    assert obj.raw_get("x") == 1
+
+
+def test_invalid_stm_mode_rejected():
+    with pytest.raises(ValueError):
+        Runtime(stm_mode="optimistic")

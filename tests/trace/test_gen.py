@@ -1,0 +1,111 @@
+"""The fuzzer must only generate *feasible* executions.
+
+The property suites trust the generator's traces to be valid
+linearizations; these tests check the well-formedness invariants directly.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.actions import (
+    Acquire,
+    Alloc,
+    Commit,
+    Fork,
+    Join,
+    Read,
+    Release,
+    Write,
+)
+from repro.trace import RandomTraceGenerator
+
+seeds = st.integers(min_value=0, max_value=10**9)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=seeds)
+def test_lock_usage_is_well_formed(seed):
+    """Locks are exclusive; releases only by the current holder."""
+    events = RandomTraceGenerator().generate(seed)
+    owner = {}
+    for event in events:
+        action = event.action
+        if isinstance(action, Acquire):
+            assert owner.get(action.obj) is None, f"double acquire at {event!r}"
+            owner[action.obj] = event.tid
+        elif isinstance(action, Release):
+            assert owner.get(action.obj) == event.tid, f"bad release at {event!r}"
+            owner[action.obj] = None
+    assert all(holder is None for holder in owner.values()), "locks left held"
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=seeds)
+def test_threads_act_only_between_fork_and_join(seed):
+    events = RandomTraceGenerator().generate(seed)
+    forked = {events[0].tid} if events else set()
+    last_action = {}
+    joined_at = {}
+    for pos, event in enumerate(events):
+        if event.tid.value == 0:
+            forked.add(event.tid)
+        assert event.tid in forked or event.tid.value == 0 or any(
+            isinstance(e.action, Fork) and e.action.child == event.tid
+            for e in events[:pos]
+        ), f"thread {event.tid!r} acted before being forked"
+        last_action[event.tid] = pos
+        if isinstance(event.action, Fork):
+            forked.add(event.action.child)
+        elif isinstance(event.action, Join):
+            joined_at[event.action.child] = pos
+    for child, join_pos in joined_at.items():
+        assert last_action.get(child, -1) <= join_pos, (
+            f"{child!r} acted after being joined"
+        )
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=seeds)
+def test_program_order_indices_are_consecutive(seed):
+    events = RandomTraceGenerator().generate(seed)
+    counters = {}
+    for event in events:
+        expected = counters.get(event.tid, 0)
+        assert event.index == expected, f"gap in program order at {event!r}"
+        counters[event.tid] = expected + 1
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=seeds)
+def test_transactions_commit_with_collected_footprints(seed):
+    """No dangling in-transaction state: every commit carries frozensets."""
+    events = RandomTraceGenerator().generate(seed)
+    for event in events:
+        if isinstance(event.action, Commit):
+            assert isinstance(event.action.reads, frozenset)
+            assert isinstance(event.action.writes, frozenset)
+
+
+def test_generation_is_deterministic_per_seed():
+    gen = RandomTraceGenerator()
+    assert gen.generate(99) == gen.generate(99)
+    assert gen.generate(99) != gen.generate(100)
+
+
+def test_knobs_change_the_mix():
+    no_txn = RandomTraceGenerator(with_transactions=False).generate(5)
+    assert not any(isinstance(e.action, Commit) for e in no_txn)
+    no_forks = RandomTraceGenerator(with_forks=False).generate(5)
+    assert not any(isinstance(e.action, Fork) for e in no_forks)
+    assert len({e.tid for e in no_forks}) == 1
+
+
+def test_traces_mix_racy_and_clean_runs():
+    """The defaults must produce BOTH racy and race-free executions across
+
+    seeds -- otherwise the precision property tests are vacuous."""
+    from repro.oracle import racy_vars
+
+    verdicts = {
+        bool(racy_vars(RandomTraceGenerator().generate(seed))) for seed in range(40)
+    }
+    assert verdicts == {True, False}

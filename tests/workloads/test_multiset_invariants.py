@@ -1,0 +1,74 @@
+"""Semantic invariants of the transactional Multiset (Table 3's workload).
+
+Beyond race freedom, the Multiset's reserve/publish/rollback protocol must
+keep the data structure consistent under every mix of schedules: no slot
+double-booked, no reserved slot leaked, counts consistent with outcomes.
+"""
+
+import pytest
+
+from repro.core import LazyGoldilocks
+from repro.lang import run_program
+from repro.runtime import RandomScheduler, StridedScheduler
+from repro.workloads import get, table3_args
+
+
+def run_multiset(threads=6, rounds=2, seed=0, scheduler=None):
+    workload = get("multiset")
+    return run_program(
+        workload.program(),
+        detector=LazyGoldilocks(),
+        race_policy="disable",
+        main_args=(threads, 10, rounds),
+        scheduler=scheduler or RandomScheduler(seed=seed),
+        max_steps=20_000_000,
+    )
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_no_reserved_slot_leaks_and_no_races(seed):
+    result = run_multiset(seed=seed)
+    assert result.uncaught == [], f"seed {seed}"
+    assert result.races == [], f"seed {seed}"
+    # Decode the packed stats from main's return value.
+    packed = result.main_result
+    inserts = packed // 1000000
+    fails = (packed // 10000) % 100
+    deletes = (packed // 100) % 100
+    hits = packed % 100
+    # Every successful insert was visible to its own lookup...
+    assert hits == inserts
+    # ... and deleted exactly its two values.
+    assert deletes == 2 * inserts
+    # Work conservation: every round either inserted or failed.
+    assert inserts + fails == 6 * 2
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_final_multiset_is_empty_after_balanced_workload(seed):
+    """Every published value is deleted, every failed insert rolled back, so
+
+    the elements array must end all-zero (no leaked reservations)."""
+    result = run_multiset(seed=seed)
+    interp = result.interpreter
+    heap = interp.runtime.heap
+    arrays = [
+        obj
+        for obj in heap.objects.values()
+        if obj.class_name.endswith("[]") and getattr(obj, "length", 0) == 10
+    ]
+    assert arrays, "the elements array must exist"
+    elements = arrays[0]
+    values = [elements.raw_get(f"[{i}]") for i in range(10)]
+    assert values == [0] * 10, f"seed {seed}: leaked slots {values}"
+
+
+def test_commit_counts_match_protocol():
+    """Each round: 2 reservations + (publish + lookup + 2 deletes | rollback)."""
+    threads, rounds = 4, 2
+    result = run_multiset(threads=threads, rounds=rounds, seed=1)
+    packed = result.main_result
+    inserts = packed // 1000000
+    fails = (packed // 10000) % 100
+    expected = threads * rounds * 2 + inserts * 4 + fails * 1
+    assert result.stm_commits == expected

@@ -1,0 +1,150 @@
+"""Static analyses vs the Table 1 workloads: the paper's narrative, verified.
+
+Two global soundness properties and the per-benchmark classifications that
+Table 1's slowdown columns rely on:
+
+* **soundness**: no field that actually races at runtime may be declared
+  race-free by either tool (checked workload by workload);
+* **the barrier split**: Chord flags the barrier-protected arrays of
+  moldyn / raytracer / sor2, RccJava proves them.
+"""
+
+import pytest
+
+from repro.analysis import AnalysisModel, run_chord, run_rccjava
+from repro.core import LazyGoldilocks
+from repro.lang import run_program
+from repro.runtime import StridedScheduler, field_key
+from repro.workloads import get, table1_workloads
+
+WORKLOAD_NAMES = [w.name for w in table1_workloads()] + ["multiset"]
+
+
+def reports_for(name):
+    program = get(name).program()
+    model = AnalysisModel(program)
+    return run_chord(program, model), run_rccjava(program, model)
+
+
+def runtime_racy_keys(name, scale="tiny", seeds=(0, 1, 2)):
+    """(class, field) keys that actually race dynamically, across seeds."""
+    workload = get(name)
+    keys = set()
+    for seed in seeds:
+        result = run_program(
+            workload.program(),
+            detector=LazyGoldilocks(),
+            race_policy="record",
+            main_args=workload.args(scale),
+            scheduler=StridedScheduler(stride=5 + seed),
+            seed=seed,
+            max_steps=2_000_000,
+        )
+        for report in result.races:
+            # Map the runtime variable back to its static key via the heap.
+            keys.add(report.var)
+    return keys
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_static_tools_are_sound_on_workload(name):
+    """Dynamically racing fields must be in both tools' may-race sets."""
+    workload = get(name)
+    chord, rcc = reports_for(name)
+    result = run_program(
+        workload.program(),
+        detector=LazyGoldilocks(),
+        race_policy="record",
+        main_args=workload.args("tiny"),
+        scheduler=StridedScheduler(stride=8),
+        max_steps=2_000_000,
+    )
+    runtime = result.interpreter.runtime if hasattr(result, "interpreter") else None
+    for report in result.races:
+        var = report.var
+        # Resolve the runtime class of the object that raced.
+        robj = None
+        # the interpreter's runtime holds the heap
+        heap = result.interpreter.runtime.heap  # type: ignore[attr-defined]
+        robj = heap.objects.get(var.obj)
+        assert robj is not None
+        key = (robj.class_name, field_key(var.field))
+        assert key in chord.may_race_fields, f"{name}: chord missed racy {key}"
+        assert key in rcc.may_race_fields, f"{name}: rccjava missed racy {key}"
+
+
+@pytest.mark.parametrize(
+    "name,array_holders",
+    [
+        ("moldyn", ("pos", "vel", "force")),
+        ("raytracer", ("pixels", "smooth")),
+        ("sor2", ("cur", "nxt")),
+    ],
+)
+def test_barrier_arrays_split_chord_and_rccjava(name, array_holders):
+    chord, rcc = reports_for(name)
+    chord_arrays = {k for k in chord.may_race_fields if k[1] == "[]"}
+    rcc_arrays = {k for k in rcc.may_race_fields if k[1] == "[]"}
+    assert chord_arrays, f"{name}: Chord should flag the barrier arrays"
+    assert not rcc_arrays, f"{name}: RccJava should prove them: {rcc_arrays}"
+
+
+@pytest.mark.parametrize("name", ["montecarlo", "philo", "series", "sor"])
+def test_fully_disciplined_workloads_are_clean_for_both_tools(name):
+    chord, rcc = reports_for(name)
+    assert not chord.may_race_fields, f"{name}: {chord.may_race_fields}"
+    assert not rcc.may_race_fields, f"{name}: {rcc.may_race_fields}"
+
+
+@pytest.mark.parametrize(
+    "name,racy_field",
+    [("colt", ("Stats", "lastOp")), ("hedc", ("Pool", "shutdown")), ("tsp", ("Best", "len"))],
+)
+def test_racy_workloads_keep_their_racy_field_flagged(name, racy_field):
+    chord, rcc = reports_for(name)
+    assert racy_field in chord.may_race_fields
+    assert racy_field in rcc.may_race_fields
+
+
+def test_chord_eliminates_most_of_montecarlo_and_colt():
+    """The Table 2 shape: heavy thread-local workloads end nearly all-clean."""
+    for name in ("montecarlo", "colt"):
+        chord, _ = reports_for(name)
+        racy = len(chord.may_race_fields)
+        total = len(chord.all_fields)
+        assert total >= 4
+        assert racy <= max(1, total // 3), (
+            f"{name}: chord flagged {racy}/{total} fields"
+        )
+
+
+def test_filters_reduce_checked_accesses_on_moldyn():
+    """End-to-end: the RccJava filter must slash checked accesses on moldyn,
+
+    the Chord filter must not (the Table 1 mechanics in one test)."""
+    workload = get("moldyn")
+    program = workload.program()
+    model = AnalysisModel(program)
+    chord_filter = run_chord(program, model).to_filter()
+    rcc_filter = run_rccjava(program, model).to_filter()
+
+    def checked_with(check_filter):
+        result = run_program(
+            program,
+            detector=LazyGoldilocks(),
+            race_policy="disable",
+            check_filter=check_filter,
+            main_args=workload.args("tiny"),
+            scheduler=StridedScheduler(stride=8),
+            max_steps=2_000_000,
+        )
+        return result.counts.accesses_checked, result.counts.accesses_total
+
+    checked_none, total_none = checked_with(None)
+    checked_chord, _ = checked_with(chord_filter)
+    checked_rcc, _ = checked_with(rcc_filter)
+    assert checked_none == total_none  # no filter: everything checked
+    assert checked_rcc < checked_chord <= checked_none
+    assert checked_rcc <= total_none * 0.15, (
+        f"rccjava left {checked_rcc}/{total_none} checked"
+    )

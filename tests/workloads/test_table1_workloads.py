@@ -1,0 +1,95 @@
+"""Every Table 1 workload: parses, runs, races exactly as designed.
+
+These are integration tests of the whole stack: parser → interpreter →
+runtime → detector, plus the oracle cross-check at tiny sizes.
+"""
+
+import pytest
+
+from repro.core import EagerGoldilocksRW, LazyGoldilocks
+from repro.lang import run_program
+from repro.runtime import StridedScheduler
+from repro.workloads import get, table1_workloads
+
+WORKLOAD_NAMES = [w.name for w in table1_workloads()]
+
+
+def run_workload(name, scale="tiny", detector=None, seed=0, **kwargs):
+    workload = get(name)
+    return run_program(
+        workload.program(),
+        detector=detector,
+        race_policy="disable",
+        main_args=workload.args(scale),
+        scheduler=StridedScheduler(stride=8),
+        seed=seed,
+        max_steps=2_000_000,
+        **kwargs,
+    )
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_parses(name):
+    program = get(name).program()
+    assert "main" in program.functions
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_runs_uninstrumented(name):
+    result = run_workload(name, detector=None)
+    assert result.uncaught == [], f"{name}: {result.uncaught}"
+    assert result.counts.accesses_total > 0
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_workload_races_match_expectation(name):
+    workload = get(name)
+    result = run_workload(name, detector=LazyGoldilocks())
+    assert result.uncaught == [], f"{name}: {result.uncaught}"
+    if workload.expect_races:
+        assert result.races, f"{name} should exhibit its documented race"
+    else:
+        assert result.races == [], f"{name} must be race-free: {result.races}"
+
+
+@pytest.mark.parametrize("name", WORKLOAD_NAMES)
+def test_lazy_and_eager_agree_on_workloads(name):
+    lazy = run_workload(name, detector=LazyGoldilocks())
+    eager = run_workload(name, detector=EagerGoldilocksRW())
+    assert {r.var for r in lazy.races} == {r.var for r in eager.races}, name
+
+
+def test_colt_race_is_on_the_stats_field():
+    result = run_workload("colt", detector=LazyGoldilocks())
+    assert {r.var.field for r in result.races} == {"lastOp"}
+
+
+def test_hedc_race_is_on_the_shutdown_flag():
+    result = run_workload("hedc", scale="small", detector=LazyGoldilocks())
+    assert {r.var.field for r in result.races} == {"shutdown"}
+
+
+def test_tsp_race_is_on_the_best_bound():
+    result = run_workload("tsp", scale="small", detector=LazyGoldilocks())
+    assert {r.var.field for r in result.races} == {"len"}
+
+
+@pytest.mark.parametrize("name", ["moldyn", "sor2", "raytracer"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_barrier_workloads_race_free_across_schedules(name, seed):
+    result = run_workload(name, detector=LazyGoldilocks(), seed=seed)
+    assert result.races == [], f"{name} seed {seed}: {result.races}"
+
+
+def test_workload_results_deterministic_per_seed():
+    a = run_workload("montecarlo", detector=LazyGoldilocks(), seed=5)
+    b = run_workload("montecarlo", detector=LazyGoldilocks(), seed=5)
+    assert a.main_result == b.main_result
+
+
+def test_multiset_runs_and_commits_transactions():
+    result = run_workload("multiset", scale="tiny", detector=LazyGoldilocks())
+    assert result.uncaught == []
+    assert result.races == []
+    assert result.stm_commits > 0
+    assert result.stm_accesses > 0
