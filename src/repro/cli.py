@@ -8,6 +8,11 @@ Usage::
     repro-race oracle trace.txt                       # ground truth
     repro-race fuzz --seed 7 --out trace.txt          # generate a trace
     repro-race explain trace.txt --var 1.data         # lockset evolution
+    repro-race fuzz --seed 7 | repro-race analyze -   # stdin composes
+
+Every command that takes a trace accepts ``-`` for stdin and ``.gz``
+paths, so recorded streams pipe straight between the fuzzer, the
+:mod:`repro.server` service, and shell tooling.
 
 The trace format is the line-based one of :mod:`repro.trace.io` (see that
 module's docstring); ``fuzz`` emits it, the runtime's
@@ -43,6 +48,13 @@ DETECTORS = {
 }
 
 
+def _load(trace_arg: str):
+    """Load a trace argument: a path, a ``.gz`` path, or ``-`` for stdin."""
+    if trace_arg == "-":
+        return load_trace(sys.stdin)
+    return load_trace(trace_arg)
+
+
 def _make_detector(name: str, commit_sync: str):
     factory = DETECTORS[name]
     if name.startswith("goldilocks"):
@@ -51,7 +63,7 @@ def _make_detector(name: str, commit_sync: str):
 
 
 def cmd_analyze(args) -> int:
-    events = load_trace(args.trace)
+    events = _load(args.trace)
     status = 0
     for name in args.detector or ["goldilocks"]:
         try:
@@ -75,7 +87,7 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_oracle(args) -> int:
-    events = load_trace(args.trace)
+    events = _load(args.trace)
     oracle = HappensBeforeOracle(events, commit_sync=args.commit_sync)
     races = oracle.races()
     print(f"[oracle] {len(races)} racy pair(s) over {len(events)} events")
@@ -107,7 +119,7 @@ def cmd_shrink(args) -> int:
     """Delta-debug a racy trace down to a locally minimal reproducer."""
     from .trace.minimize import minimize_race, races_on
 
-    events = load_trace(args.trace)
+    events = _load(args.trace)
     if args.var:
         obj_part, _, field = args.var.partition(".")
         var = DataVar(Obj(int(obj_part)), field)
@@ -135,7 +147,7 @@ def cmd_shrink(args) -> int:
 
 def cmd_explain(args) -> int:
     """Print the Figure 6/7-style lockset evolution for one variable."""
-    events = load_trace(args.trace)
+    events = _load(args.trace)
     obj_part, _, field = args.var.partition(".")
     var = DataVar(Obj(int(obj_part)), field)
     try:
@@ -165,7 +177,7 @@ def main(argv: List[str] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     analyze = sub.add_parser("analyze", help="run detectors over a trace file")
-    analyze.add_argument("trace")
+    analyze.add_argument("trace", help="trace file, .gz, or - for stdin")
     analyze.add_argument(
         "--detector",
         action="append",
@@ -176,7 +188,7 @@ def main(argv: List[str] = None) -> int:
     analyze.set_defaults(func=cmd_analyze)
 
     oracle = sub.add_parser("oracle", help="ground-truth happens-before analysis")
-    oracle.add_argument("trace")
+    oracle.add_argument("trace", help="trace file, .gz, or - for stdin")
     oracle.set_defaults(func=cmd_oracle)
 
     fuzz = sub.add_parser("fuzz", help="generate a random feasible trace")
@@ -189,13 +201,13 @@ def main(argv: List[str] = None) -> int:
     fuzz.set_defaults(func=cmd_fuzz)
 
     shrink = sub.add_parser("shrink", help="delta-debug a racy trace to a minimal one")
-    shrink.add_argument("trace")
+    shrink.add_argument("trace", help="trace file, .gz, or - for stdin")
     shrink.add_argument("--var", default=None, help="variable as <obj>.<field> (default: first racy)")
     shrink.add_argument("--out", default=None)
     shrink.set_defaults(func=cmd_shrink)
 
     explain = sub.add_parser("explain", help="print one variable's lockset evolution")
-    explain.add_argument("trace")
+    explain.add_argument("trace", help="trace file, .gz, or - for stdin")
     explain.add_argument("--var", required=True, help="variable as <obj>.<field>")
     explain.set_defaults(func=cmd_explain)
 

@@ -14,6 +14,7 @@ algorithms freely.
 
 from __future__ import annotations
 
+import pickle
 from abc import ABC, abstractmethod
 from typing import Iterable, List
 
@@ -64,6 +65,27 @@ class Detector(ABC):
     def reset(self) -> None:
         """Restore the detector to its initial state (fresh stats included)."""
         self.__init__()  # subclasses keep all state in __init__
+
+    def checkpoint(self) -> bytes:
+        """Serialize the detector's full mid-stream state.
+
+        The blob restored by :meth:`restore` continues the *same* execution:
+        feeding it the remaining suffix of a trace yields exactly the reports
+        (and stats deltas) the original instance would have produced.  Used
+        by the streaming service to migrate or respawn shard workers without
+        replaying the shared synchronization-event history.
+        """
+        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def restore(cls, blob: bytes) -> "Detector":
+        """Rebuild a detector from :meth:`checkpoint` output."""
+        detector = pickle.loads(blob)
+        if not isinstance(detector, cls):
+            raise TypeError(
+                f"checkpoint holds a {type(detector).__name__}, not a {cls.__name__}"
+            )
+        return detector
 
     def __repr__(self) -> str:
         return f"<{type(self).__name__} {self.name!r}>"

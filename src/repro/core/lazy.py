@@ -316,7 +316,7 @@ class LazyGoldilocks(Detector):
         # commit-synchronization policy (footprint / writes / none-but-TL).
         _incoming, outgoing = self._commit_gains(self.commit_sync, action)
         extra = set(outgoing)
-        for var in sorted(action.footprint, key=lambda v: (v.obj.value, v.field)):
+        for var in self._commit_vars(action):
             self.stats.accesses_checked += 1
             if var in action.writes:
                 reports.extend(
@@ -328,6 +328,16 @@ class LazyGoldilocks(Detector):
                 )
         self._maybe_collect()
         return reports
+
+    def _commit_vars(self, action: Commit) -> List[DataVar]:
+        """The commit footprint variables this detector instance checks.
+
+        The base detector checks all of them; a sharded deployment (see
+        :mod:`repro.server.engine`) overrides this to restrict checking to
+        the variables its partition owns -- the commit itself is still
+        enqueued as a synchronization event either way.
+        """
+        return sorted(action.footprint, key=lambda v: (v.obj.value, v.field))
 
     def _handle_alloc(self, obj: Obj) -> None:
         """Allocation makes every field of ``obj`` fresh: drop its infos."""
@@ -479,3 +489,86 @@ class LazyGoldilocks(Detector):
         self.events.decref(info.pos)
         info.pos = cell
         self.events.incref(info.pos)
+
+    # -- checkpointing ---------------------------------------------------------
+
+    # ``Info.pos`` pointers alias cells of ``self.events``; the default
+    # pickler would both recurse down the cell chain and duplicate those
+    # aliased cells.  State is therefore captured with positions as offsets
+    # into the (flat-pickled) list and re-anchored on restore, keeping the
+    # refcount/identity invariants intact.
+
+    def __getstate__(self) -> dict:
+        offsets: Dict[int, int] = {}
+        cell: Optional[Cell] = self.events.head
+        index = 0
+        while cell is not None:
+            offsets[id(cell)] = index
+            cell = cell.next
+            index += 1
+
+        def pack(info: Info) -> tuple:
+            return (
+                info.owner,
+                offsets[id(info.pos)],
+                set(info.ls),
+                info.alock,
+                info.xact,
+                info.ref,
+            )
+
+        return {
+            "config": (
+                self.sc_xact,
+                self.sc_same_thread,
+                self.sc_alock,
+                self.sc_thread_restricted,
+                self.gc_threshold,
+                self.trim_fraction,
+                self.memoize,
+                self.commit_sync,
+            ),
+            "suppress_racy_updates": self.suppress_racy_updates,
+            "stats": self.stats,
+            "events": self.events,
+            "held": self._held,
+            "write_info": {var: pack(info) for var, info in self.write_info.items()},
+            "read_info": {
+                var: {key: pack(info) for key, info in per_thread.items()}
+                for var, per_thread in self.read_info.items()
+            },
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        from .goldilocks import _commit_gains
+
+        (
+            self.sc_xact,
+            self.sc_same_thread,
+            self.sc_alock,
+            self.sc_thread_restricted,
+            self.gc_threshold,
+            self.trim_fraction,
+            self.memoize,
+            self.commit_sync,
+        ) = state["config"]
+        self._commit_gains = _commit_gains
+        self.suppress_racy_updates = state["suppress_racy_updates"]
+        self.stats = state["stats"]
+        self.events = state["events"]
+        self._held = state["held"]
+        cells: List[Cell] = []
+        cell: Optional[Cell] = self.events.head
+        while cell is not None:
+            cells.append(cell)
+            cell = cell.next
+
+        def unpack(packed: tuple) -> Info:
+            owner, offset, ls, alock, xact, ref = packed
+            return Info(owner, cells[offset], ls, alock, xact, ref)
+
+        self.write_info = {var: unpack(p) for var, p in state["write_info"].items()}
+        self.read_info = {
+            var: {key: unpack(p) for key, p in per_thread.items()}
+            for var, per_thread in state["read_info"].items()
+        }

@@ -26,7 +26,7 @@ list primitives).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from .actions import Action, Tid
 
@@ -151,6 +151,69 @@ class SyncEventList:
         self.length -= collected
         self.total_collected += collected
         return collected
+
+    # -- replication and pickling ------------------------------------------------
+
+    def snapshot(self) -> List[Tuple[Tid, Action]]:
+        """The filled cells as plain ``(tid, action)`` pairs, oldest first.
+
+        This is the *replicable view* of the list: replaying the pairs into a
+        fresh ``SyncEventList`` (or shipping them to another process) yields
+        a list with the same synchronization content.  Reference counts and
+        cell identity are deliberately absent -- they belong to one
+        detector's locksets, not to the event history itself.
+        """
+        out: List[Tuple[Tid, Action]] = []
+        cell = self.head
+        while cell.filled:
+            assert cell.tid is not None and cell.action is not None
+            out.append((cell.tid, cell.action))
+            assert cell.next is not None
+            cell = cell.next
+        return out
+
+    def replicate(self) -> "SyncEventList":
+        """A fresh, independent list holding the same events (refcounts zero)."""
+        clone = SyncEventList()
+        for tid, action in self.snapshot():
+            clone.enqueue(tid, action)
+        return clone
+
+    # ``Cell`` chains are singly linked, so the default pickler would recurse
+    # once per cell and overflow the interpreter stack on long lists.  The
+    # list therefore pickles itself *flat*: one payload tuple per cell
+    # (including the empty tail), relinked on restore.  Refcounts survive the
+    # round trip so a detector checkpoint can re-anchor its locksets.
+
+    def __getstate__(self) -> dict:
+        cells = []
+        cell: Optional[Cell] = self.head
+        while cell is not None:
+            cells.append((cell.tid, cell.action, cell.refcount, cell.seq))
+            cell = cell.next
+        return {
+            "cells": cells,
+            "_seq": self._seq,
+            "total_enqueued": self.total_enqueued,
+            "total_collected": self.total_collected,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        rebuilt = []
+        for tid, action, refcount, seq in state["cells"]:
+            cell = Cell(seq)
+            cell.tid = tid
+            cell.action = action
+            cell.refcount = refcount
+            rebuilt.append(cell)
+        for prev, nxt in zip(rebuilt, rebuilt[1:]):
+            prev.next = nxt
+        self._seq = state["_seq"]
+        self.head = rebuilt[0]
+        self.tail = rebuilt[-1]
+        self.length = sum(1 for cell in rebuilt if cell.filled)
+        self.total_enqueued = state["total_enqueued"]
+        self.total_collected = state["total_collected"]
 
     def __len__(self) -> int:
         return self.length

@@ -1,0 +1,131 @@
+"""``repro-serve``: the streaming race-detection service, as a command.
+
+Usage::
+
+    repro-race fuzz --seed 7 | repro-serve --shards 4        # stdin mode
+    repro-serve --tcp 127.0.0.1:7914 --shards 4              # TCP service
+    repro-serve --unix /tmp/repro.sock                       # Unix socket
+    repro-serve --tail run.trace --follow                    # tail a recorder
+    repro-serve --stdin --stats                              # final snapshot
+
+Exit status mirrors ``repro-race analyze``: 1 if any race was detected
+(stdin/tail modes), 0 otherwise.  Socket modes run until ``!shutdown``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .service import RaceDetectionService, ServiceConfig, serve_tcp, serve_unix
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="streaming, sharded Goldilocks race detection service",
+    )
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument(
+        "--stdin", action="store_true", help="read event lines from stdin (default)"
+    )
+    mode.add_argument("--tcp", metavar="HOST:PORT", help="serve on a TCP socket")
+    mode.add_argument("--unix", metavar="PATH", help="serve on a Unix-domain socket")
+    mode.add_argument("--tail", metavar="FILE", help="ingest a trace file incrementally")
+    parser.add_argument(
+        "--follow", action="store_true", help="with --tail: keep polling for appends"
+    )
+    parser.add_argument("--shards", type=int, default=1, help="detection shards")
+    parser.add_argument("--batch-size", type=int, default=64)
+    parser.add_argument("--queue-depth", type=int, default=8)
+    parser.add_argument(
+        "--workers",
+        choices=["process", "inline"],
+        default="process",
+        help="shard workers: separate processes (default) or in-process",
+    )
+    parser.add_argument(
+        "--flush-interval",
+        type=float,
+        default=0.05,
+        help="seconds of slack before pending batches are force-flushed",
+    )
+    parser.add_argument(
+        "--commit-sync",
+        default="footprint",
+        choices=["footprint", "atomic-order", "writes"],
+        help="strong-atomicity interpretation for transactions",
+    )
+    parser.add_argument(
+        "--gc-threshold",
+        type=int,
+        default=50_000,
+        help="sync-event-list length that triggers collection (0 disables)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print a final stats snapshot to stderr"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    # Config mistakes must not exit 1 -- that code means "races found".
+    if args.shards < 1:
+        parser.error("--shards must be at least 1")
+    if args.follow and not args.tail:
+        parser.error("--follow only makes sense with --tail FILE")
+    if args.tcp:
+        port_text = args.tcp.rpartition(":")[2]
+        if not port_text.isdigit():
+            parser.error(f"--tcp expects HOST:PORT, got {args.tcp!r}")
+    config = ServiceConfig(
+        n_shards=args.shards,
+        batch_size=args.batch_size,
+        queue_depth=args.queue_depth,
+        workers=args.workers,
+        commit_sync=args.commit_sync,
+        gc_threshold=args.gc_threshold or None,
+        flush_interval=args.flush_interval,
+    )
+    with RaceDetectionService(config) as service:
+        try:
+            if args.tcp:
+                host, _, port = args.tcp.rpartition(":")
+                server = serve_tcp(service, host or "127.0.0.1", int(port))
+                print(
+                    f"# repro-serve listening on tcp://{host or '127.0.0.1'}:{port} "
+                    f"({args.shards} shard(s), {args.workers} workers)",
+                    file=sys.stderr,
+                )
+                server.serve_forever()
+                server.server_close()
+                races = service.stats().races_reported
+            elif args.unix:
+                server = serve_unix(service, args.unix)
+                print(f"# repro-serve listening on unix://{args.unix}", file=sys.stderr)
+                server.serve_forever()
+                server.server_close()
+                races = service.stats().races_reported
+            elif args.tail:
+                try:
+                    races = service.tail_file(
+                        args.tail, sys.stdout, follow=args.follow
+                    )
+                except OSError as exc:
+                    print(f"repro-serve: error: {exc}", file=sys.stderr)
+                    return 2
+            else:
+                races = service.handle_stream(sys.stdin, sys.stdout)
+        except KeyboardInterrupt:  # pragma: no cover - interactive only
+            service.request_shutdown()
+            races = service.stats().races_reported
+        if args.stats:
+            print("stats " + service.stats().to_json(), file=sys.stderr)
+    return 1 if races else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,158 @@
+"""A small client for the streaming race-detection service.
+
+Speaks the line protocol of :mod:`repro.server.protocol` over a TCP or
+Unix-domain socket.  Race lines can arrive interleaved with command
+replies (the server streams them as soon as batches complete), so every
+read loop collects them into :attr:`races` as a side effect; callers
+either inspect :attr:`races` at the end or use the per-call return values.
+
+Example::
+
+    with ServiceClient.tcp("127.0.0.1", 7914) as client:
+        for event in events:
+            client.send_event(event)
+        client.flush()              # barrier: all races for sent events are in
+        print(client.stats().races_reported, client.races)
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Iterable, List, Optional
+
+from ..core.actions import Event
+from ..trace.io import format_event
+from .protocol import RaceLine, parse_race, parse_response, parse_summary
+from .stats import ServiceStats
+
+
+class ServiceClient:
+    """One connection to a running service."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._reader = sock.makefile("r", encoding="utf-8", newline="\n")
+        self._writer = sock.makefile("w", encoding="utf-8", newline="\n")
+        #: every race line received so far, in arrival order
+        self.races: List[RaceLine] = []
+
+    @classmethod
+    def tcp(cls, host: str, port: int, timeout: float = 10.0) -> "ServiceClient":
+        sock = socket.create_connection((host, port), timeout=timeout)
+        return cls(sock)
+
+    @classmethod
+    def unix(cls, path: str, timeout: float = 10.0) -> "ServiceClient":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(timeout)
+        sock.connect(path)
+        return cls(sock)
+
+    # -- sending ---------------------------------------------------------------
+
+    def send_line(self, line: str) -> None:
+        self._writer.write(line + "\n")
+
+    def send_event(self, event: Event) -> None:
+        self.send_line(format_event(event))
+
+    def stream(self, events: Iterable[Event]) -> None:
+        """Send a batch of events (no flush; pipelined)."""
+        for event in events:
+            self._writer.write(format_event(event) + "\n")
+        self._writer.flush()
+
+    # -- request/response ------------------------------------------------------
+
+    def _command(self, command: str, reply_kind: str) -> str:
+        """Send a control command, collect races until its reply arrives."""
+        self.send_line(f"!{command}")
+        self._writer.flush()
+        while True:
+            line = self._reader.readline()
+            if not line:
+                raise ConnectionError(f"server closed during !{command}")
+            kind, payload = parse_response(line.strip())
+            if kind == "race":
+                self.races.append(parse_race(line.strip()))
+            elif kind == reply_kind:
+                return payload
+            elif kind == "error":
+                raise RuntimeError(f"server error: {payload}")
+            # "other": skip forward-compatibly
+
+    def ping(self) -> bool:
+        return self._command("ping", "ok") == "pong"
+
+    def flush(self) -> int:
+        """Barrier: every race completed by sent events is now in ``races``.
+
+        Returns the number of race lines this flush drained.
+        """
+        payload = self._command("flush", "ok")
+        _, info = parse_summary(payload)
+        return int(info.get("races", 0))
+
+    def stats(self) -> ServiceStats:
+        return ServiceStats.from_json(self._command("stats", "stats"))
+
+    def reset(self) -> None:
+        self._command("reset", "ok")
+
+    def shutdown(self) -> int:
+        """Drain, stop the whole service; returns this connection's race count."""
+        payload = self._command("shutdown", "ok")
+        _, info = parse_summary(payload)
+        return int(info.get("races", 0))
+
+    def drain_eof(self) -> dict:
+        """Half-close the send side, read until the server's ``ok eof`` line."""
+        self._writer.flush()
+        self._sock.shutdown(socket.SHUT_WR)
+        while True:
+            line = self._reader.readline()
+            if not line:
+                return {}
+            kind, payload = parse_response(line.strip())
+            if kind == "race":
+                self.races.append(parse_race(line.strip()))
+            elif kind == "ok":
+                command, details = parse_summary(payload)
+                if command == "eof":
+                    return details
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        for stream in (self._writer, self._reader):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def detect_over_socket(
+    events: Iterable[Event],
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    unix_path: Optional[str] = None,
+) -> List[RaceLine]:
+    """One-shot convenience: stream a trace, barrier, return the race lines."""
+    if unix_path is not None:
+        client = ServiceClient.unix(unix_path)
+    else:
+        client = ServiceClient.tcp(host or "127.0.0.1", port or 7914)
+    with client:
+        client.stream(events)
+        client.flush()
+        return list(client.races)

@@ -1,0 +1,458 @@
+"""The sharded detection engine behind the streaming service.
+
+The paper's own data layout makes Goldilocks shardable: all inter-thread
+ordering flows through the single synchronization-event list, while each
+data variable's race state (its last-write/last-read ``Info`` records and
+their locksets) is private to that variable.  So the engine
+
+* **broadcasts** synchronization events (acquire/release, volatile ops,
+  fork/join, commits) and allocations to every shard -- each shard keeps an
+  identical replica of the synchronization-event list;
+* **hash-partitions** data reads/writes by variable across ``n_shards``
+  workers, each worker owning the :class:`LazyGoldilocks` state for its
+  partition.
+
+A shard's verdicts are then *identical* to an unsharded detector's: a data
+access for variable ``v`` never mutates anything another variable's checks
+read, so deleting the other partitions' accesses from a shard's input
+changes nothing for ``v``.  Commits are the one action in both worlds --
+they are broadcast (synchronization role), and every shard checks only the
+footprint variables it owns (data role) via
+:meth:`PartitionedGoldilocks._commit_vars`.
+
+Workers run either **in-process** (``workers="inline"``, deterministic and
+dependency-free: ideal for tests and the cost-model benchmark) or as
+**separate processes** (``workers="process"``, ``multiprocessing`` queues,
+sidestepping the GIL so detection scales with cores).  Batching amortizes
+queue/pickling overhead; bounded task queues give backpressure: when a
+shard falls behind, ``submit`` blocks instead of buffering unboundedly.
+
+Variable-to-shard routing uses CRC32, not ``hash()``: Python string hashes
+are salted per process, and the router and workers must agree.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import pickle
+import queue as queue_mod
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.actions import (
+    Commit,
+    DataVar,
+    Event,
+    Read,
+    Write,
+    is_data_access,
+)
+from ..core.lazy import LazyGoldilocks
+from ..core.report import RaceReport
+from .stats import ServiceStats, ShardStats
+
+#: a race report tagged with the ingestion sequence number that completed it
+SeqReport = Tuple[int, RaceReport]
+
+
+def shard_of(var: DataVar, n_shards: int) -> int:
+    """Stable variable-to-shard mapping (identical across processes)."""
+    if n_shards <= 1:
+        return 0
+    key = f"{var.obj.value}.{var.field}".encode("utf-8")
+    return zlib.crc32(key) % n_shards
+
+
+class PartitionedGoldilocks(LazyGoldilocks):
+    """A LazyGoldilocks that owns one hash partition of the variables.
+
+    Synchronization events must be fed to every partition (they are cheap:
+    one list append); data accesses only to the owning one.  Accesses that
+    slip through for foreign variables are ignored rather than mis-checked.
+    """
+
+    #: ``name`` stays "goldilocks" so reports are byte-identical to the
+    #: offline detector's; the partition is carried in ``label`` instead.
+
+    def __init__(self, shard_id: int = 0, n_shards: int = 1, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.shard_id = shard_id
+        self.n_shards = n_shards
+        self.label = f"shard {shard_id}/{n_shards}"
+
+    def owns(self, var: DataVar) -> bool:
+        return shard_of(var, self.n_shards) == self.shard_id
+
+    def process(self, event: Event) -> List[RaceReport]:
+        action = event.action
+        if isinstance(action, (Read, Write)) and not self.owns(action.var):
+            return []
+        return super().process(event)
+
+    def _commit_vars(self, action: Commit) -> List[DataVar]:
+        return [var for var in super()._commit_vars(action) if self.owns(var)]
+
+    # The base reset() re-invokes __init__ with LazyGoldilocks' positional
+    # signature; rebuild with ours instead.
+    def reset(self) -> None:
+        self.__init__(
+            self.shard_id,
+            self.n_shards,
+            sc_xact=self.sc_xact,
+            sc_same_thread=self.sc_same_thread,
+            sc_alock=self.sc_alock,
+            sc_thread_restricted=self.sc_thread_restricted,
+            gc_threshold=self.gc_threshold,
+            trim_fraction=self.trim_fraction,
+            memoize=self.memoize,
+            commit_sync=self.commit_sync,
+        )
+
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        state["partition"] = (self.shard_id, self.n_shards)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.shard_id, self.n_shards = state.pop("partition")
+        super().__setstate__(state)
+        self.label = f"shard {self.shard_id}/{self.n_shards}"
+
+
+@dataclass
+class EngineConfig:
+    """Tunables for :class:`ShardedEngine`."""
+
+    n_shards: int = 1
+    #: events buffered per shard before a batch is pushed
+    batch_size: int = 64
+    #: bound on in-flight (unacknowledged) batches per shard; full = block
+    queue_depth: int = 8
+    #: "process" for multiprocessing workers, "inline" for in-process shards
+    workers: str = "process"
+    #: forwarded to each shard's LazyGoldilocks
+    commit_sync: str = "footprint"
+    gc_threshold: Optional[int] = 50_000
+
+    def detector_kwargs(self) -> dict:
+        return {"commit_sync": self.commit_sync, "gc_threshold": self.gc_threshold}
+
+
+def _shard_worker(shard_id, n_shards, detector_kwargs, blob, task_q, result_q):
+    """Worker-process main loop: apply batches, acknowledge with results."""
+    if blob is not None:
+        detector = pickle.loads(blob)
+    else:
+        detector = PartitionedGoldilocks(shard_id, n_shards, **detector_kwargs)
+    try:
+        while True:
+            msg = task_q.get()
+            kind = msg[0]
+            if kind == "batch":
+                reports: List[SeqReport] = []
+                for seq, event in msg[1]:
+                    for report in detector.process(event):
+                        reports.append((seq, report))
+                result_q.put(
+                    ("ack", shard_id, len(msg[1]), reports, detector.stats.as_dict())
+                )
+            elif kind == "checkpoint":
+                result_q.put(("checkpoint", shard_id, detector.checkpoint()))
+            elif kind == "reset":
+                detector.reset()
+                result_q.put(("ack", shard_id, 0, [], detector.stats.as_dict()))
+            elif kind == "stop":
+                result_q.put(("stopped", shard_id))
+                break
+    except KeyboardInterrupt:
+        # A terminal Ctrl-C is delivered to the whole foreground process
+        # group; the router handles the shutdown -- die quietly instead of
+        # spraying one traceback per shard.
+        pass
+
+
+class ShardedEngine:
+    """Routes an event stream across detection shards; collects reports.
+
+    The engine is *not* thread-safe by itself -- the service serializes
+    access with one ingestion lock.  Reports come back asynchronously
+    (tagged with ingestion sequence numbers); :meth:`poll_reports` drains
+    whatever has arrived, :meth:`barrier` waits until every submitted event
+    is fully processed.
+    """
+
+    def __init__(self, config: Optional[EngineConfig] = None, **kwargs) -> None:
+        self.config = config or EngineConfig(**kwargs)
+        if self.config.n_shards < 1:
+            raise ValueError("need at least one shard")
+        if self.config.workers not in ("process", "inline"):
+            raise ValueError(f"unknown worker mode {self.config.workers!r}")
+        n = self.config.n_shards
+        self._seq = 0
+        self._started = time.monotonic()
+        self._closed = False
+        self._checkpoints: Dict[int, bytes] = {}
+        self._reports: List[SeqReport] = []
+        self._buffers: List[List[Tuple[int, Event]]] = [[] for _ in range(n)]
+        self._sent_batches = [0] * n
+        self._acked_batches = [0] * n
+        self._sent_events = [0] * n
+        self._acked_events = [0] * n
+        self._shard_stats: List[Dict[str, int]] = [{} for _ in range(n)]
+        # ingestion counters surfaced in ServiceStats
+        self.events_ingested = 0
+        self.sync_broadcast = 0
+        self.data_routed = 0
+        self.batches_flushed = 0
+        self.backpressure_stalls = 0
+        if self.config.workers == "inline":
+            self._detectors = [
+                PartitionedGoldilocks(i, n, **self.config.detector_kwargs())
+                for i in range(n)
+            ]
+        else:
+            ctx = mp.get_context()
+            self._result_q = ctx.Queue()
+            self._task_qs = [ctx.Queue(maxsize=self.config.queue_depth) for _ in range(n)]
+            self._procs = [
+                ctx.Process(
+                    target=_shard_worker,
+                    args=(
+                        i,
+                        n,
+                        self.config.detector_kwargs(),
+                        None,
+                        self._task_qs[i],
+                        self._result_q,
+                    ),
+                    daemon=True,
+                )
+                for i in range(n)
+            ]
+            for proc in self._procs:
+                proc.start()
+
+    # -- ingestion -------------------------------------------------------------
+
+    def submit(self, event: Event, seq: Optional[int] = None) -> int:
+        """Route one event; returns its ingestion sequence number.
+
+        Data accesses go to their owning shard's batch buffer; everything
+        else (synchronization, commits, allocations) is appended to every
+        shard's buffer.  Full buffers are pushed; a full task queue blocks
+        (backpressure) until the shard catches up.
+        """
+        if seq is None:
+            seq = self._seq
+        self._seq = seq + 1
+        self.events_ingested += 1
+        action = event.action
+        if is_data_access(action):
+            self.data_routed += 1
+            targets = (shard_of(action.var, self.config.n_shards),)
+        else:
+            self.sync_broadcast += 1
+            targets = range(self.config.n_shards)
+        for shard in targets:
+            buffer = self._buffers[shard]
+            buffer.append((seq, event))
+            if len(buffer) >= self.config.batch_size:
+                self._push(shard)
+        self._drain(block=False)
+        return seq
+
+    def flush(self) -> None:
+        """Push every non-empty batch buffer to its shard."""
+        for shard in range(self.config.n_shards):
+            if self._buffers[shard]:
+                self._push(shard)
+        self._drain(block=False)
+
+    def _push(self, shard: int) -> None:
+        batch, self._buffers[shard] = self._buffers[shard], []
+        self.batches_flushed += 1
+        self._sent_batches[shard] += 1
+        self._sent_events[shard] += len(batch)
+        if self.config.workers == "inline":
+            detector = self._detectors[shard]
+            reports: List[SeqReport] = []
+            for seq, event in batch:
+                for report in detector.process(event):
+                    reports.append((seq, report))
+            self._apply_ack(shard, len(batch), reports, detector.stats.as_dict())
+            return
+        task_q = self._task_qs[shard]
+        message = ("batch", batch)
+        try:
+            task_q.put_nowait(message)
+        except queue_mod.Full:
+            self.backpressure_stalls += 1
+            while True:
+                try:
+                    task_q.put(message, timeout=0.05)
+                    break
+                except queue_mod.Full:
+                    # Keep acknowledgments moving while we wait, so a slow
+                    # shard cannot wedge the whole ingestion path.
+                    self._drain(block=False)
+
+    # -- results ---------------------------------------------------------------
+
+    def _apply_ack(self, shard, n_events, reports, stats_dict) -> None:
+        self._acked_batches[shard] += 1
+        self._acked_events[shard] += n_events
+        self._reports.extend(reports)
+        self._shard_stats[shard] = stats_dict
+
+    def _drain(self, block: bool) -> None:
+        if self.config.workers == "inline":
+            return  # inline acks are applied synchronously in _push
+        while True:
+            try:
+                msg = self._result_q.get(block=block, timeout=0.5 if block else None)
+            except queue_mod.Empty:
+                return
+            if msg[0] == "ack":
+                self._apply_ack(msg[1], msg[2], msg[3], msg[4])
+                if block:
+                    return
+            elif msg[0] == "checkpoint":
+                self._checkpoints[msg[1]] = msg[2]
+                if block:
+                    return
+
+    def poll_reports(self) -> List[SeqReport]:
+        """Drain already-arrived reports without waiting (seq-tagged)."""
+        self._drain(block=False)
+        out, self._reports = self._reports, []
+        return out
+
+    def barrier(self, timeout: float = 60.0) -> List[SeqReport]:
+        """Flush, then wait until every submitted event is acknowledged.
+
+        Returns all reports that arrived since the last drain, sorted by the
+        sequence number of the access that completed the race.
+        """
+        self.flush()
+        deadline = time.monotonic() + timeout
+        while any(
+            self._acked_batches[i] < self._sent_batches[i]
+            for i in range(self.config.n_shards)
+        ):
+            if time.monotonic() > deadline:
+                raise TimeoutError("shard(s) failed to drain before the deadline")
+            self._drain(block=True)
+        out, self._reports = self._reports, []
+        out.sort(key=lambda pair: pair[0])
+        return out
+
+    # -- control ---------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restart detection from an empty execution (counters survive)."""
+        self.barrier()
+        if self.config.workers == "inline":
+            for detector in self._detectors:
+                detector.reset()
+        else:
+            for shard, task_q in enumerate(self._task_qs):
+                self._sent_batches[shard] += 1
+                task_q.put(("reset",))
+            self.barrier()
+        self._shard_stats = [{} for _ in range(self.config.n_shards)]
+
+    def checkpoint(self) -> List[bytes]:
+        """Serialize every shard's detector state (drains first)."""
+        self.barrier()
+        if self.config.workers == "inline":
+            return [detector.checkpoint() for detector in self._detectors]
+        self._checkpoints = {}
+        for task_q in self._task_qs:
+            task_q.put(("checkpoint",))
+        deadline = time.monotonic() + 60.0
+        while len(self._checkpoints) < self.config.n_shards:
+            if time.monotonic() > deadline:
+                raise TimeoutError("checkpoint collection timed out")
+            self._drain(block=True)
+        return [self._checkpoints[i] for i in range(self.config.n_shards)]
+
+    def stats(self) -> ServiceStats:
+        """A snapshot from the router's bookkeeping and the latest shard acks."""
+        self._drain(block=False)
+        uptime = max(time.monotonic() - self._started, 1e-9)
+        shards = []
+        for i in range(self.config.n_shards):
+            det = self._shard_stats[i]
+            full = det.get("full_lockset_computations", 0)
+            queries = (
+                det.get("sc_same_thread", 0)
+                + det.get("sc_alock", 0)
+                + det.get("sc_xact", 0)
+                + det.get("sc_thread_restricted", 0)
+                + det.get("sc_fresh", 0)
+                + full
+            )
+            shards.append(
+                ShardStats(
+                    shard=i,
+                    queue_depth=self._sent_batches[i] - self._acked_batches[i],
+                    events_processed=self._acked_events[i],
+                    races=det.get("races", 0),
+                    short_circuit_rate=(queries - full) / queries if queries else 1.0,
+                    detector_work=(
+                        det.get("rule_applications", 0)
+                        + det.get("cells_traversed", 0)
+                        + queries
+                        + det.get("sync_events", 0)
+                    ),
+                    detector=det,
+                )
+            )
+        return ServiceStats(
+            uptime_sec=uptime,
+            events_ingested=self.events_ingested,
+            events_per_sec=self.events_ingested / uptime,
+            sync_broadcast=self.sync_broadcast,
+            data_routed=self.data_routed,
+            batches_flushed=self.batches_flushed,
+            backpressure_stalls=self.backpressure_stalls,
+            races_reported=sum(s.races for s in shards),
+            n_shards=self.config.n_shards,
+            shards=shards,
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self.config.workers == "process":
+            try:
+                self.barrier(timeout=10.0)
+            except TimeoutError:
+                pass
+            for shard, task_q in enumerate(self._task_qs):
+                try:
+                    task_q.put(("stop",), timeout=1.0)
+                except queue_mod.Full:
+                    pass
+            for proc in self._procs:
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass

@@ -1,0 +1,131 @@
+"""The streaming service's wire protocol.
+
+Everything is line-oriented UTF-8, deliberately the same framing as the
+trace format of :mod:`repro.trace.io` so any recorded trace *is* a valid
+client stream (``cat trace.txt | repro-serve`` just works).
+
+Client -> server, one line each:
+
+* **event lines** -- exactly :func:`repro.trace.io.format_event` output:
+  ``<tid> <index> <kind> <args...>``;
+* blank lines and ``#`` comments, ignored;
+* **control lines**, marked by a leading ``!``::
+
+      !ping        liveness probe
+      !flush       force the current batches through and drain every shard
+      !stats       snapshot ServiceStats as one JSON line
+      !reset       restart detection from an empty execution
+      !shutdown    drain, acknowledge, and stop the service
+
+Server -> client, one line each:
+
+* ``race <obj>.<field> <kind>:<tid>:<index>:<xact> <kind>:<tid>:<index>:<xact> seq=<n>``
+  -- one detected race, streamed as soon as the batch containing its second
+  access is processed (``seq`` is the ingestion sequence number of that
+  access);
+* ``stats <json>`` -- the ``!stats`` reply;
+* ``ok <command> [key=value ...]`` -- success acknowledgments;
+* ``error <message>`` -- malformed event or control lines (the stream keeps
+  going; errors are counted in :class:`~repro.server.stats.ServiceStats`).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple, Optional, Tuple
+
+from ..core.actions import DataVar, Obj, Tid
+from ..core.report import AccessRef, RaceReport
+
+CONTROL_PREFIX = "!"
+CONTROL_COMMANDS = ("ping", "flush", "stats", "reset", "shutdown")
+
+
+class RaceLine(NamedTuple):
+    """A parsed ``race`` line -- the client-side mirror of a RaceReport."""
+
+    var: DataVar
+    first: AccessRef
+    second: AccessRef
+    seq: int
+
+    def __str__(self) -> str:
+        return (
+            f"race on {self.var!r}: {self.first!r} is unordered with "
+            f"{self.second!r} (seq {self.seq})"
+        )
+
+
+def is_control(line: str) -> bool:
+    return line.startswith(CONTROL_PREFIX)
+
+
+def parse_control(line: str) -> Tuple[str, str]:
+    """Split ``!cmd args`` into ``(cmd, args)``; cmd is lowercased."""
+    body = line[len(CONTROL_PREFIX) :].strip()
+    cmd, _, args = body.partition(" ")
+    return cmd.lower(), args.strip()
+
+
+def _fmt_ref(ref: AccessRef) -> str:
+    return f"{ref.kind}:{ref.tid.value}:{ref.index}:{int(ref.xact)}"
+
+
+def _parse_ref(text: str) -> AccessRef:
+    kind, tid, index, xact = text.split(":")
+    return AccessRef(Tid(int(tid)), int(index), kind, bool(int(xact)))
+
+
+def format_race(seq: int, report: RaceReport) -> str:
+    """One-line rendering of a race report (inverse of :func:`parse_race`)."""
+    var = report.var
+    return (
+        f"race {var.obj.value}.{var.field} "
+        f"{_fmt_ref(report.first)} {_fmt_ref(report.second)} seq={seq}"
+    )
+
+
+def parse_race(line: str) -> RaceLine:
+    """Parse a ``race`` line produced by :func:`format_race`."""
+    parts = line.split()
+    if len(parts) != 5 or parts[0] != "race":
+        raise ValueError(f"malformed race line: {line!r}")
+    obj_part, _, field = parts[1].partition(".")
+    var = DataVar(Obj(int(obj_part)), field)
+    seq = int(parts[4].partition("=")[2])
+    return RaceLine(var, _parse_ref(parts[2]), _parse_ref(parts[3]), seq)
+
+
+def parse_response(line: str) -> Tuple[str, str]:
+    """Classify a server line into ``(kind, payload)``.
+
+    ``kind`` is one of ``race``, ``stats``, ``ok``, ``error``, or ``other``
+    (unrecognized lines -- forward-compatible clients skip them).
+    """
+    word, _, rest = line.partition(" ")
+    if word in ("race", "stats", "ok", "error"):
+        return word, rest
+    return "other", line
+
+
+def race_to_report(race: RaceLine, detector: str = "goldilocks") -> RaceReport:
+    """Reconstitute a RaceReport (minus seq) from a parsed race line."""
+    return RaceReport(
+        var=race.var, first=race.first, second=race.second, detector=detector
+    )
+
+
+def summary_line(command: str, **info: object) -> str:
+    """An ``ok`` acknowledgment line with sorted ``key=value`` details."""
+    parts = [f"{key}={info[key]}" for key in sorted(info)]
+    return " ".join(["ok", command] + parts)
+
+
+def parse_summary(payload: str) -> Tuple[str, dict]:
+    """Parse the payload of an ``ok`` line into (command, info dict)."""
+    parts = payload.split()
+    command = parts[0] if parts else ""
+    info = {}
+    for part in parts[1:]:
+        key, _, value = part.partition("=")
+        info[key] = int(value) if value.lstrip("-").isdigit() else value
+    return command, info

@@ -1,0 +1,325 @@
+"""The long-lived streaming race-detection service.
+
+:class:`RaceDetectionService` wraps a :class:`~repro.server.engine.ShardedEngine`
+with the ingestion layer: line framing, per-connection sequencing (one
+global ingestion lock assigns monotone sequence numbers across every
+connection, so all clients feed a single coherent execution), a
+time-driven flusher thread that pushes half-full batches after
+``flush_interval`` seconds of slack, and the control commands of
+:mod:`repro.server.protocol`.
+
+Transports, all sharing one service (and therefore one detection domain):
+
+* :meth:`handle_stream` -- any ``(reader, writer)`` text-stream pair; used
+  directly for stdin mode and by every socket connection;
+* :func:`serve_tcp` / :func:`serve_unix` -- threaded socket servers;
+* :meth:`tail_file` -- incremental ingestion of a growing trace file
+  (:func:`repro.trace.io.follow_trace`).
+
+Race reports are streamed back on whichever connection drains them (with a
+single client: exactly that client).  ``!flush`` is the synchronization
+point: after its ``ok`` line, every race completed by previously sent
+events has been written.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+import time
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, TextIO
+
+from ..core.actions import Event
+from ..trace.io import follow_trace, parse_event
+from .engine import EngineConfig, SeqReport, ShardedEngine
+from .protocol import (
+    format_race,
+    is_control,
+    parse_control,
+    summary_line,
+)
+from .stats import ServiceStats
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for the service; engine knobs are forwarded verbatim."""
+
+    n_shards: int = 1
+    batch_size: int = 64
+    queue_depth: int = 8
+    workers: str = "process"
+    commit_sync: str = "footprint"
+    gc_threshold: Optional[int] = 50_000
+    #: seconds of ingestion slack after which pending batches are flushed
+    #: anyway (keeps report latency bounded on slow streams); <= 0 disables
+    #: the background flusher
+    flush_interval: float = 0.05
+
+    def engine_config(self) -> EngineConfig:
+        return EngineConfig(
+            n_shards=self.n_shards,
+            batch_size=self.batch_size,
+            queue_depth=self.queue_depth,
+            workers=self.workers,
+            commit_sync=self.commit_sync,
+            gc_threshold=self.gc_threshold,
+        )
+
+
+class RaceDetectionService:
+    """Shared ingestion front-end over one sharded detection engine."""
+
+    def __init__(self, config: Optional[ServiceConfig] = None, **kwargs) -> None:
+        self.config = config or ServiceConfig(**kwargs)
+        self.engine = ShardedEngine(self.config.engine_config())
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._parse_errors = 0
+        self._races_seen = 0
+        self._shutdown = threading.Event()
+        self._flusher: Optional[threading.Thread] = None
+        if self.config.flush_interval > 0:
+            self._flusher = threading.Thread(
+                target=self._flush_loop, name="repro-serve-flusher", daemon=True
+            )
+            self._flusher.start()
+
+    # -- ingestion primitives (all engine access goes through the lock) --------
+
+    def submit_event(self, event: Event) -> int:
+        with self._lock:
+            return self.engine.submit(event)
+
+    def submit_line(self, line: str) -> Optional[int]:
+        """Parse and submit one event line; None (and a count) on bad input."""
+        try:
+            event = parse_event(line)
+        except Exception:
+            with self._lock:
+                self._parse_errors += 1
+            return None
+        return self.submit_event(event)
+
+    def poll_reports(self) -> List[SeqReport]:
+        with self._lock:
+            reports = self.engine.poll_reports()
+            self._races_seen += len(reports)
+            return reports
+
+    def barrier(self) -> List[SeqReport]:
+        """Flush and fully drain; returns the newly completed reports."""
+        with self._lock:
+            reports = self.engine.barrier()
+            self._races_seen += len(reports)
+            return reports
+
+    def stats(self) -> ServiceStats:
+        with self._lock:
+            snapshot = self.engine.stats()
+        snapshot.uptime_sec = max(time.monotonic() - self._started, 1e-9)
+        snapshot.events_per_sec = snapshot.events_ingested / snapshot.uptime_sec
+        snapshot.parse_errors = self._parse_errors
+        return snapshot
+
+    def _flush_loop(self) -> None:
+        interval = self.config.flush_interval
+        while not self._shutdown.wait(interval):
+            with self._lock:
+                try:
+                    self.engine.flush()
+                except Exception:  # pragma: no cover - engine already closed
+                    return
+
+    # -- the stream protocol ----------------------------------------------------
+
+    def handle_stream(self, reader: Iterable[str], writer: TextIO) -> int:
+        """Serve one connection until EOF or ``!shutdown``; returns its race count.
+
+        ``reader`` yields lines (a file object works); responses and race
+        lines are written to ``writer``.  The final drain happens on EOF, so
+        piping a complete trace in gives exactly the offline verdict.
+        """
+        races = 0
+        events = 0
+        for raw in reader:
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            if is_control(line):
+                command, _args = parse_control(line)
+                if command == "ping":
+                    writer.write("ok pong\n")
+                elif command == "flush":
+                    reports = self.barrier()
+                    races += self._write_races(writer, reports)
+                    writer.write(summary_line("flush", races=len(reports)) + "\n")
+                elif command == "stats":
+                    writer.write("stats " + self.stats().to_json() + "\n")
+                elif command == "reset":
+                    with self._lock:
+                        self.engine.reset()
+                    writer.write("ok reset\n")
+                elif command == "shutdown":
+                    reports = self.barrier()
+                    races += self._write_races(writer, reports)
+                    writer.write(summary_line("shutdown", races=races) + "\n")
+                    writer.flush()
+                    self.request_shutdown()
+                    return races
+                else:
+                    writer.write(f"error unknown control command {command!r}\n")
+                writer.flush()
+                continue
+            seq = self.submit_line(line)
+            if seq is None:
+                writer.write(f"error unparseable event line: {line}\n")
+                writer.flush()
+                continue
+            events += 1
+            races += self._write_races(writer, self.poll_reports())
+        reports = self.barrier()
+        races += self._write_races(writer, reports)
+        writer.write(summary_line("eof", events=events, races=races) + "\n")
+        writer.flush()
+        return races
+
+    @staticmethod
+    def _write_races(writer: TextIO, reports: List[SeqReport]) -> int:
+        for seq, report in reports:
+            writer.write(format_race(seq, report) + "\n")
+        if reports:
+            writer.flush()
+        return len(reports)
+
+    def tail_file(
+        self,
+        path: str,
+        writer: TextIO,
+        follow: bool = False,
+        poll_interval: float = 0.05,
+    ) -> int:
+        """Ingest a trace file incrementally; returns the race count.
+
+        With ``follow=True`` the file is tailed until :meth:`request_shutdown`
+        is called (the ``tail -f`` deployment: a recorder appends, the
+        service detects behind it).
+        """
+        stop = (lambda: self._shutdown.is_set()) if follow else None
+        races = 0
+        events = 0
+
+        def drain_idle() -> None:
+            # Keep reporting while the file is quiet: the interval flusher
+            # pushes partial batches, and their races should not wait for
+            # the next appended event to be surfaced.
+            nonlocal races
+            races += self._write_races(writer, self.poll_reports())
+
+        try:
+            for event in follow_trace(
+                path, poll_interval=poll_interval, stop=stop, on_idle=drain_idle
+            ):
+                self.submit_event(event)
+                events += 1
+                races += self._write_races(writer, self.poll_reports())
+        except KeyboardInterrupt:
+            # Ctrl-C on a followed file acts like a shutdown request: fall
+            # through to the drain below so pending races and the summary
+            # still reach the writer.
+            self._shutdown.set()
+        races += self._write_races(writer, self.barrier())
+        writer.write(summary_line("eof", events=events, races=races) + "\n")
+        writer.flush()
+        return races
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Signal every follow/flush loop (and a hosting server) to stop."""
+        self._shutdown.set()
+        callback = getattr(self, "on_shutdown", None)
+        if callback is not None:
+            callback()
+
+    @property
+    def shutdown_requested(self) -> bool:
+        return self._shutdown.is_set()
+
+    def close(self) -> None:
+        self._shutdown.set()
+        if self._flusher is not None:
+            self._flusher.join(timeout=2.0)
+        with self._lock:
+            self.engine.close()
+
+    def __enter__(self) -> "RaceDetectionService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- socket transports ---------------------------------------------------------
+
+
+class _StreamHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets in tests
+        reader = (raw.decode("utf-8", "replace") for raw in self.rfile)
+        writer = _TextOverBinary(self.wfile)
+        try:
+            self.server.service.handle_stream(reader, writer)
+        except (BrokenPipeError, ConnectionResetError):
+            pass
+
+
+class _TextOverBinary:
+    """Minimal text adapter over a binary socket file (write/flush only)."""
+
+    def __init__(self, binary) -> None:
+        self._binary = binary
+
+    def write(self, text: str) -> int:
+        self._binary.write(text.encode("utf-8"))
+        return len(text)
+
+    def flush(self) -> None:
+        self._binary.flush()
+
+
+class _ThreadedTCPServer(socketserver.ThreadingMixIn, socketserver.TCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+def serve_tcp(service: RaceDetectionService, host: str, port: int):
+    """A threaded TCP server bound to the service; caller runs serve_forever()."""
+    server = _ThreadedTCPServer((host, port), _StreamHandler)
+    server.service = service
+    service.on_shutdown = lambda: threading.Thread(
+        target=server.shutdown, daemon=True
+    ).start()
+    return server
+
+
+if hasattr(socketserver, "UnixStreamServer"):
+
+    class _ThreadedUnixServer(
+        socketserver.ThreadingMixIn, socketserver.UnixStreamServer
+    ):
+        daemon_threads = True
+
+    def serve_unix(service: RaceDetectionService, path: str):
+        """A threaded Unix-socket server bound to the service."""
+        server = _ThreadedUnixServer(path, _StreamHandler)
+        server.service = service
+        service.on_shutdown = lambda: threading.Thread(
+            target=server.shutdown, daemon=True
+        ).start()
+        return server
+
+else:  # pragma: no cover - Windows
+
+    def serve_unix(service: RaceDetectionService, path: str):
+        raise OSError("Unix domain sockets are not available on this platform")

@@ -1,0 +1,130 @@
+"""Service-level statistics snapshots.
+
+The offline detectors already expose :class:`~repro.core.stats.DetectorStats`
+per instance; a sharded service adds a layer on top: ingestion counters
+(events routed vs broadcast, batches, backpressure stalls), per-shard queue
+depths, and the aggregate short-circuit rate across all partitions.  A
+:class:`ServiceStats` is a plain *snapshot* -- it is JSON-serializable both
+ways so the ``!stats`` control command can ship it over the wire and the
+client library can reconstitute it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+
+@dataclass
+class ShardStats:
+    """One detection shard's view at snapshot time."""
+
+    shard: int
+    #: batches handed to the shard but not yet acknowledged
+    queue_depth: int = 0
+    #: events the shard has finished processing
+    events_processed: int = 0
+    #: races this shard has reported
+    races: int = 0
+    #: the shard detector's short-circuit rate (1.0 while idle)
+    short_circuit_rate: float = 1.0
+    #: the shard detector's deterministic cost counter
+    detector_work: int = 0
+    #: full :meth:`DetectorStats.as_dict` payload from the shard
+    detector: Dict[str, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "queue_depth": self.queue_depth,
+            "events_processed": self.events_processed,
+            "races": self.races,
+            "short_circuit_rate": self.short_circuit_rate,
+            "detector_work": self.detector_work,
+            "detector": dict(self.detector),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardStats":
+        return cls(**data)
+
+
+@dataclass
+class ServiceStats:
+    """A point-in-time snapshot of the whole streaming service."""
+
+    #: seconds since the service (or engine) started
+    uptime_sec: float = 0.0
+    #: events accepted by the ingestion layer
+    events_ingested: int = 0
+    #: ingest rate over the whole uptime
+    events_per_sec: float = 0.0
+    #: synchronization/alloc/commit events broadcast to every shard
+    sync_broadcast: int = 0
+    #: data accesses hash-routed to exactly one shard
+    data_routed: int = 0
+    #: batches flushed to shards (across all shards)
+    batches_flushed: int = 0
+    #: times ingestion blocked because a shard's queue was full
+    backpressure_stalls: int = 0
+    #: event lines the ingestion layer could not parse
+    parse_errors: int = 0
+    #: races reported by all shards together
+    races_reported: int = 0
+    #: number of detection shards
+    n_shards: int = 1
+    shards: List[ShardStats] = field(default_factory=list)
+
+    @property
+    def short_circuit_rate(self) -> float:
+        """Aggregate short-circuit rate, weighted by per-shard query counts."""
+        hits = queries = 0
+        for shard in self.shards:
+            det = shard.detector
+            if not det:
+                continue
+            full = det.get("full_lockset_computations", 0)
+            total = (
+                det.get("sc_same_thread", 0)
+                + det.get("sc_alock", 0)
+                + det.get("sc_xact", 0)
+                + det.get("sc_thread_restricted", 0)
+                + det.get("sc_fresh", 0)
+                + full
+            )
+            queries += total
+            hits += total - full
+        if queries == 0:
+            return 1.0
+        return hits / queries
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "uptime_sec": self.uptime_sec,
+            "events_ingested": self.events_ingested,
+            "events_per_sec": self.events_per_sec,
+            "sync_broadcast": self.sync_broadcast,
+            "data_routed": self.data_routed,
+            "batches_flushed": self.batches_flushed,
+            "backpressure_stalls": self.backpressure_stalls,
+            "parse_errors": self.parse_errors,
+            "races_reported": self.races_reported,
+            "n_shards": self.n_shards,
+            "short_circuit_rate": self.short_circuit_rate,
+            "shards": [shard.as_dict() for shard in self.shards],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServiceStats":
+        data = dict(data)
+        data.pop("short_circuit_rate", None)  # derived, not stored
+        shards = [ShardStats.from_dict(s) for s in data.pop("shards", [])]
+        return cls(shards=shards, **data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.as_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ServiceStats":
+        return cls.from_dict(json.loads(text))

@@ -8,7 +8,7 @@ the oracle judges them, and the fuzzer generates them.
 
 from .trace import TraceBuilder
 from .gen import RandomTraceGenerator
-from .io import dump_trace, load_trace
+from .io import dump_trace, follow_trace, iter_trace, load_trace
 from .minimize import minimize_race, minimize_trace
 from .record import TraceRecorder
 
@@ -17,6 +17,8 @@ __all__ = [
     "TraceBuilder",
     "TraceRecorder",
     "dump_trace",
+    "follow_trace",
+    "iter_trace",
     "load_trace",
     "minimize_race",
     "minimize_trace",

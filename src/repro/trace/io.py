@@ -16,11 +16,20 @@ where ``kind`` and ``args`` are:
 Lines starting with ``#`` and blank lines are ignored.  The format exists so
 recorded executions can be stored as fixtures, diffed in code review, and
 replayed against any detector from the command line.
+
+Paths ending in ``.gz`` are compressed transparently on both ends, so large
+recorded streams (e.g. the service benchmark's workload traces) can live
+in-repo at a fraction of the size.  :func:`iter_trace` parses lazily for
+streaming consumers, and :func:`follow_trace` tails a growing file
+incrementally, ``tail -f`` style -- the ingestion paths of the
+:mod:`repro.server` service.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, TextIO, Union
+import gzip
+import time
+from typing import Callable, Iterable, Iterator, List, Optional, TextIO, Union
 
 from ..core.actions import (
     Acquire,
@@ -111,27 +120,96 @@ def parse_event(line: str) -> Event:
     raise ValueError(f"unknown event kind {kind!r} in line {line!r}")
 
 
+def _open_path(path: str, mode: str) -> TextIO:
+    """Open a trace path for text I/O, gunzipping ``.gz`` transparently."""
+    if path.endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
+
+
 def dump_trace(events: Iterable[Event], dest: Union[TextIO, str]) -> None:
-    """Write a trace to a file object or path."""
+    """Write a trace to a file object or path (``.gz`` paths are compressed)."""
     lines = "\n".join(format_event(e) for e in events) + "\n"
     if isinstance(dest, str):
-        with open(dest, "w", encoding="utf-8") as handle:
+        with _open_path(dest, "w") as handle:
             handle.write(lines)
     else:
         dest.write(lines)
 
 
 def load_trace(source: Union[TextIO, str]) -> List[Event]:
-    """Read a trace from a file object or path."""
+    """Read a whole trace from a file object or path (``.gz`` supported)."""
+    return list(iter_trace(source))
+
+
+def iter_trace(source: Union[TextIO, str]) -> Iterator[Event]:
+    """Parse a trace lazily, one event at a time.
+
+    Unlike :func:`load_trace` this never materializes the text, so it works
+    on streams much larger than memory and on pipes that produce events
+    incrementally (``repro-race analyze -`` reading from a shell pipeline).
+    """
     if isinstance(source, str):
-        with open(source, "r", encoding="utf-8") as handle:
-            text = handle.read()
+        with _open_path(source, "r") as handle:
+            yield from _iter_lines(handle)
     else:
-        text = source.read()
-    events = []
-    for line in text.splitlines():
+        yield from _iter_lines(source)
+
+
+def _iter_lines(handle: Iterable[str]) -> Iterator[Event]:
+    for line in handle:
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        events.append(parse_event(line))
-    return events
+        yield parse_event(line)
+
+
+def follow_trace(
+    path: str,
+    poll_interval: float = 0.05,
+    stop: Optional[Callable[[], bool]] = None,
+    on_idle: Optional[Callable[[], None]] = None,
+) -> Iterator[Event]:
+    """Tail a growing trace file, yielding events as lines are appended.
+
+    Reads through the current end of file, then polls every
+    ``poll_interval`` seconds for more data (``tail -f``).  A partially
+    written last line is held back until its newline arrives, so a writer
+    mid-``write()`` never produces a parse error.  Iteration ends when
+    ``stop()`` returns true and the file is exhausted; with no ``stop``
+    callback a plain end-of-file ends it (one pass, no waiting).
+
+    ``on_idle`` is invoked once per empty poll cycle, before sleeping.  A
+    consumer that does background work (the streaming service draining
+    detection results) hooks it to stay responsive while the file is quiet
+    -- the generator otherwise blocks inside ``next()`` and would give it
+    no chance to run.
+
+    Compressed traces are read through but cannot be followed: gzip has no
+    well-defined "current end" to poll past.
+    """
+    if path.endswith(".gz"):
+        if stop is not None:
+            raise ValueError("cannot follow a .gz trace; decompress it first")
+        yield from iter_trace(path)
+        return
+    buffer = ""
+    with open(path, "r", encoding="utf-8") as handle:
+        while True:
+            chunk = handle.read(65536)
+            if chunk:
+                buffer += chunk
+                *complete, buffer = buffer.split("\n")
+                for line in complete:
+                    line = line.strip()
+                    if line and not line.startswith("#"):
+                        yield parse_event(line)
+                continue
+            if stop is None or stop():
+                break
+            if on_idle is not None:
+                on_idle()
+            time.sleep(poll_interval)
+    tail = buffer.strip()
+    if tail and not tail.startswith("#"):
+        yield parse_event(tail)

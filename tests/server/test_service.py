@@ -1,0 +1,251 @@
+"""The service's stream protocol, control commands, transports, and stats."""
+
+import io
+import threading
+import time
+
+import pytest
+
+from repro.core import LazyGoldilocks, Obj, Tid
+from repro.server import (
+    RaceDetectionService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceStats,
+    serve_tcp,
+    serve_unix,
+)
+from repro.server.protocol import parse_response, parse_summary
+from repro.trace import RandomTraceGenerator, TraceBuilder, dump_trace
+from repro.trace.io import format_event
+
+RACY_EVENTS = TraceBuilder().write(Tid(1), Obj(1), "data").write(
+    Tid(2), Obj(1), "data"
+).build()
+
+BIGGER = RandomTraceGenerator(
+    max_threads=5, steps_per_thread=40, p_discipline=0.3
+).generate(seed=2)
+
+
+def inline_service(**overrides):
+    config = dict(n_shards=2, workers="inline", flush_interval=0.0)
+    config.update(overrides)
+    return RaceDetectionService(ServiceConfig(**config))
+
+
+def run_stream(service, text):
+    out = io.StringIO()
+    service.handle_stream(io.StringIO(text), out)
+    return out.getvalue().splitlines()
+
+
+def classify(lines):
+    return [parse_response(line)[0] for line in lines]
+
+
+def test_stream_reports_races_and_eof_summary():
+    with inline_service() as service:
+        lines = run_stream(
+            service, "\n".join(format_event(e) for e in RACY_EVENTS) + "\n"
+        )
+    assert classify(lines) == ["race", "ok"]
+    command, info = parse_summary(parse_response(lines[-1])[1])
+    assert command == "eof"
+    assert info == {"events": 2, "races": 1}
+
+
+def test_stream_ignores_comments_and_blank_lines():
+    with inline_service() as service:
+        lines = run_stream(service, "# a comment\n\n   \n")
+    command, info = parse_summary(parse_response(lines[-1])[1])
+    assert info["events"] == 0
+
+
+def test_ping_flush_and_unknown_control():
+    with inline_service() as service:
+        lines = run_stream(service, "!ping\n!flush\n!frobnicate\n")
+    kinds = classify(lines)
+    assert kinds[0] == "ok" and "pong" in lines[0]
+    assert kinds[1] == "ok" and "flush" in lines[1]
+    assert kinds[2] == "error"
+
+
+def test_flush_is_a_barrier_for_previously_sent_events():
+    event_lines = [format_event(e) for e in RACY_EVENTS]
+    text = event_lines[0] + "\n" + event_lines[1] + "\n!flush\n"
+    with inline_service(batch_size=1000) as service:  # nothing auto-flushes
+        lines = run_stream(service, text)
+    # the race must be printed BEFORE the flush acknowledgment
+    kinds = classify(lines)
+    assert kinds.index("race") < kinds.index("ok")
+
+
+def test_stats_control_round_trips_service_stats():
+    with inline_service() as service:
+        lines = run_stream(
+            service,
+            "\n".join(format_event(e) for e in BIGGER) + "\n!flush\n!stats\n",
+        )
+    stats_lines = [l for l in lines if parse_response(l)[0] == "stats"]
+    assert len(stats_lines) == 1
+    stats = ServiceStats.from_json(parse_response(stats_lines[0])[1])
+    assert stats.events_ingested == len(BIGGER)
+    assert stats.n_shards == 2 and len(stats.shards) == 2
+    assert stats.events_per_sec > 0
+    assert stats.races_reported == len(LazyGoldilocks().process_all(BIGGER))
+    assert all(shard.queue_depth == 0 for shard in stats.shards)
+    assert 0.0 <= stats.short_circuit_rate <= 1.0
+
+
+def test_reset_forgets_the_previous_execution():
+    text = (
+        format_event(RACY_EVENTS[0]) + "\n!reset\n" + format_event(RACY_EVENTS[1]) + "\n"
+    )
+    with inline_service() as service:
+        lines = run_stream(service, text)
+    # after reset, T2's write is the variable's first access: no race
+    assert "race" not in classify(lines)
+
+
+def test_unparseable_event_line_is_an_error_not_a_crash():
+    with inline_service() as service:
+        lines = run_stream(service, "1 0 write 1 data\nnot an event\n!stats\n")
+        stats = service.stats()
+    assert "error" in classify(lines)
+    assert stats.parse_errors == 1
+    assert stats.events_ingested == 1
+
+
+def test_shutdown_control_drains_and_acknowledges():
+    text = "\n".join(format_event(e) for e in RACY_EVENTS) + "\n!shutdown\n"
+    with inline_service() as service:
+        lines = run_stream(service, text)
+        assert service.shutdown_requested
+    kinds = classify(lines)
+    assert kinds[-1] == "ok" and "shutdown" in lines[-1]
+    assert "race" in kinds
+
+
+def test_parse_error_counting_via_submit_line():
+    with inline_service() as service:
+        assert service.submit_line("garbage line") is None
+        assert service.submit_line("1 0 acq 5") == 0
+        assert service.stats().parse_errors == 1
+
+
+def test_tail_file_one_pass(tmp_path):
+    path = str(tmp_path / "run.trace")
+    dump_trace(RACY_EVENTS, path)
+    out = io.StringIO()
+    with inline_service() as service:
+        races = service.tail_file(path, out)
+    assert races == 1
+    assert classify(out.getvalue().splitlines()) == ["race", "ok"]
+
+
+def test_tail_file_follow_sees_appended_events(tmp_path):
+    path = str(tmp_path / "grow.trace")
+    lines = [format_event(e) for e in RACY_EVENTS]
+    with open(path, "w") as handle:
+        handle.write(lines[0] + "\n")
+    out = io.StringIO()
+    with inline_service(flush_interval=0.01) as service:
+        def appender():
+            time.sleep(0.15)
+            with open(path, "a") as handle:
+                handle.write(lines[1] + "\n")
+            time.sleep(0.15)
+            service.request_shutdown()
+
+        thread = threading.Thread(target=appender)
+        thread.start()
+        races = service.tail_file(path, out, follow=True, poll_interval=0.02)
+        thread.join()
+    assert races == 1
+
+
+def test_flusher_thread_pushes_partial_batches():
+    # batch_size is huge, so only the interval flusher can move the events
+    with inline_service(batch_size=100_000, flush_interval=0.02) as service:
+        for event in RACY_EVENTS:
+            service.submit_event(event)
+        deadline = time.monotonic() + 5.0
+        reports = []
+        while not reports and time.monotonic() < deadline:
+            time.sleep(0.02)
+            reports = service.poll_reports()
+    assert len(reports) == 1
+
+
+# -- sockets -------------------------------------------------------------------
+
+
+def test_tcp_service_with_client_library():
+    expected = LazyGoldilocks().process_all(BIGGER)
+    with RaceDetectionService(
+        ServiceConfig(n_shards=2, workers="inline", flush_interval=0.01)
+    ) as service:
+        server = serve_tcp(service, "127.0.0.1", 0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with ServiceClient.tcp("127.0.0.1", port) as client:
+                assert client.ping()
+                client.stream(BIGGER)
+                client.flush()
+                stats = client.stats()
+                assert stats.events_ingested == len(BIGGER)
+                assert len(client.races) == len(expected)
+                assert client.shutdown() >= 0
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+def test_unix_socket_service_eof_drain(tmp_path):
+    sock_path = str(tmp_path / "repro.sock")
+    with RaceDetectionService(
+        ServiceConfig(n_shards=1, workers="inline", flush_interval=0.01)
+    ) as service:
+        server = serve_unix(service, sock_path)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with ServiceClient.unix(sock_path) as client:
+                client.stream(RACY_EVENTS)
+                info = client.drain_eof()
+            assert info.get("events") == 2
+            assert info.get("races") == 1
+            assert len(client.races) == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+def test_two_connections_share_one_detection_domain():
+    # The race's two halves arrive on different connections; the service
+    # still sees one execution and reports the cross-connection race.
+    with RaceDetectionService(
+        ServiceConfig(n_shards=1, workers="inline", flush_interval=0.01)
+    ) as service:
+        server = serve_tcp(service, "127.0.0.1", 0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with ServiceClient.tcp("127.0.0.1", port) as first:
+                first.send_event(RACY_EVENTS[0])
+                first.flush()
+                with ServiceClient.tcp("127.0.0.1", port) as second:
+                    second.send_event(RACY_EVENTS[1])
+                    second.flush()
+                    total = len(first.races) + len(second.races)
+                    assert total == 1
+                    assert second.stats().races_reported == 1
+        finally:
+            server.shutdown()
+            server.server_close()

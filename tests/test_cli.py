@@ -128,3 +128,47 @@ def test_commit_sync_flag_changes_the_verdict(tmp_path, capsys):
 
     assert main(["analyze", path]) == 1                      # footprint: race
     assert main(["--commit-sync", "atomic-order", "analyze", path]) == 0
+
+
+# -- reading the trace from stdin ----------------------------------------------
+
+
+def pipe_stdin(monkeypatch, path):
+    import io
+
+    with open(path) as handle:
+        monkeypatch.setattr("sys.stdin", io.StringIO(handle.read()))
+
+
+def test_analyze_reads_trace_from_stdin(racy_trace, monkeypatch, capsys):
+    pipe_stdin(monkeypatch, racy_trace)
+    assert main(["analyze", "-"]) == 1
+    assert "o1.data" in capsys.readouterr().out
+
+
+def test_analyze_stdin_clean_trace(clean_trace, monkeypatch, capsys):
+    pipe_stdin(monkeypatch, clean_trace)
+    assert main(["analyze", "-"]) == 0
+
+
+def test_oracle_reads_from_stdin(racy_trace, monkeypatch, capsys):
+    pipe_stdin(monkeypatch, racy_trace)
+    assert main(["oracle", "-"]) == 1
+
+
+def test_explain_reads_from_stdin(clean_trace, monkeypatch, capsys):
+    pipe_stdin(monkeypatch, clean_trace)
+    assert main(["explain", "-", "--var", "1.data"]) == 0
+    assert capsys.readouterr().out
+
+
+def test_analyze_gz_trace_path(tmp_path, capsys):
+    from repro.core import Obj, Tid
+    from repro.trace import TraceBuilder, dump_trace
+
+    tb = TraceBuilder()
+    tb.write(Tid(1), Obj(1), "data")
+    tb.write(Tid(2), Obj(1), "data")
+    path = str(tmp_path / "racy.trace.gz")
+    dump_trace(tb.build(), path)
+    assert main(["analyze", path]) == 1

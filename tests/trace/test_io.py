@@ -102,3 +102,133 @@ def test_round_trip_preserves_detector_verdicts():
     original = [str(r) for r in LazyGoldilocks().process_all(events)]
     replayed = [str(r) for r in LazyGoldilocks().process_all(reloaded)]
     assert original == replayed
+
+
+# -- gzip transparency ---------------------------------------------------------
+
+
+def test_gzip_dump_load_round_trip(tmp_path):
+    path = str(tmp_path / "trace.trace.gz")
+    dump_trace(SAMPLE_EVENTS, path)
+    import gzip
+
+    with gzip.open(path, "rt") as handle:  # really gzip bytes on disk
+        assert handle.readline().strip()
+    assert load_trace(path) == SAMPLE_EVENTS
+
+
+def test_gzip_and_plain_files_load_identically(tmp_path):
+    events = RandomTraceGenerator(p_discipline=0.4).generate(77)
+    plain = str(tmp_path / "t.trace")
+    packed = str(tmp_path / "t.trace.gz")
+    dump_trace(events, plain)
+    dump_trace(events, packed)
+    assert load_trace(packed) == load_trace(plain) == events
+    import os
+
+    assert os.path.getsize(packed) < os.path.getsize(plain)
+
+
+# -- incremental reading -------------------------------------------------------
+
+
+def test_iter_trace_is_lazy():
+    from repro.trace import iter_trace
+
+    lines = iter(["1 0 acq 5\n", "1 1 rel 5\n"])
+
+    class OneShot:
+        def __iter__(self):
+            return lines
+
+    iterator = iter_trace(OneShot())
+    first = next(iterator)
+    assert first == Event(Tid(1), 0, Acquire(Obj(5)))
+    assert next(iterator) == Event(Tid(1), 1, Release(Obj(5)))
+    with pytest.raises(StopIteration):
+        next(iterator)
+
+
+def test_iter_trace_from_path_and_gz(tmp_path):
+    from repro.trace import iter_trace
+
+    for name in ("t.trace", "t.trace.gz"):
+        path = str(tmp_path / name)
+        dump_trace(SAMPLE_EVENTS, path)
+        assert list(iter_trace(path)) == SAMPLE_EVENTS
+
+
+def test_follow_trace_reads_growing_file(tmp_path):
+    import threading
+    import time
+
+    from repro.trace import follow_trace
+
+    path = str(tmp_path / "grow.trace")
+    lines = [format_event(e) for e in SAMPLE_EVENTS]
+    with open(path, "w") as handle:
+        handle.write(lines[0] + "\n")
+
+    done = threading.Event()
+
+    def appender():
+        time.sleep(0.05)
+        with open(path, "a") as handle:
+            for line in lines[1:]:
+                handle.write(line + "\n")
+        time.sleep(0.1)
+        done.set()
+
+    thread = threading.Thread(target=appender)
+    thread.start()
+    events = list(follow_trace(path, poll_interval=0.01, stop=done.is_set))
+    thread.join()
+    assert events == SAMPLE_EVENTS
+
+
+def test_follow_trace_handles_partial_lines(tmp_path):
+    import threading
+    import time
+
+    path = str(tmp_path / "partial.trace")
+    line = format_event(SAMPLE_EVENTS[0])
+    cut = len(line) // 2
+    with open(path, "w") as handle:
+        handle.write(line[:cut])  # no newline: an in-progress write
+
+    from repro.trace import follow_trace
+
+    done = threading.Event()
+
+    def finish_write():
+        time.sleep(0.05)
+        with open(path, "a") as handle:
+            handle.write(line[cut:] + "\n")
+        time.sleep(0.1)
+        done.set()
+
+    thread = threading.Thread(target=finish_write)
+    thread.start()
+    events = list(follow_trace(path, poll_interval=0.01, stop=done.is_set))
+    thread.join()
+    assert events == [SAMPLE_EVENTS[0]]
+
+
+def test_follow_trace_without_follow_stops_at_eof(tmp_path):
+    from repro.trace import follow_trace
+
+    path = str(tmp_path / "static.trace")
+    dump_trace(SAMPLE_EVENTS, path)
+    assert list(follow_trace(path)) == SAMPLE_EVENTS
+
+
+def test_follow_trace_rejects_following_gz(tmp_path):
+    from repro.trace import follow_trace
+
+    path = str(tmp_path / "t.trace.gz")
+    dump_trace(SAMPLE_EVENTS, path)
+    # one-pass read works...
+    assert list(follow_trace(path)) == SAMPLE_EVENTS
+    # ...but tailing a compressed stream is refused
+    with pytest.raises(ValueError):
+        list(follow_trace(path, stop=lambda: False))
