@@ -9,11 +9,15 @@ Regenerates the paper's evaluation artifacts:
 * ``table3`` -- the transactional Multiset thread sweep;
 * ``figures`` -- the Figure 6 and Figure 7 lockset evolutions, printed
   event by event;
+* ``throughput`` -- detector events/sec + deterministic cost counters on
+  the fixed synthetic benchmark trace (the default when ``--json`` is the
+  only argument);
 * ``all`` -- everything above.
 
 Options: ``--scale tiny|small|full`` (default small), ``--repeats N``,
 ``--workloads a,b,c`` (Table 1/2 subset), ``--threads 5,10,...``
-(Table 3 subset).
+(Table 3 subset), ``--json [PATH]`` (write the throughput artifact,
+default ``BENCH_detector_throughput.json``).
 """
 
 from __future__ import annotations
@@ -76,14 +80,25 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "what",
-        choices=["table1", "table2", "table3", "figures", "all"],
-        help="which artifact to regenerate",
+        nargs="?",
+        default="throughput",
+        choices=["table1", "table2", "table3", "figures", "throughput", "all"],
+        help="which artifact to regenerate (default: throughput)",
     )
     parser.add_argument("--scale", default="small", choices=["tiny", "small", "full"])
     parser.add_argument("--repeats", type=int, default=1)
     parser.add_argument("--workloads", default=None, help="comma-separated subset")
     parser.add_argument(
         "--threads", default=None, help="comma-separated Table 3 thread counts"
+    )
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const="BENCH_detector_throughput.json",
+        default=None,
+        metavar="PATH",
+        help="write the throughput benchmark as JSON (implies the throughput "
+        "benchmark; default path: BENCH_detector_throughput.json)",
     )
     args = parser.parse_args(argv)
 
@@ -110,6 +125,15 @@ def main(argv=None) -> int:
         print()
     if args.what in ("figures", "all"):
         print(_figures_text())
+    if args.what in ("throughput", "all") or args.json:
+        from .throughput import bench_throughput, render_throughput, write_throughput_json
+
+        if args.json:
+            payload = write_throughput_json(args.json, repeats=args.repeats)
+            print(f"wrote {args.json}")
+        else:
+            payload = bench_throughput(repeats=args.repeats)
+        print(render_throughput(payload))
     return 0
 
 

@@ -32,14 +32,22 @@ from .baselines import (
     RaceTrackDetector,
     VectorClockDetector,
 )
-from .core import EagerGoldilocks, EagerGoldilocksRW, LazyGoldilocks
+from .core import (
+    EagerGoldilocks,
+    EagerGoldilocksRW,
+    EncodedEagerGoldilocksRW,
+    EncodedGoldilocks,
+    LazyGoldilocks,
+)
 from .core.actions import DataVar, Obj
 from .oracle import HappensBeforeOracle
 from .trace import RandomTraceGenerator, dump_trace, load_trace
 
 DETECTORS = {
-    "goldilocks": LazyGoldilocks,
-    "goldilocks-eager": EagerGoldilocksRW,
+    "goldilocks": EncodedGoldilocks,
+    "goldilocks-seed": LazyGoldilocks,
+    "goldilocks-eager": EncodedEagerGoldilocksRW,
+    "goldilocks-eager-seed": EagerGoldilocksRW,
     "goldilocks-norw": EagerGoldilocks,
     "eraser": EraserDetector,
     "racetrack": RaceTrackDetector,

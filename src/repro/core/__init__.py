@@ -41,12 +41,13 @@ from .exceptions import (
     TransactionAborted,
     TransactionError,
 )
-from .goldilocks import EagerGoldilocks, EagerGoldilocksRW
+from .goldilocks import EagerGoldilocks, EagerGoldilocksRW, EncodedEagerGoldilocksRW
+from .kernel import EncodedGoldilocks
 from .lazy import LazyGoldilocks
-from .lockset import Lockset
+from .lockset import BITSET_CUTOFF, TL_ID, Interner, Lockset
 from .report import AccessRef, FirstRacePolicy, RaceReport
 from .stats import DetectorStats
-from .synclist import Cell, SyncEventList
+from .synclist import Cell, EncodedSyncList, SyncEventList
 from .tee import TeeDetector
 
 __all__ = [
@@ -77,13 +78,19 @@ __all__ = [
     "TransactionError",
     "EagerGoldilocks",
     "EagerGoldilocksRW",
+    "EncodedEagerGoldilocksRW",
+    "EncodedGoldilocks",
     "LazyGoldilocks",
+    "BITSET_CUTOFF",
+    "TL_ID",
+    "Interner",
     "Lockset",
     "AccessRef",
     "FirstRacePolicy",
     "RaceReport",
     "DetectorStats",
     "Cell",
+    "EncodedSyncList",
     "SyncEventList",
     "TeeDetector",
 ]

@@ -261,6 +261,43 @@ class Commit:
         return f"commit(R={reads}, W={writes})"
 
 
+# ---------------------------------------------------------------------------
+# Integer opcodes (the encoded kernel's action vocabulary)
+# ---------------------------------------------------------------------------
+#
+# The encoded detection kernel (:mod:`repro.core.kernel`) stores the
+# synchronization-event list as parallel arrays of small ints instead of
+# action objects.  Each synchronization kind gets a stable opcode; the
+# mapping is part of the checkpoint format, so the values must never be
+# reordered.  ``OP_COMMIT`` is the only opcode whose payload is not a single
+# ``(key, gain)`` pair -- commits carry an index into a side table of
+# encoded footprints.
+
+OP_ACQUIRE = 1
+OP_RELEASE = 2
+OP_VREAD = 3
+OP_VWRITE = 4
+OP_FORK = 5
+OP_JOIN = 6
+OP_COMMIT = 7
+
+#: opcode for every simple (non-commit) synchronization action class
+SYNC_OPCODES = {
+    Acquire: OP_ACQUIRE,
+    Release: OP_RELEASE,
+    VolatileRead: OP_VREAD,
+    VolatileWrite: OP_VWRITE,
+    Fork: OP_FORK,
+    Join: OP_JOIN,
+    Commit: OP_COMMIT,
+}
+
+
+def sync_opcode(action: "SyncAction") -> int:
+    """The kernel opcode of a synchronization action."""
+    return SYNC_OPCODES[type(action)]
+
+
 #: Actions that participate in the extended synchronization order.
 SyncAction = Union[Acquire, Release, VolatileRead, VolatileWrite, Fork, Join, Commit]
 #: Data accesses subject to race checking.

@@ -1,0 +1,647 @@
+"""The integer-encoded Goldilocks kernel (lazy evaluation over int arrays).
+
+:class:`EncodedGoldilocks` is algorithm-for-algorithm the detector of
+:mod:`repro.core.lazy` -- same ``Info`` discipline, same check ordering,
+same garbage collection -- with the hot loop rebuilt on integers:
+
+* every lockset element is interned to a dense small int
+  (:class:`repro.core.lockset.Interner`), and locksets become int bitmasks
+  (:data:`~repro.core.lockset.BITSET_CUTOFF`-bounded) or frozensets of ids;
+* the synchronization-event list is a :class:`repro.core.synclist.EncodedSyncList`
+  -- parallel ``(opcode, tid_id, key, gain)`` int arrays in fixed-size
+  segments -- so replaying the Figure 5 rules is a tight loop with no
+  ``isinstance`` dispatch: a simple sync is uniformly
+  ``if key in ls: ls.add(gain)``, a commit reads one row of a side table;
+* two constant-time fast paths join the short-circuit ladder, giving six
+  rungs in all (fresh, transactional, same-thread, alock, **epoch**,
+  thread-restricted):
+
+  - **sync-epoch check** (``sc_epoch``): if no synchronization event has
+    been enqueued since ``info.pos``, the lockset cannot have grown, so the
+    ownership test is decisive immediately -- no traversal;
+  - **shared-segment memo** (``memo_shared``): lockset advancement is a pure
+    function of ``(position, lockset)``, so Infos anchored at the same
+    position with equal locksets reuse one advanced result per round.
+
+Race verdicts are identical to the seed detectors by construction (the
+parity suite asserts it on every trace in the repo); only the counters that
+describe *how* a verdict was reached differ.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from .actions import (
+    OP_COMMIT,
+    TL,
+    Acquire,
+    Alloc,
+    Commit,
+    DataVar,
+    Event,
+    Fork,
+    Join,
+    LockVar,
+    Obj,
+    Read,
+    Release,
+    Tid,
+    VolatileRead,
+    VolatileWrite,
+    Write,
+    sync_opcode,
+)
+from .detector import Detector
+from .lockset import (
+    BITSET_CUTOFF,
+    TL_ID,
+    Interner,
+    IntLockset,
+    ls_add,
+    ls_decode,
+    ls_has,
+    ls_intersects,
+    ls_pack,
+    ls_union,
+    ls_unpack,
+)
+from .report import AccessRef, RaceReport
+from .synclist import SEGMENT_SIZE, EncodedSyncList
+
+
+class KInfo:
+    """Per-access record of the encoded kernel (cf. ``lazy.Info``).
+
+    All hot fields are ints: ``owner_id`` and ``alock_id`` are interned ids,
+    ``pos`` is a global position in the encoded list, ``ls`` an encoded
+    lockset.  ``ref`` keeps the human-facing access reference for reports.
+    """
+
+    __slots__ = ("owner_id", "pos", "ls", "alock_id", "xact", "ref")
+
+    def __init__(
+        self,
+        owner_id: int,
+        pos: int,
+        ls: IntLockset,
+        alock_id: Optional[int],
+        xact: bool,
+        ref: AccessRef,
+    ) -> None:
+        self.owner_id = owner_id
+        self.pos = pos
+        self.ls = ls
+        self.alock_id = alock_id
+        self.xact = xact
+        self.ref = ref
+
+    def __repr__(self) -> str:
+        return f"<KInfo {self.ref!r} pos={self.pos} ls={self.ls!r} xact={self.xact}>"
+
+
+#: entries the shared memo may hold before it is wholesale cleared
+MEMO_CAP = 4096
+
+
+class EncodedGoldilocks(Detector):
+    """The production Goldilocks algorithm on the integer-encoded kernel.
+
+    Drop-in for :class:`repro.core.lazy.LazyGoldilocks` (same constructor
+    vocabulary, same verdicts, same ``name`` so reports compare equal), plus
+    the two new ablatable fast paths:
+
+    sc_epoch:
+        Enable the constant-time sync-epoch check.
+    memo_shared:
+        Enable the shared ``(position, lockset) -> advanced result`` memo
+        used by full lockset computations.
+    segment_size:
+        Events per storage segment of the encoded list (GC granularity).
+    """
+
+    name = "goldilocks"
+
+    def __init__(
+        self,
+        sc_xact: bool = True,
+        sc_same_thread: bool = True,
+        sc_alock: bool = True,
+        sc_thread_restricted: bool = True,
+        gc_threshold: Optional[int] = 50_000,
+        trim_fraction: float = 0.10,
+        memoize: bool = True,
+        commit_sync: str = "footprint",
+        sc_epoch: bool = True,
+        memo_shared: bool = True,
+        segment_size: int = SEGMENT_SIZE,
+    ) -> None:
+        super().__init__()
+        from .goldilocks import COMMIT_SYNC_POLICIES, _commit_gains
+
+        if commit_sync not in COMMIT_SYNC_POLICIES:
+            raise ValueError(f"unknown commit_sync policy {commit_sync!r}")
+        # Constructor kwargs are kept verbatim so reset() cannot drift from
+        # the signature (and subclasses can extend the dict, not the call).
+        self._config: Dict[str, object] = {
+            "sc_xact": sc_xact,
+            "sc_same_thread": sc_same_thread,
+            "sc_alock": sc_alock,
+            "sc_thread_restricted": sc_thread_restricted,
+            "gc_threshold": gc_threshold,
+            "trim_fraction": trim_fraction,
+            "memoize": memoize,
+            "commit_sync": commit_sync,
+            "sc_epoch": sc_epoch,
+            "memo_shared": memo_shared,
+            "segment_size": segment_size,
+        }
+        self.commit_sync = commit_sync
+        self._commit_gains = _commit_gains
+        self.sc_xact = sc_xact
+        self.sc_same_thread = sc_same_thread
+        self.sc_alock = sc_alock
+        self.sc_thread_restricted = sc_thread_restricted
+        self.sc_epoch = sc_epoch
+        self.memo_shared = memo_shared
+        self.gc_threshold = gc_threshold
+        self.trim_fraction = trim_fraction
+        self.memoize = memoize
+
+        self.interner = Interner()
+        self.events = EncodedSyncList(segment_size)
+        self.write_info: Dict[DataVar, KInfo] = {}
+        #: read infos keyed by (thread, transactional?) -- see lazy.py for
+        #: why the two kinds must not subsume each other
+        self.read_info: Dict[DataVar, Dict[Tuple[Tid, bool], KInfo]] = {}
+        #: monitors currently held per thread id, as interned LockVar ids
+        self._held: Dict[int, List[int]] = {}
+        #: live variables per object, so alloc is O(fields), not O(heap)
+        self._by_obj: Dict[Obj, Set[DataVar]] = {}
+        #: (position, lockset) -> (advanced position, advanced lockset)
+        self._memo: Dict[Tuple[int, IntLockset], Tuple[int, IntLockset]] = {}
+
+    def reset(self) -> None:  # noqa: D102 - documented on the base class
+        self.__init__(**self._config)  # type: ignore[misc]
+
+    # -- public inspection -------------------------------------------------------
+
+    def lockset_of(self, info: KInfo) -> Set[object]:
+        """An Info's lockset decoded back to elements (tests, diagnostics)."""
+        return ls_decode(info.ls, self.interner)
+
+    # -- event dispatch (Handle-Action) ------------------------------------------
+
+    def process(self, event: Event) -> List[RaceReport]:
+        action = event.action
+        if isinstance(action, Read):
+            self.stats.accesses_checked += 1
+            return self._handle_read(event.tid, event.index, action.var, None)
+        if isinstance(action, Write):
+            self.stats.accesses_checked += 1
+            return self._handle_write(event.tid, event.index, action.var, None)
+        if isinstance(action, Commit):
+            return self._handle_commit(event, action)
+        if isinstance(action, Alloc):
+            self._handle_alloc(action.obj)
+            return []
+        # Simple synchronization action: encode once, enqueue, track locks.
+        self.stats.sync_events += 1
+        intern = self.interner.intern
+        tid_id = intern(event.tid)
+        if isinstance(action, Acquire):
+            lock_id = intern(LockVar(action.obj))
+            self._held.setdefault(tid_id, []).append(lock_id)
+            key, gain = lock_id, tid_id
+        elif isinstance(action, Release):
+            lock_id = intern(LockVar(action.obj))
+            held = self._held.get(tid_id, [])
+            # Remove the innermost matching hold (monitors are re-entrant).
+            for i in range(len(held) - 1, -1, -1):
+                if held[i] == lock_id:
+                    del held[i]
+                    break
+            key, gain = tid_id, lock_id
+        elif isinstance(action, VolatileRead):
+            key, gain = intern(action.var), tid_id
+        elif isinstance(action, VolatileWrite):
+            key, gain = tid_id, intern(action.var)
+        elif isinstance(action, Fork):
+            key, gain = tid_id, intern(action.child)
+        elif isinstance(action, Join):
+            key, gain = intern(action.child), tid_id
+        else:  # pragma: no cover - exhaustive over SyncAction minus Commit
+            raise TypeError(f"not a simple synchronization action: {action!r}")
+        self.events.enqueue_encoded(sync_opcode(action), tid_id, key, gain)
+        self._maybe_collect()
+        return []
+
+    # -- data accesses ------------------------------------------------------------
+
+    def _new_info(
+        self,
+        tid: Tid,
+        index: int,
+        kind: str,
+        xact: bool,
+        extra_ls: IntLockset = 0,
+    ) -> KInfo:
+        tid_id = self.interner.intern(tid)
+        ls: IntLockset = ls_add(0, tid_id)
+        if xact:
+            # {t, TL} ∪ <outgoing set>, exactly as in the seed detector.
+            ls = ls_union(ls_add(ls, TL_ID), extra_ls)
+        held = self._held.get(tid_id)
+        alock_id = held[-1] if (held and not xact) else None
+        info = KInfo(
+            tid_id, self.events.tail_pos, ls, alock_id, xact,
+            AccessRef(tid, index, kind, xact),
+        )
+        self.events.incref(info.pos)
+        return info
+
+    def _discard(self, info: Optional[KInfo]) -> None:
+        if info is not None:
+            self.events.decref(info.pos)
+
+    def _handle_read(
+        self,
+        tid: Tid,
+        index: int,
+        var: DataVar,
+        txn_extra: Optional[IntLockset],
+    ) -> List[RaceReport]:
+        """A read is checked against the last write only (cf. lazy.py)."""
+        xact = txn_extra is not None
+        info = self._new_info(tid, index, "read", xact, txn_extra or 0)
+        reports: List[RaceReport] = []
+        prev_write = self.write_info.get(var)
+        if prev_write is None and var not in self.read_info:
+            self.stats.sc_fresh += 1
+        if prev_write is not None and not self._check_happens_before(prev_write, info):
+            reports.append(self._report(var, prev_write, info))
+        if reports and self.suppress_racy_updates:
+            self._discard(info)  # the access is being suppressed
+            return reports
+        per_thread = self.read_info.setdefault(var, {})
+        if not xact:
+            stale = per_thread.pop((tid, True), None)
+            self._discard(stale)
+        self._discard(per_thread.get((tid, xact)))
+        per_thread[(tid, xact)] = info
+        self._by_obj.setdefault(var.obj, set()).add(var)
+        return reports
+
+    def _handle_write(
+        self,
+        tid: Tid,
+        index: int,
+        var: DataVar,
+        txn_extra: Optional[IntLockset],
+    ) -> List[RaceReport]:
+        """A write is checked against the last write and all reads since it."""
+        xact = txn_extra is not None
+        info = self._new_info(tid, index, "write", xact, txn_extra or 0)
+        reports: List[RaceReport] = []
+        prev_write = self.write_info.get(var)
+        readers = self.read_info.get(var)
+        if prev_write is None and not readers:
+            self.stats.sc_fresh += 1
+        if readers:
+            for reader_info in readers.values():
+                if not self._check_happens_before(reader_info, info):
+                    reports.append(self._report(var, reader_info, info))
+        if prev_write is not None:
+            if not self._check_happens_before(prev_write, info):
+                reports.append(self._report(var, prev_write, info))
+        if reports and self.suppress_racy_updates:
+            self._discard(info)  # the access is being suppressed
+            return reports
+        if readers:
+            for reader_info in readers.values():
+                self._discard(reader_info)
+            del self.read_info[var]
+        if prev_write is not None:
+            self._discard(prev_write)
+        self.write_info[var] = info
+        self._by_obj.setdefault(var.obj, set()).add(var)
+        return reports
+
+    def _handle_commit(self, event: Event, action: Commit) -> List[RaceReport]:
+        """Section 5.3: enqueue the commit first, then check its accesses."""
+        self.stats.sync_events += 1
+        intern = self.interner.intern
+        tid_id = intern(event.tid)
+        incoming, outgoing = self._commit_gains(self.commit_sync, action)
+        incoming_ls: IntLockset = 0
+        for element in incoming:
+            incoming_ls = ls_add(incoming_ls, intern(element))
+        outgoing_ls: IntLockset = 0
+        for element in outgoing:
+            outgoing_ls = ls_add(outgoing_ls, intern(element))
+        row = self.events.add_commit_row(incoming_ls, outgoing_ls, tid_id)
+        self.events.enqueue_encoded(OP_COMMIT, tid_id, row, 0)
+        reports: List[RaceReport] = []
+        for var in self._commit_vars(action):
+            self.stats.accesses_checked += 1
+            if var in action.writes:
+                reports.extend(
+                    self._handle_write(event.tid, event.index, var, outgoing_ls)
+                )
+            else:
+                reports.extend(
+                    self._handle_read(event.tid, event.index, var, outgoing_ls)
+                )
+        self._maybe_collect()
+        return reports
+
+    def _commit_vars(self, action: Commit) -> List[DataVar]:
+        """Footprint variables this instance checks (sharding overrides it)."""
+        return sorted(action.footprint, key=lambda v: (v.obj.value, v.field))
+
+    def _handle_alloc(self, obj: Obj) -> None:
+        """Allocation makes every field of ``obj`` fresh: drop its infos."""
+        live = self._by_obj.pop(obj, None)
+        if not live:
+            return
+        for var in live:
+            info = self.write_info.pop(var, None)
+            if info is not None:
+                self._discard(info)
+            per_thread = self.read_info.pop(var, None)
+            if per_thread is not None:
+                for info in per_thread.values():
+                    self._discard(info)
+
+    # -- Check-Happens-Before -------------------------------------------------------
+
+    def _check_happens_before(self, info1: KInfo, info2: KInfo) -> bool:
+        """The six-rung ladder: cheap constant-time checks first."""
+        if self.sc_xact and info1.xact and info2.xact:
+            self.stats.sc_xact += 1
+            return True
+        if self.sc_same_thread and info1.owner_id == info2.owner_id:
+            self.stats.sc_same_thread += 1
+            return True
+        if (
+            self.sc_alock
+            and info1.alock_id is not None
+            and info1.alock_id in self._held.get(info2.owner_id, ())
+        ):
+            self.stats.sc_alock += 1
+            return True
+        if self.sc_epoch and info1.pos == self.events.total_enqueued:
+            # No synchronization since the anchor: replay would apply zero
+            # rules, so the ownership test decides right now.
+            self.stats.sc_epoch += 1
+            return self._owned(info1.ls, info2)
+        if self.sc_thread_restricted and self._restricted_traversal(info1, info2):
+            self.stats.sc_thread_restricted += 1
+            return True
+        return self._full_traversal(info1, info2)
+
+    @staticmethod
+    def _owned(ls: IntLockset, info2: KInfo) -> bool:
+        """The Figure 8 ownership test on an encoded lockset."""
+        if ls_has(ls, info2.owner_id):
+            return True
+        return info2.xact and ls_has(ls, TL_ID)
+
+    def _restricted_traversal(self, info1: KInfo, info2: KInfo) -> bool:
+        """Replay only the two owners' events, via the per-thread indexes."""
+        events = self.events
+        start = info1.pos
+        mine = events.positions_of(info1.owner_id, start)
+        target = info2.owner_id
+        if info1.owner_id == target:
+            positions: Iterable[int] = mine
+        else:
+            theirs = events.positions_of(target, start)
+            positions = self._merge(mine, theirs)
+        ls = info1.ls
+        table = events.commit_table
+        stats = self.stats
+        for pos in positions:
+            stats.cells_traversed += 1
+            op, _tid, key, gain = events.at(pos)
+            if op != OP_COMMIT:
+                if type(ls) is int:
+                    if (ls >> key) & 1:
+                        ls = ls | (1 << gain) if gain < BITSET_CUTOFF else ls_add(ls, gain)
+                elif key in ls:
+                    ls = ls | {gain}
+            else:
+                incoming, outgoing, committer = table[key]
+                if ls_intersects(ls, incoming):
+                    ls = ls_add(ls, committer)
+                if ls_has(ls, committer):
+                    ls = ls_union(ls, outgoing)
+            if ls_has(ls, target):
+                return True
+        return ls_has(ls, target)
+
+    @staticmethod
+    def _merge(left: List[int], right: List[int]) -> List[int]:
+        """Merge two ascending position lists (positions are unique)."""
+        out: List[int] = []
+        i = j = 0
+        nl, nr = len(left), len(right)
+        while i < nl and j < nr:
+            a, b = left[i], right[j]
+            if a < b:
+                out.append(a)
+                i += 1
+            else:
+                out.append(b)
+                j += 1
+        if i < nl:
+            out.extend(left[i:])
+        if j < nr:
+            out.extend(right[j:])
+        return out
+
+    def _full_traversal(self, info1: KInfo, info2: KInfo) -> bool:
+        """``Apply-Lockset-Rules`` over the encoded segment arrays."""
+        self.stats.full_lockset_computations += 1
+        events = self.events
+        end = events.total_enqueued
+        start = info1.pos
+        ls = info1.ls
+        if self.memo_shared:
+            hit = self._memo.get((start, ls))
+            if hit is not None:
+                mid, mid_ls = hit
+                self.stats.memo_shared_hits += 1
+                new_ls = self._replay(mid_ls, mid, end)
+            else:
+                new_ls = self._replay(ls, start, end)
+            if len(self._memo) >= MEMO_CAP:
+                self._memo.clear()
+            self._memo[(start, ls)] = (end, new_ls)
+        else:
+            new_ls = self._replay(ls, start, end)
+        if self.memoize:
+            events.decref(info1.pos)
+            info1.pos = end
+            events.incref(end)
+            info1.ls = new_ls
+        return self._owned(new_ls, info2)
+
+    def _replay(self, ls: IntLockset, start: int, end: int) -> IntLockset:
+        """Apply the rules for events in ``[start, end)`` to a lockset."""
+        if start >= end:
+            return ls
+        events = self.events
+        size = events.segment_size
+        segments = events.segments
+        table = events.commit_table
+        self.stats.cells_traversed += end - start
+        pos = start
+        while pos < end:
+            seg_index = pos // size
+            segment = segments[seg_index]
+            base = seg_index * size
+            slot = pos - base
+            limit = min(len(segment), end - base)
+            ops = segment.ops
+            keys = segment.keys
+            gains = segment.gains
+            while slot < limit:
+                if ops[slot] != OP_COMMIT:
+                    if type(ls) is int:
+                        if (ls >> keys[slot]) & 1:
+                            gain = gains[slot]
+                            ls = ls | (1 << gain) if gain < BITSET_CUTOFF else ls_add(ls, gain)
+                    elif keys[slot] in ls:
+                        ls = ls | {gains[slot]}
+                else:
+                    incoming, outgoing, committer = table[keys[slot]]
+                    if ls_intersects(ls, incoming):
+                        ls = ls_add(ls, committer)
+                    if ls_has(ls, committer):
+                        ls = ls_union(ls, outgoing)
+                slot += 1
+            pos = base + limit
+        return ls
+
+    def _report(self, var: DataVar, info1: KInfo, info2: KInfo) -> RaceReport:
+        self.stats.races += 1
+        return RaceReport(var=var, first=info1.ref, second=info2.ref, detector=self.name)
+
+    # -- garbage collection and partially-eager evaluation ---------------------------
+
+    def _maybe_collect(self) -> None:
+        if self.gc_threshold is None or len(self.events) <= self.gc_threshold:
+            return
+        self.collect()
+
+    def collect(self) -> int:
+        """Reclaim the event-list prefix (Section 5.4); returns events freed.
+
+        Same two phases as the seed detector -- free the unreferenced
+        prefix, then partially-eagerly advance any lockset anchored in the
+        oldest ``trim_fraction`` and free again -- at whole-segment
+        granularity.  The shared memo is cleared whenever storage is freed:
+        its entries are not reference-counted, so they may point into
+        reclaimed segments.
+        """
+        freed = self.events.collect_prefix()
+        threshold = self.gc_threshold if self.gc_threshold is not None else 0
+        if len(self.events) > threshold:
+            prefix_len = max(1, int(len(self.events) * self.trim_fraction))
+            cutoff = self.events.head_pos + prefix_len
+            for info in self._all_infos():
+                if info.pos < cutoff:
+                    self._advance_past(info, cutoff)
+            freed += self.events.collect_prefix()
+        if freed:
+            self._memo.clear()
+        self.stats.cells_collected += freed
+        return freed
+
+    def _all_infos(self) -> Iterable[KInfo]:
+        for info in self.write_info.values():
+            yield info
+        for per_thread in self.read_info.values():
+            for info in per_thread.values():
+                yield info
+
+    def _advance_past(self, info: KInfo, cutoff: int) -> None:
+        """Advance one lockset out of the prefix (the 5.4 partial evaluation)."""
+        self.stats.partial_evaluations += 1
+        new_ls = self._replay(info.ls, info.pos, cutoff)
+        self.events.decref(info.pos)
+        info.pos = cutoff
+        self.events.incref(cutoff)
+        info.ls = new_ls
+
+    # -- checkpointing ---------------------------------------------------------
+
+    # Positions are stored as (segment, slot) pairs and locksets in their
+    # canonical packed form, so a checkpoint is byte-stable: restoring and
+    # re-checkpointing yields the identical blob.  The shared memo and the
+    # per-object index are derived state and deliberately absent.
+
+    def __getstate__(self) -> dict:
+        size = self.events.segment_size
+
+        def pack(info: KInfo) -> tuple:
+            return (
+                info.owner_id,
+                (info.pos // size, info.pos % size),
+                ls_pack(info.ls),
+                info.alock_id,
+                info.xact,
+                info.ref,
+            )
+
+        return {
+            "config": sorted(self._config.items()),
+            "suppress_racy_updates": self.suppress_racy_updates,
+            "stats": self.stats,
+            "events": self.events,
+            "interner": self.interner,
+            "held": self._held,
+            "write_info": {var: pack(info) for var, info in self.write_info.items()},
+            "read_info": {
+                var: {key: pack(info) for key, info in per_thread.items()}
+                for var, per_thread in self.read_info.items()
+            },
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        from sys import intern
+
+        from .goldilocks import _commit_gains
+
+        # Interning the kwarg names keeps re-pickling byte-stable: instance
+        # __dict__s hold the interned attribute strings, and the memo
+        # structure of a checkpoint must not depend on whether the config
+        # keys arrived from source literals or from a previous unpickle.
+        self._config = {intern(key): value for key, value in state["config"]}
+        for key, value in self._config.items():
+            if key not in ("segment_size",):
+                setattr(self, key, value)
+        self._commit_gains = _commit_gains
+        self.suppress_racy_updates = state["suppress_racy_updates"]
+        self.stats = state["stats"]
+        self.events = state["events"]
+        self.interner = state["interner"]
+        self._held = state["held"]
+        self._memo = {}
+        size = self.events.segment_size
+
+        def unpack(packed: tuple) -> KInfo:
+            owner_id, (seg, slot), ls, alock_id, xact, ref = packed
+            return KInfo(owner_id, seg * size + slot, ls_unpack(ls), alock_id, xact, ref)
+
+        self.write_info = {var: unpack(p) for var, p in state["write_info"].items()}
+        self.read_info = {
+            var: {key: unpack(p) for key, p in per_thread.items()}
+            for var, per_thread in state["read_info"].items()
+        }
+        self._by_obj = {}
+        for var in self.write_info:
+            self._by_obj.setdefault(var.obj, set()).add(var)
+        for var in self.read_info:
+            self._by_obj.setdefault(var.obj, set()).add(var)

@@ -153,6 +153,18 @@ class LazyGoldilocks(Detector):
         self.gc_threshold = gc_threshold
         self.trim_fraction = trim_fraction
         self.memoize = memoize
+        # Constructor kwargs, kept verbatim so reset() cannot drift from the
+        # signature as it grows.
+        self._config = {
+            "sc_xact": sc_xact,
+            "sc_same_thread": sc_same_thread,
+            "sc_alock": sc_alock,
+            "sc_thread_restricted": sc_thread_restricted,
+            "gc_threshold": gc_threshold,
+            "trim_fraction": trim_fraction,
+            "memoize": memoize,
+            "commit_sync": commit_sync,
+        }
 
         self.events = SyncEventList()
         self.write_info: Dict[DataVar, Info] = {}
@@ -165,19 +177,13 @@ class LazyGoldilocks(Detector):
         self.read_info: Dict[DataVar, Dict[Tuple[Tid, bool], Info]] = {}
         #: stack of monitors currently held, per thread (innermost last)
         self._held: Dict[Tid, List[Obj]] = {}
+        #: variables with live infos per object, so alloc is O(fields of
+        #: the object) instead of a scan over every tracked variable
+        self._by_obj: Dict[Obj, Set[DataVar]] = {}
 
-    # Re-apply constructor args on reset().
+    # Re-apply constructor kwargs on reset().
     def reset(self) -> None:  # noqa: D102 - documented on the base class
-        self.__init__(
-            self.sc_xact,
-            self.sc_same_thread,
-            self.sc_alock,
-            self.sc_thread_restricted,
-            self.gc_threshold,
-            self.trim_fraction,
-            self.memoize,
-            self.commit_sync,
-        )
+        self.__init__(**self._config)
 
     # -- event dispatch (Handle-Action) -----------------------------------------
 
@@ -265,6 +271,7 @@ class LazyGoldilocks(Detector):
             self._discard(stale)
         self._discard(per_thread.get((tid, xact)))
         per_thread[(tid, xact)] = info
+        self._by_obj.setdefault(var.obj, set()).add(var)
         return reports
 
     def _handle_write(
@@ -299,6 +306,7 @@ class LazyGoldilocks(Detector):
         if prev_write is not None:
             self._discard(prev_write)
         self.write_info[var] = info
+        self._by_obj.setdefault(var.obj, set()).add(var)
         return reports
 
     def _handle_commit(self, event: Event, action: Commit) -> List[RaceReport]:
@@ -340,13 +348,23 @@ class LazyGoldilocks(Detector):
         return sorted(action.footprint, key=lambda v: (v.obj.value, v.field))
 
     def _handle_alloc(self, obj: Obj) -> None:
-        """Allocation makes every field of ``obj`` fresh: drop its infos."""
-        for var in [v for v in self.write_info if v.obj == obj]:
-            self._discard(self.write_info.pop(var))
-        for var in [v for v in self.read_info if v.obj == obj]:
-            for info in self.read_info[var].values():
+        """Allocation makes every field of ``obj`` fresh: drop its infos.
+
+        The per-object index makes this O(fields of ``obj``); the previous
+        implementation rescanned every tracked variable on the heap, which
+        made alloc-heavy traces quadratic.
+        """
+        live = self._by_obj.pop(obj, None)
+        if not live:
+            return
+        for var in live:
+            info = self.write_info.pop(var, None)
+            if info is not None:
                 self._discard(info)
-            del self.read_info[var]
+            per_thread = self.read_info.pop(var, None)
+            if per_thread is not None:
+                for info in per_thread.values():
+                    self._discard(info)
 
     # -- Check-Happens-Before -------------------------------------------------------
 
@@ -375,14 +393,21 @@ class LazyGoldilocks(Detector):
         return self._full_traversal(info1, info2)
 
     def _restricted_traversal(self, info1: Info, info2: Info) -> bool:
-        """Replay only the two owners' events; ownership found here is sound."""
+        """Replay only the two owners' events; ownership found here is sound.
+
+        Every cell *visited* is counted, including the skipped foreign-thread
+        ones: the traversal still walks the whole linked segment, and the
+        cost model must say so.  (The encoded kernel reaches only the two
+        owners' cells through per-thread indexes, which is where its counted
+        advantage on this rung comes from.)
+        """
         ls = set(info1.ls)
         threads = (info1.owner, info2.owner)
         target = info2.owner
         for cell in self.events.events_from(info1.pos):
+            self.stats.cells_traversed += 1
             if cell.tid not in threads:
                 continue
-            self.stats.cells_traversed += 1
             self._apply_cell(ls, cell)
             if target in ls:
                 return True
@@ -552,6 +577,16 @@ class LazyGoldilocks(Detector):
             self.memoize,
             self.commit_sync,
         ) = state["config"]
+        self._config = {
+            "sc_xact": self.sc_xact,
+            "sc_same_thread": self.sc_same_thread,
+            "sc_alock": self.sc_alock,
+            "sc_thread_restricted": self.sc_thread_restricted,
+            "gc_threshold": self.gc_threshold,
+            "trim_fraction": self.trim_fraction,
+            "memoize": self.memoize,
+            "commit_sync": self.commit_sync,
+        }
         self._commit_gains = _commit_gains
         self.suppress_racy_updates = state["suppress_racy_updates"]
         self.stats = state["stats"]
@@ -572,3 +607,8 @@ class LazyGoldilocks(Detector):
             var: {key: unpack(p) for key, p in per_thread.items()}
             for var, per_thread in state["read_info"].items()
         }
+        self._by_obj = {}
+        for var in self.write_info:
+            self._by_obj.setdefault(var.obj, set()).add(var)
+        for var in self.read_info:
+            self._by_obj.setdefault(var.obj, set()).add(var)

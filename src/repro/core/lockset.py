@@ -20,7 +20,18 @@ and shrink to a singleton only at accesses.
 
 from __future__ import annotations
 
-from typing import AbstractSet, Iterable, Iterator, Optional, Set
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from .actions import (
     TL,
@@ -132,3 +143,181 @@ class Lockset:
     def data_vars(self) -> Set[DataVar]:
         """All data variables in the set (placed there by transaction commits)."""
         return {e for e in self.elements if isinstance(e, DataVar)}
+
+
+# ---------------------------------------------------------------------------
+# Integer-encoded locksets (the encoded kernel's representation)
+# ---------------------------------------------------------------------------
+#
+# The encoded kernel (:mod:`repro.core.kernel`) never touches
+# ``LocksetElement`` objects on its hot path.  An :class:`Interner` maps
+# every element to a dense small int once, at the moment the element first
+# appears in the execution; locksets then become either
+#
+# * an arbitrary-precision **int bitmask** (bit ``i`` set <=> element ``i``
+#   present) while every member id is below :data:`BITSET_CUTOFF`, or
+# * a **frozenset of ids** once any member's id crosses the cutoff (huge
+#   executions with thousands of distinct threads/locks), so bit operations
+#   never have to shift astronomically wide integers.
+#
+# Both representations are immutable values, which is what makes the
+# kernel's shared-segment memo sound: an advanced lockset can be handed to
+# several ``Info`` records without aliasing hazards.
+
+#: ids below this bound live in int bitmasks; at or above it, locksets
+#: spill into frozensets of ids.  512 bits is a few machine words -- cheap
+#: to copy, far beyond the element count of any trace in the repo.
+BITSET_CUTOFF = 512
+
+#: the transaction lock's interned id (pinned: ``TL`` is interned first)
+TL_ID = 0
+
+#: an encoded lockset: int bitmask or frozenset of interned ids
+IntLockset = Union[int, FrozenSet[int]]
+
+
+class Interner:
+    """Bidirectional ``LocksetElement`` <-> dense-int mapping.
+
+    Ids are assigned in order of first appearance and never reused, so they
+    are stable across a detector's lifetime and through checkpoints.  ``TL``
+    is always id :data:`TL_ID` so the kernel can test transactionality with
+    one bit probe.
+    """
+
+    __slots__ = ("_ids", "_elements")
+
+    def __init__(self) -> None:
+        self._elements: List[LocksetElement] = [TL]
+        self._ids: Dict[LocksetElement, int] = {TL: TL_ID}
+
+    def intern(self, element: LocksetElement) -> int:
+        """The id of ``element``, assigning a fresh one on first sight."""
+        eid = self._ids.get(element)
+        if eid is None:
+            eid = len(self._elements)
+            self._ids[element] = eid
+            self._elements.append(element)
+        return eid
+
+    def intern_all(self, elements: Iterable[LocksetElement]) -> List[int]:
+        return [self.intern(e) for e in elements]
+
+    def resolve(self, eid: int) -> LocksetElement:
+        """The element behind an id (for reports, debugging, and decoding)."""
+        return self._elements[eid]
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    def __contains__(self, element: LocksetElement) -> bool:
+        return element in self._ids
+
+    # The element list is the canonical state; the dict is derived.  Keeping
+    # it out of the pickle both shrinks checkpoints and makes the blob
+    # deterministic (dict iteration order equals list order by construction).
+    def __getstate__(self) -> dict:
+        return {"elements": self._elements}
+
+    def __setstate__(self, state: dict) -> None:
+        self._elements = state["elements"]
+        self._ids = {e: i for i, e in enumerate(self._elements)}
+
+    def __repr__(self) -> str:
+        return f"<Interner {len(self._elements)} elements>"
+
+
+def ls_make(ids: Iterable[int], cutoff: int = BITSET_CUTOFF) -> IntLockset:
+    """Encode a collection of ids as a bitmask (or frozenset past the cutoff)."""
+    mask = 0
+    big = None
+    for eid in ids:
+        if big is not None:
+            big.add(eid)
+        elif eid < cutoff:
+            mask |= 1 << eid
+        else:
+            big = set(_mask_ids(mask))
+            big.add(eid)
+    return frozenset(big) if big is not None else mask
+
+
+def ls_add(ls: IntLockset, eid: int, cutoff: int = BITSET_CUTOFF) -> IntLockset:
+    """``ls ∪ {eid}`` in whichever representation fits."""
+    if type(ls) is int:
+        if eid < cutoff:
+            return ls | (1 << eid)
+        return frozenset(_mask_ids(ls)) | {eid}
+    return ls | {eid}
+
+
+def ls_has(ls: IntLockset, eid: int) -> bool:
+    """True iff element ``eid`` is in the lockset."""
+    if type(ls) is int:
+        return (ls >> eid) & 1 == 1
+    return eid in ls
+
+
+def ls_union(ls: IntLockset, other: IntLockset) -> IntLockset:
+    """``ls ∪ other`` for any mix of representations."""
+    if type(ls) is int and type(other) is int:
+        return ls | other
+    left = _as_frozenset(ls)
+    right = _as_frozenset(other)
+    return left | right
+
+
+def ls_intersects(ls: IntLockset, other: IntLockset) -> bool:
+    """True iff the two locksets share an element."""
+    if type(ls) is int and type(other) is int:
+        return (ls & other) != 0
+    left = _as_frozenset(ls)
+    right = _as_frozenset(other)
+    return not left.isdisjoint(right)
+
+
+def ls_ids(ls: IntLockset) -> Tuple[int, ...]:
+    """The member ids, sorted (canonical order for checkpoints and tests)."""
+    if type(ls) is int:
+        return tuple(_mask_ids(ls))
+    return tuple(sorted(ls))
+
+
+def ls_pack(ls: IntLockset) -> Union[int, Tuple[int, ...]]:
+    """Canonical picklable form: the int itself, or a sorted id tuple.
+
+    Frozensets pickle in iteration order, which depends on their construction
+    history; checkpoints that must be byte-identical after a round trip store
+    sorted tuples instead.
+    """
+    if type(ls) is int:
+        return ls
+    return tuple(sorted(ls))
+
+
+def ls_unpack(packed: Union[int, Tuple[int, ...]]) -> IntLockset:
+    """Inverse of :func:`ls_pack`."""
+    if type(packed) is int:
+        return packed
+    return frozenset(packed)
+
+
+def ls_decode(ls: IntLockset, interner: Interner) -> Set[LocksetElement]:
+    """Back to a plain element set (for parity tests and diagnostics)."""
+    return {interner.resolve(eid) for eid in ls_ids(ls)}
+
+
+def _mask_ids(mask: int) -> Iterator[int]:
+    """Ids of the set bits of ``mask``, ascending."""
+    eid = 0
+    while mask:
+        tail = mask & -mask
+        eid = tail.bit_length() - 1
+        yield eid
+        mask ^= tail
+
+
+def _as_frozenset(ls: IntLockset) -> FrozenSet[int]:
+    if type(ls) is int:
+        return frozenset(_mask_ids(ls))
+    return ls

@@ -33,8 +33,14 @@ class DetectorStats:
     sc_thread_restricted: int = 0
     #: ... by the fresh-variable case (first access, empty lockset)
     sc_fresh: int = 0
+    #: ... by the sync-epoch check (no sync enqueued since the anchor: the
+    #: lockset cannot have grown, so the ownership test is decisive now)
+    sc_epoch: int = 0
     #: happens-before queries that fell through to a full lockset computation
     full_lockset_computations: int = 0
+    #: full computations answered from the shared-segment memo (same anchor
+    #: position + equal lockset reuse one advanced result) without traversal
+    memo_shared_hits: int = 0
     #: synchronization-list cells visited during lazy lockset computations
     cells_traversed: int = 0
     #: individual lockset update rules applied (eager: per event per variable)
@@ -55,6 +61,7 @@ class DetectorStats:
             + self.sc_xact
             + self.sc_thread_restricted
             + self.sc_fresh
+            + self.sc_epoch
             + self.full_lockset_computations
         )
 
@@ -96,7 +103,9 @@ class DetectorStats:
             "sc_xact": self.sc_xact,
             "sc_thread_restricted": self.sc_thread_restricted,
             "sc_fresh": self.sc_fresh,
+            "sc_epoch": self.sc_epoch,
             "full_lockset_computations": self.full_lockset_computations,
+            "memo_shared_hits": self.memo_shared_hits,
             "cells_traversed": self.cells_traversed,
             "rule_applications": self.rule_applications,
             "races": self.races,

@@ -26,9 +26,11 @@ list primitives).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from .actions import Action, Tid
+from .lockset import ls_pack, ls_unpack
 
 
 class Cell:
@@ -222,4 +224,239 @@ class SyncEventList:
         return (
             f"<SyncEventList len={self.length} enqueued={self.total_enqueued} "
             f"collected={self.total_collected}>"
+        )
+
+
+# ---------------------------------------------------------------------------
+# The integer-encoded, segment-backed event list (the kernel's backbone)
+# ---------------------------------------------------------------------------
+
+
+#: default events per segment: big enough that per-segment overhead
+#: (refcount entry, dict slot) is noise, small enough that whole-segment
+#: garbage collection keeps the retained list close to the refcount frontier
+SEGMENT_SIZE = 256
+
+
+class _Segment:
+    """One fixed-size chunk of the encoded list: four parallel int arrays.
+
+    Slot ``i`` of the arrays holds event ``base + i`` (global position).
+    ``ops`` is the opcode; ``tids`` the interned id of the acting thread;
+    ``keys``/``gains`` the pre-encoded rule operands -- for a simple sync the
+    Figure 5 rule is uniformly ``if keys[i] in ls: ls.add(gains[i])``, and
+    for a commit ``keys[i]`` indexes the list's commit side table.
+    """
+
+    __slots__ = ("ops", "tids", "keys", "gains")
+
+    def __init__(self) -> None:
+        self.ops: List[int] = []
+        self.tids: List[int] = []
+        self.keys: List[int] = []
+        self.gains: List[int] = []
+
+    def append(self, op: int, tid_id: int, key: int, gain: int) -> None:
+        self.ops.append(op)
+        self.tids.append(tid_id)
+        self.keys.append(key)
+        self.gains.append(gain)
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+class EncodedSyncList:
+    """Append-only encoded event list with whole-segment refcount GC.
+
+    The semantic twin of :class:`SyncEventList`, re-engineered for the
+    integer kernel:
+
+    * A *position* is a plain int -- the event's global enqueue index.  The
+      "empty tail cell" of the linked list becomes the position
+      ``total_enqueued``: the slot the *next* event will fill.  Positions
+      survive garbage collection unchanged (nothing is renumbered).
+    * Events live in fixed-size :class:`_Segment` chunks keyed by
+      ``position // segment_size``, so ``cell_at`` is O(1) arithmetic and
+      traversal is a tight loop over parallel arrays.
+    * Reference counts are kept per *segment* (an ``Info`` anchored at
+      position ``p`` references segment ``p // segment_size``).  The GC
+      frees whole zero-reference segments from the front -- slightly
+      coarser than the per-cell collector, never less sound, and O(1) per
+      reclaimed chunk.
+    * Per-thread position indexes (``positions_of``) let the
+      thread-restricted short circuit walk only the two owners' events.
+
+    Commits carry variable-size footprints, so they are stored as an index
+    (in ``keys``) into :attr:`commit_table`, whose rows are
+    ``(incoming, outgoing, tid_id)`` encoded locksets -- pre-computed once
+    at enqueue so replay never touches action objects.
+    """
+
+    def __init__(self, segment_size: int = SEGMENT_SIZE) -> None:
+        if segment_size < 1:
+            raise ValueError("segment_size must be positive")
+        self.segment_size = segment_size
+        #: live segments keyed by segment index (contiguous range)
+        self.segments: Dict[int, _Segment] = {}
+        #: first retained position (segment-aligned after any collection)
+        self.head_pos: int = 0
+        #: total events ever enqueued; also the current tail position
+        self.total_enqueued: int = 0
+        #: events reclaimed by :meth:`collect_prefix`
+        self.total_collected: int = 0
+        #: commit side table: (incoming, outgoing, tid_id) encoded rows
+        self.commit_table: List[Tuple[object, object, int]] = []
+        #: per-segment reference counts (Info anchors)
+        self._refs: Dict[int, int] = {}
+        #: per-thread-id sorted position lists (restricted traversal index)
+        self._by_tid: Dict[int, List[int]] = {}
+
+    # -- appends ---------------------------------------------------------------
+
+    @property
+    def tail_pos(self) -> int:
+        """The position the next event will occupy (the "empty tail")."""
+        return self.total_enqueued
+
+    def enqueue_encoded(self, op: int, tid_id: int, key: int, gain: int) -> int:
+        """Append one pre-encoded event; returns its (permanent) position."""
+        pos = self.total_enqueued
+        seg_index = pos // self.segment_size
+        segment = self.segments.get(seg_index)
+        if segment is None:
+            segment = self.segments[seg_index] = _Segment()
+        segment.append(op, tid_id, key, gain)
+        self._by_tid.setdefault(tid_id, []).append(pos)
+        self.total_enqueued = pos + 1
+        return pos
+
+    def add_commit_row(self, incoming: object, outgoing: object, tid_id: int) -> int:
+        """Register a commit's encoded footprint; returns its table index."""
+        self.commit_table.append((incoming, outgoing, tid_id))
+        return len(self.commit_table) - 1
+
+    # -- reference management ----------------------------------------------------
+
+    def incref(self, pos: int) -> None:
+        seg_index = pos // self.segment_size
+        self._refs[seg_index] = self._refs.get(seg_index, 0) + 1
+
+    def decref(self, pos: int) -> None:
+        seg_index = pos // self.segment_size
+        count = self._refs.get(seg_index, 0)
+        assert count > 0, "refcount underflow on encoded segment"
+        if count == 1:
+            del self._refs[seg_index]
+        else:
+            self._refs[seg_index] = count - 1
+
+    # -- random access and indexes ---------------------------------------------
+
+    def at(self, pos: int) -> Tuple[int, int, int, int]:
+        """The ``(op, tid_id, key, gain)`` row at a position."""
+        slot = pos % self.segment_size
+        segment = self.segments[pos // self.segment_size]
+        return (segment.ops[slot], segment.tids[slot], segment.keys[slot], segment.gains[slot])
+
+    def positions_of(self, tid_id: int, start: int) -> List[int]:
+        """This thread's event positions at or after ``start``, ascending."""
+        positions = self._by_tid.get(tid_id)
+        if not positions:
+            return []
+        return positions[bisect_left(positions, start):]
+
+    # -- garbage collection -------------------------------------------------------
+
+    def collect_prefix(self) -> int:
+        """Free leading *full* segments with no anchors; returns events freed.
+
+        A segment is reclaimable when it is completely filled (the partial
+        append-target segment is never freed) and no ``Info`` references any
+        position inside it.  Per-thread indexes are pruned lazily here so
+        the index never points into freed storage.
+        """
+        size = self.segment_size
+        freed = 0
+        seg_index = self.head_pos // size
+        while True:
+            segment = self.segments.get(seg_index)
+            if segment is None or len(segment) < size:
+                break
+            if self._refs.get(seg_index, 0) > 0:
+                break
+            del self.segments[seg_index]
+            freed += size
+            seg_index += 1
+        if freed:
+            self.head_pos += freed
+            self.total_collected += freed
+            head = self.head_pos
+            for tid_id, positions in list(self._by_tid.items()):
+                cut = bisect_left(positions, head)
+                if cut:
+                    remaining = positions[cut:]
+                    if remaining:
+                        self._by_tid[tid_id] = remaining
+                    else:
+                        del self._by_tid[tid_id]
+        return freed
+
+    # -- pickling -----------------------------------------------------------------
+    #
+    # The canonical state is the segment payloads plus the commit table and
+    # the (sorted) per-segment refcounts; the per-thread index is derived
+    # and rebuilt on restore.  Everything is ints, so blobs are compact and
+    # byte-stable: restoring and re-pickling yields the identical payload.
+
+    def __getstate__(self) -> dict:
+        return {
+            "segment_size": self.segment_size,
+            "head_pos": self.head_pos,
+            "total_enqueued": self.total_enqueued,
+            "total_collected": self.total_collected,
+            "segments": [
+                (index, seg.ops, seg.tids, seg.keys, seg.gains)
+                for index, seg in sorted(self.segments.items())
+            ],
+            "commit_table": [
+                (ls_pack(incoming), ls_pack(outgoing), tid_id)
+                for incoming, outgoing, tid_id in self.commit_table
+            ],
+            "refs": sorted(self._refs.items()),
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.segment_size = state["segment_size"]
+        self.head_pos = state["head_pos"]
+        self.total_enqueued = state["total_enqueued"]
+        self.total_collected = state["total_collected"]
+        self.segments = {}
+        for index, ops, tids, keys, gains in state["segments"]:
+            segment = _Segment()
+            segment.ops = ops
+            segment.tids = tids
+            segment.keys = keys
+            segment.gains = gains
+            self.segments[index] = segment
+        self.commit_table = [
+            (ls_unpack(incoming), ls_unpack(outgoing), tid_id)
+            for incoming, outgoing, tid_id in state["commit_table"]
+        ]
+        self._refs = dict(state["refs"])
+        self._by_tid = {}
+        size = self.segment_size
+        for index, segment in sorted(self.segments.items()):
+            base = index * size
+            for slot, tid_id in enumerate(segment.tids):
+                self._by_tid.setdefault(tid_id, []).append(base + slot)
+
+    def __len__(self) -> int:
+        """Retained events (enqueued minus collected)."""
+        return self.total_enqueued - self.head_pos
+
+    def __repr__(self) -> str:
+        return (
+            f"<EncodedSyncList len={len(self)} enqueued={self.total_enqueued} "
+            f"collected={self.total_collected} segments={len(self.segments)}>"
         )

@@ -49,6 +49,7 @@ from ..core.actions import (
     Write,
     is_data_access,
 )
+from ..core.kernel import EncodedGoldilocks
 from ..core.lazy import LazyGoldilocks
 from ..core.report import RaceReport
 from .stats import ServiceStats, ShardStats
@@ -65,16 +66,16 @@ def shard_of(var: DataVar, n_shards: int) -> int:
     return zlib.crc32(key) % n_shards
 
 
-class PartitionedGoldilocks(LazyGoldilocks):
-    """A LazyGoldilocks that owns one hash partition of the variables.
+class _PartitionMixin:
+    """Partition ownership layered over either Goldilocks implementation.
 
     Synchronization events must be fed to every partition (they are cheap:
     one list append); data accesses only to the owning one.  Accesses that
     slip through for foreign variables are ignored rather than mis-checked.
-    """
 
-    #: ``name`` stays "goldilocks" so reports are byte-identical to the
-    #: offline detector's; the partition is carried in ``label`` instead.
+    ``name`` stays "goldilocks" (inherited) so reports are byte-identical to
+    the offline detector's; the partition is carried in ``label`` instead.
+    """
 
     def __init__(self, shard_id: int = 0, n_shards: int = 1, **kwargs) -> None:
         super().__init__(**kwargs)
@@ -89,36 +90,45 @@ class PartitionedGoldilocks(LazyGoldilocks):
         action = event.action
         if isinstance(action, (Read, Write)) and not self.owns(action.var):
             return []
-        return super().process(event)
+        return super().process(event)  # type: ignore[misc]
 
     def _commit_vars(self, action: Commit) -> List[DataVar]:
-        return [var for var in super()._commit_vars(action) if self.owns(var)]
+        return [var for var in super()._commit_vars(action) if self.owns(var)]  # type: ignore[misc]
 
-    # The base reset() re-invokes __init__ with LazyGoldilocks' positional
-    # signature; rebuild with ours instead.
+    # The base reset() re-invokes __init__ from the stored detector kwargs;
+    # prepend our partition coordinates.
     def reset(self) -> None:
-        self.__init__(
-            self.shard_id,
-            self.n_shards,
-            sc_xact=self.sc_xact,
-            sc_same_thread=self.sc_same_thread,
-            sc_alock=self.sc_alock,
-            sc_thread_restricted=self.sc_thread_restricted,
-            gc_threshold=self.gc_threshold,
-            trim_fraction=self.trim_fraction,
-            memoize=self.memoize,
-            commit_sync=self.commit_sync,
-        )
+        self.__init__(self.shard_id, self.n_shards, **self._config)  # type: ignore[attr-defined]
 
     def __getstate__(self) -> dict:
-        state = super().__getstate__()
+        state = super().__getstate__()  # type: ignore[misc]
         state["partition"] = (self.shard_id, self.n_shards)
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.shard_id, self.n_shards = state.pop("partition")
-        super().__setstate__(state)
+        super().__setstate__(state)  # type: ignore[misc]
         self.label = f"shard {self.shard_id}/{self.n_shards}"
+
+
+class PartitionedGoldilocks(_PartitionMixin, EncodedGoldilocks):
+    """One hash partition of the variables, on the integer-encoded kernel.
+
+    This is what the engine runs by default; set ``EngineConfig.kernel`` to
+    ``"seed"`` for the reference implementation (A/B comparisons, bisecting
+    kernel regressions).
+    """
+
+
+class PartitionedSeedGoldilocks(_PartitionMixin, LazyGoldilocks):
+    """The same partition discipline on the seed ``LazyGoldilocks``."""
+
+
+#: engine kernels selectable via :attr:`EngineConfig.kernel`
+PARTITION_KERNELS = {
+    "encoded": PartitionedGoldilocks,
+    "seed": PartitionedSeedGoldilocks,
+}
 
 
 @dataclass
@@ -132,20 +142,28 @@ class EngineConfig:
     queue_depth: int = 8
     #: "process" for multiprocessing workers, "inline" for in-process shards
     workers: str = "process"
-    #: forwarded to each shard's LazyGoldilocks
+    #: forwarded to each shard's detector
     commit_sync: str = "footprint"
     gc_threshold: Optional[int] = 50_000
+    #: "encoded" (the integer kernel, default) or "seed" (reference lazy)
+    kernel: str = "encoded"
 
     def detector_kwargs(self) -> dict:
         return {"commit_sync": self.commit_sync, "gc_threshold": self.gc_threshold}
 
+    def detector_class(self):
+        try:
+            return PARTITION_KERNELS[self.kernel]
+        except KeyError:
+            raise ValueError(f"unknown engine kernel {self.kernel!r}") from None
 
-def _shard_worker(shard_id, n_shards, detector_kwargs, blob, task_q, result_q):
+
+def _shard_worker(shard_id, n_shards, kernel, detector_kwargs, blob, task_q, result_q):
     """Worker-process main loop: apply batches, acknowledge with results."""
     if blob is not None:
         detector = pickle.loads(blob)
     else:
-        detector = PartitionedGoldilocks(shard_id, n_shards, **detector_kwargs)
+        detector = PARTITION_KERNELS[kernel](shard_id, n_shards, **detector_kwargs)
     try:
         while True:
             msg = task_q.get()
@@ -207,9 +225,10 @@ class ShardedEngine:
         self.data_routed = 0
         self.batches_flushed = 0
         self.backpressure_stalls = 0
+        detector_cls = self.config.detector_class()
         if self.config.workers == "inline":
             self._detectors = [
-                PartitionedGoldilocks(i, n, **self.config.detector_kwargs())
+                detector_cls(i, n, **self.config.detector_kwargs())
                 for i in range(n)
             ]
         else:
@@ -222,6 +241,7 @@ class ShardedEngine:
                     args=(
                         i,
                         n,
+                        self.config.kernel,
                         self.config.detector_kwargs(),
                         None,
                         self._task_qs[i],
@@ -392,6 +412,7 @@ class ShardedEngine:
                 + det.get("sc_xact", 0)
                 + det.get("sc_thread_restricted", 0)
                 + det.get("sc_fresh", 0)
+                + det.get("sc_epoch", 0)
                 + full
             )
             shards.append(

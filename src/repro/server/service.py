@@ -52,6 +52,8 @@ class ServiceConfig:
     workers: str = "process"
     commit_sync: str = "footprint"
     gc_threshold: Optional[int] = 50_000
+    #: "encoded" (integer kernel) or "seed" (reference lazy detector)
+    kernel: str = "encoded"
     #: seconds of ingestion slack after which pending batches are flushed
     #: anyway (keeps report latency bounded on slow streams); <= 0 disables
     #: the background flusher
@@ -65,6 +67,7 @@ class ServiceConfig:
             workers=self.workers,
             commit_sync=self.commit_sync,
             gc_threshold=self.gc_threshold,
+            kernel=self.kernel,
         )
 
 

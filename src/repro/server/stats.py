@@ -91,6 +91,7 @@ class ServiceStats:
                 + det.get("sc_xact", 0)
                 + det.get("sc_thread_restricted", 0)
                 + det.get("sc_fresh", 0)
+                + det.get("sc_epoch", 0)
                 + full
             )
             queries += total

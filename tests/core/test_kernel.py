@@ -1,0 +1,353 @@
+"""White-box tests of the integer-encoded kernel (interner, encoded list,
+fast paths, checkpointing).
+
+Parity with the seed detectors lives in ``test_kernel_parity.py``; this
+file covers the kernel's own moving parts.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core import (
+    BITSET_CUTOFF,
+    TL_ID,
+    EncodedGoldilocks,
+    EncodedSyncList,
+    Interner,
+    Obj,
+    Tid,
+)
+from repro.core.actions import TL, LockVar
+from repro.core.lockset import (
+    ls_add,
+    ls_has,
+    ls_ids,
+    ls_intersects,
+    ls_make,
+    ls_pack,
+    ls_union,
+    ls_unpack,
+)
+from repro.trace import RandomTraceGenerator, TraceBuilder
+
+T1, T2, T3 = Tid(1), Tid(2), Tid(3)
+
+
+# ---------------------------------------------------------------------------
+# Interner
+# ---------------------------------------------------------------------------
+
+
+class TestInterner:
+    def test_tl_is_pinned_at_id_zero(self):
+        interner = Interner()
+        assert interner.intern(TL) == TL_ID == 0
+        assert interner.resolve(0) is TL
+
+    def test_ids_are_dense_and_stable(self):
+        interner = Interner()
+        a = interner.intern(T1)
+        b = interner.intern(LockVar(Obj(5)))
+        assert (a, b) == (1, 2)
+        assert interner.intern(T1) == a  # idempotent
+        assert interner.resolve(a) == T1
+        assert len(interner) == 3
+        assert T1 in interner and T2 not in interner
+
+    def test_intern_all_preserves_order(self):
+        interner = Interner()
+        ids = interner.intern_all([T1, T2, T1])
+        assert ids == [1, 2, 1]
+
+    def test_pickle_round_trip(self):
+        interner = Interner()
+        interner.intern_all([T1, LockVar(Obj(9)), T2])
+        clone = pickle.loads(pickle.dumps(interner))
+        assert len(clone) == len(interner)
+        assert clone.intern(T2) == interner.intern(T2)
+        # a new element continues the dense numbering
+        assert clone.intern(T3) == len(interner)
+
+
+# ---------------------------------------------------------------------------
+# Encoded locksets (int bitmask below the cutoff, frozenset above)
+# ---------------------------------------------------------------------------
+
+
+class TestIntLockset:
+    def test_small_ids_stay_int_bitmasks(self):
+        ls = ls_make([1, 3])
+        assert type(ls) is int
+        assert ls_has(ls, 1) and ls_has(ls, 3) and not ls_has(ls, 2)
+        assert ls_ids(ls) == (1, 3)
+
+    def test_promotion_past_the_cutoff(self):
+        ls = ls_add(ls_make([2]), BITSET_CUTOFF + 7)
+        assert isinstance(ls, frozenset)
+        assert ls_has(ls, 2) and ls_has(ls, BITSET_CUTOFF + 7)
+        assert ls_ids(ls) == (2, BITSET_CUTOFF + 7)
+
+    def test_union_and_intersects_across_representations(self):
+        small = ls_make([1, 4])
+        big = ls_make([4, BITSET_CUTOFF + 1])
+        assert isinstance(big, frozenset)
+        merged = ls_union(small, big)
+        assert ls_ids(merged) == (1, 4, BITSET_CUTOFF + 1)
+        assert ls_intersects(small, big)
+        assert not ls_intersects(ls_make([2]), big)
+
+    def test_pack_unpack_is_canonical(self):
+        for ls in (0, ls_make([1, 3]), ls_make([2, BITSET_CUTOFF + 3])):
+            packed = ls_pack(ls)
+            assert ls_unpack(packed) == ls
+            assert ls_pack(ls_unpack(packed)) == packed
+        # frozensets pack to *sorted* tuples regardless of build order
+        a = frozenset([BITSET_CUTOFF + 9, 1])
+        b = frozenset([1, BITSET_CUTOFF + 9])
+        assert ls_pack(a) == ls_pack(b) == (1, BITSET_CUTOFF + 9)
+
+    def test_detector_survives_cutoff_many_elements(self):
+        # Enough distinct locks/threads to spill locksets past the bitmask.
+        tb = TraceBuilder()
+        o = Obj(1)
+        tb.write(T1, o, "data")
+        for i in range(BITSET_CUTOFF + 10):
+            lock = Obj(1000 + i)
+            tb.acq(T1, lock)
+            tb.rel(T1, lock)
+        tb.acq(T2, Obj(1000))  # the first lock: T1's release hands off
+        tb.write(T2, o, "data")
+        tb.rel(T2, Obj(1000))
+        detector = EncodedGoldilocks(sc_alock=False, sc_thread_restricted=False)
+        assert detector.process_all(tb.build()) == []
+        assert len(detector.interner) > BITSET_CUTOFF
+
+
+# ---------------------------------------------------------------------------
+# EncodedSyncList
+# ---------------------------------------------------------------------------
+
+
+class TestEncodedSyncList:
+    def test_positions_are_global_and_tail_tracks_enqueues(self):
+        lst = EncodedSyncList(segment_size=4)
+        assert lst.tail_pos == 0
+        for i in range(6):
+            assert lst.enqueue_encoded(1, tid_id=1 + (i % 2), key=10 + i, gain=20 + i) == i
+        assert lst.tail_pos == 6 and len(lst) == 6
+        assert lst.at(5) == (1, 2, 15, 25)
+        assert lst.positions_of(1, 0) == [0, 2, 4]
+        assert lst.positions_of(2, 2) == [3, 5]
+        assert lst.positions_of(9, 0) == []
+
+    def test_collect_frees_only_full_unreferenced_segments(self):
+        lst = EncodedSyncList(segment_size=4)
+        for i in range(10):  # segments 0,1 full; segment 2 partial
+            lst.enqueue_encoded(1, 1, i, i)
+        lst.incref(5)  # pins segment 1
+        assert lst.collect_prefix() == 4  # only segment 0 goes
+        assert lst.head_pos == 4 and len(lst) == 6
+        assert lst.positions_of(1, 0)[0] == 4  # index pruned with the prefix
+        lst.decref(5)
+        assert lst.collect_prefix() == 4  # segment 1 now goes
+        assert lst.collect_prefix() == 0  # partial tail segment never freed
+        assert lst.head_pos == 8 and lst.total_collected == 8
+        assert lst.at(9) == (1, 1, 9, 9)  # surviving positions unrenumbered
+
+    def test_refcounts_are_per_segment(self):
+        lst = EncodedSyncList(segment_size=4)
+        for i in range(4):
+            lst.enqueue_encoded(1, 1, i, i)
+        lst.incref(0)
+        lst.incref(3)  # same segment, second anchor
+        lst.decref(0)
+        assert lst.collect_prefix() == 0  # still one anchor left
+        lst.decref(3)
+        assert lst.collect_prefix() == 4
+
+    def test_pickle_round_trip_is_byte_stable(self):
+        lst = EncodedSyncList(segment_size=3)
+        for i in range(7):
+            lst.enqueue_encoded(1 + (i % 2), 1 + (i % 3), i, i * 2)
+        lst.add_commit_row(ls_make([1, 2]), frozenset([3, BITSET_CUTOFF + 1]), 1)
+        lst.incref(2)
+        blob = pickle.dumps(lst)
+        clone = pickle.loads(blob)
+        assert pickle.dumps(clone) == blob
+        assert clone.at(4) == lst.at(4)
+        assert clone.positions_of(2, 0) == lst.positions_of(2, 0)
+        assert clone.commit_table == lst.commit_table
+
+
+# ---------------------------------------------------------------------------
+# The two new fast paths
+# ---------------------------------------------------------------------------
+
+
+def unsynced_write_write():
+    tb = TraceBuilder()
+    o = Obj(1)
+    tb.write(T1, o, "data")
+    tb.write(T2, o, "data")  # no sync in between: the epoch rung decides
+    return tb.build()
+
+
+class TestEpochFastPath:
+    def test_epoch_decides_when_no_sync_intervened(self):
+        detector = EncodedGoldilocks()
+        reports = detector.process_all(unsynced_write_write())
+        assert len(reports) == 1
+        assert detector.stats.sc_epoch == 1
+        assert detector.stats.cells_traversed == 0  # no traversal at all
+
+    def test_ablated_epoch_changes_counters_not_verdicts(self):
+        ablated = EncodedGoldilocks(sc_epoch=False)
+        reports = ablated.process_all(unsynced_write_write())
+        assert len(reports) == 1
+        assert ablated.stats.sc_epoch == 0
+
+    def test_epoch_does_not_fire_across_sync(self):
+        tb = TraceBuilder()
+        o, m = Obj(1), Obj(2)
+        tb.write(T1, o, "data")
+        tb.acq(T2, m)  # any sync event ends the epoch
+        detector = EncodedGoldilocks()
+        detector.process_all(tb.build())
+        tb2 = TraceBuilder()
+        tb2.write(T2, o, "data")
+        detector.process_all(tb2.build())
+        assert detector.stats.sc_epoch == 0
+
+
+class TestSharedMemo:
+    def memo_trace(self):
+        """Two variables anchored at the same (position, lockset): the second
+        full computation is a memo hit."""
+        tb = TraceBuilder()
+        a, b, m = Obj(1), Obj(2), Obj(3)
+        tb.write(T1, a, "x")
+        tb.write(T1, b, "x")
+        tb.acq(T1, m)
+        tb.rel(T1, m)
+        tb.acq(T2, m)
+        tb.read(T2, a, "x")
+        tb.read(T2, b, "x")
+        tb.rel(T2, m)
+        return tb.build()
+
+    def kernel(self, **kwargs):
+        return EncodedGoldilocks(
+            sc_alock=False, sc_thread_restricted=False, sc_epoch=False, **kwargs
+        )
+
+    def test_second_identical_anchor_hits_the_memo(self):
+        detector = self.kernel()
+        assert detector.process_all(self.memo_trace()) == []
+        assert detector.stats.memo_shared_hits == 1
+        assert detector.stats.full_lockset_computations == 2
+
+    def test_memo_hit_saves_traversal_cells(self):
+        with_memo = self.kernel()
+        with_memo.process_all(self.memo_trace())
+        without = self.kernel(memo_shared=False)
+        assert without.process_all(self.memo_trace()) == []
+        assert without.stats.memo_shared_hits == 0
+        assert with_memo.stats.cells_traversed < without.stats.cells_traversed
+
+    def test_memo_works_with_memoization_off(self):
+        # The shared memo is a pure cache: it must not depend on Infos
+        # being advanced in place.
+        detector = self.kernel(memoize=False)
+        assert detector.process_all(self.memo_trace()) == []
+        assert detector.stats.memo_shared_hits >= 1
+
+
+# ---------------------------------------------------------------------------
+# GC at segment granularity
+# ---------------------------------------------------------------------------
+
+
+class TestKernelGC:
+    def noisy_trace(self, safe=True):
+        tb = TraceBuilder()
+        o, m = Obj(1), Obj(2)
+        tb.write(T1, o, "data")
+        tb.acq(T1, m)
+        tb.rel(T1, m)
+        for i in range(300):
+            lock = Obj(100 + (i % 5))
+            tb.acq(T3, lock)
+            tb.rel(T3, lock)
+        if safe:
+            tb.acq(T2, m)
+            tb.write(T2, o, "data")
+            tb.rel(T2, m)
+        else:
+            tb.write(T2, o, "data")
+        return tb.build()
+
+    def test_gc_frees_segments_and_preserves_verdicts(self):
+        detector = EncodedGoldilocks(gc_threshold=40, trim_fraction=0.5, segment_size=16)
+        assert detector.process_all(self.noisy_trace(safe=True)) == []
+        assert detector.stats.cells_collected > 0
+        assert len(detector.events) < detector.events.total_enqueued
+        racy = EncodedGoldilocks(gc_threshold=40, trim_fraction=0.5, segment_size=16)
+        assert len(racy.process_all(self.noisy_trace(safe=False))) == 1
+
+    def test_partial_evaluation_advances_pinned_infos(self):
+        detector = EncodedGoldilocks(gc_threshold=40, trim_fraction=0.25, segment_size=16)
+        assert detector.process_all(self.noisy_trace()) == []
+        assert detector.stats.partial_evaluations > 0
+
+
+# ---------------------------------------------------------------------------
+# reset() and checkpointing
+# ---------------------------------------------------------------------------
+
+TRACE = RandomTraceGenerator(
+    max_threads=5, steps_per_thread=60, p_discipline=0.4, n_objects=5, n_fields=2
+).generate(seed=11)
+
+
+class TestResetAndCheckpoint:
+    def test_reset_preserves_construction_flags(self):
+        detector = EncodedGoldilocks(
+            sc_epoch=False, memo_shared=False, gc_threshold=99, segment_size=32
+        )
+        detector.process_all(TRACE)
+        detector.reset()
+        assert detector.sc_epoch is False
+        assert detector.memo_shared is False
+        assert detector.gc_threshold == 99
+        assert detector.events.segment_size == 32
+        assert detector.events.total_enqueued == 0
+        assert detector.stats.races == 0
+        # and the reset instance still detects correctly
+        assert detector.process_all(TRACE) == EncodedGoldilocks().process_all(TRACE)
+
+    def test_checkpoint_blob_is_bit_for_bit_stable(self):
+        detector = EncodedGoldilocks(segment_size=32)
+        detector.process_all(TRACE[: len(TRACE) // 2])
+        blob = detector.checkpoint()
+        assert EncodedGoldilocks.restore(blob).checkpoint() == blob
+
+    @pytest.mark.parametrize("cut", [0, 1, 60, len(TRACE)])
+    def test_checkpoint_resume_is_transparent(self, cut):
+        expected = EncodedGoldilocks().process_all(TRACE)
+        detector = EncodedGoldilocks()
+        reports = detector.process_all(TRACE[:cut])
+        resumed = EncodedGoldilocks.restore(detector.checkpoint())
+        reports += resumed.process_all(TRACE[cut:])
+        assert reports == expected
+
+    def test_checkpoint_after_gc_resumes_exactly(self):
+        expected = EncodedGoldilocks().process_all(TRACE)
+        detector = EncodedGoldilocks(gc_threshold=20, trim_fraction=0.5, segment_size=8)
+        reports = detector.process_all(TRACE[:150])
+        assert detector.stats.cells_collected > 0, "GC never ran; weak test"
+        blob = detector.checkpoint()
+        resumed = EncodedGoldilocks.restore(blob)
+        assert resumed.checkpoint() == blob  # stable even mid-GC
+        reports += resumed.process_all(TRACE[150:])
+        assert reports == expected

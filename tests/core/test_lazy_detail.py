@@ -162,6 +162,27 @@ class TestEventListGC:
         info = detector.write_info[DataVar(early, "data")]
         assert info.pos.seq > 1
 
+    def test_partially_eager_gc_works_without_memoization(self):
+        """memoize=False leaves full traversals in place, but Section 5.4's
+        partial evaluation must still advance pinned locksets so the prefix
+        can be reclaimed -- with identical verdicts."""
+        tb = TraceBuilder()
+        early = Obj(1)
+        tb.write(T1, early, "data")   # pins the head region
+        for i in range(200):
+            lock = Obj(100 + (i % 5))
+            tb.acq(T2, lock)
+            tb.rel(T2, lock)
+        tb.write(T1, early, "data")
+        events = tb.build()
+        detector = LazyGoldilocks(memoize=False, gc_threshold=40, trim_fraction=0.25)
+        assert detector.process_all(events) == []
+        assert detector.stats.partial_evaluations > 0
+        assert detector.stats.cells_collected > 0
+        baseline = LazyGoldilocks(memoize=False, gc_threshold=None)
+        assert baseline.process_all(events) == []
+        assert len(detector.events) < len(baseline.events)
+
     def test_gc_preserves_detection_after_collection(self):
         """A race discovered *after* heavy collection is still caught, and
 
