@@ -173,8 +173,9 @@ class VectorClockDetector(Detector):
         """Rule-8 analogue: allocation makes every field of ``obj`` fresh."""
         for var in [v for v in self._vars if v.obj == obj]:
             del self._vars[var]
-        for var in [v for v in self._commit_clocks if v.obj == obj]:
-            del self._commit_clocks[var]
+        # ``K_x`` survives reallocation: the extended synchronizes-with edges
+        # between already-seen commits are part of the happens-before relation
+        # and never retract -- only the *access* state becomes fresh.
 
     # -- data accesses --------------------------------------------------------------
 

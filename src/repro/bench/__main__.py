@@ -12,12 +12,15 @@ Regenerates the paper's evaluation artifacts:
 * ``throughput`` -- detector events/sec + deterministic cost counters on
   the fixed synthetic benchmark trace (the default when ``--json`` is the
   only argument);
+* ``ingest`` -- end-to-end service ingest, text wire vs the packed binary
+  path (``BENCH_service_ingest.json``);
 * ``all`` -- everything above.
 
 Options: ``--scale tiny|small|full`` (default small), ``--repeats N``,
 ``--workloads a,b,c`` (Table 1/2 subset), ``--threads 5,10,...``
-(Table 3 subset), ``--json [PATH]`` (write the throughput artifact,
-default ``BENCH_detector_throughput.json``).
+(Table 3 subset), ``--json [PATH]`` (write the benchmark's JSON artifact;
+default path ``BENCH_detector_throughput.json``, or
+``BENCH_service_ingest.json`` for ``ingest``).
 """
 
 from __future__ import annotations
@@ -82,7 +85,7 @@ def main(argv=None) -> int:
         "what",
         nargs="?",
         default="throughput",
-        choices=["table1", "table2", "table3", "figures", "throughput", "all"],
+        choices=["table1", "table2", "table3", "figures", "throughput", "ingest", "all"],
         help="which artifact to regenerate (default: throughput)",
     )
     parser.add_argument("--scale", default="small", choices=["tiny", "small", "full"])
@@ -94,13 +97,21 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--json",
         nargs="?",
-        const="BENCH_detector_throughput.json",
+        const="",
         default=None,
         metavar="PATH",
-        help="write the throughput benchmark as JSON (implies the throughput "
-        "benchmark; default path: BENCH_detector_throughput.json)",
+        help="write the benchmark's JSON artifact (with `throughput`, implied "
+        "when --json is the only argument; default path "
+        "BENCH_detector_throughput.json, or BENCH_service_ingest.json "
+        "for `ingest`)",
     )
     args = parser.parse_args(argv)
+    if args.json == "":  # bare --json: pick the benchmark's canonical path
+        args.json = (
+            "BENCH_service_ingest.json"
+            if args.what == "ingest"
+            else "BENCH_detector_throughput.json"
+        )
 
     names = args.workloads.split(",") if args.workloads else None
 
@@ -125,15 +136,24 @@ def main(argv=None) -> int:
         print()
     if args.what in ("figures", "all"):
         print(_figures_text())
-    if args.what in ("throughput", "all") or args.json:
+    if args.what in ("throughput", "all") or (args.json and args.what != "ingest"):
         from .throughput import bench_throughput, render_throughput, write_throughput_json
 
-        if args.json:
+        if args.json and args.what != "ingest":
             payload = write_throughput_json(args.json, repeats=args.repeats)
             print(f"wrote {args.json}")
         else:
             payload = bench_throughput(repeats=args.repeats)
         print(render_throughput(payload))
+    if args.what in ("ingest", "all"):
+        from .ingest import bench_ingest, render_ingest, write_ingest_json
+
+        if args.what == "ingest" and args.json:
+            payload = write_ingest_json(args.json, repeats=args.repeats)
+            print(f"wrote {args.json}")
+        else:
+            payload = bench_ingest(repeats=args.repeats)
+        print(render_ingest(payload))
     return 0
 
 

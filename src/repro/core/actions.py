@@ -281,6 +281,14 @@ OP_FORK = 5
 OP_JOIN = 6
 OP_COMMIT = 7
 
+# Opcodes 8..10 extend the encoding to *whole events* so the ingest path can
+# ship traces as packed records (see :mod:`repro.core.encode`).  They never
+# appear inside an :class:`EncodedSyncList` -- only sync opcodes do -- but
+# they share the numbering space so one ``op`` column describes any event.
+OP_READ = 8
+OP_WRITE = 9
+OP_ALLOC = 10
+
 #: opcode for every simple (non-commit) synchronization action class
 SYNC_OPCODES = {
     Acquire: OP_ACQUIRE,

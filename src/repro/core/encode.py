@@ -1,0 +1,609 @@
+"""Encode-once event packing: the canonical integer record and frame format.
+
+The ingestion edge translates every event exactly once into the kernel's
+packed integer form; routers, queues, shard workers and the kernel itself
+then operate on flat ``array('q')`` frames instead of Python objects.
+
+A **record** is six signed 64-bit integers::
+
+    [op, seq, tid_id, index, a, b]
+
+``op`` extends the sync opcode space of :mod:`repro.core.actions` with
+``OP_READ``/``OP_WRITE``/``OP_ALLOC`` so one column describes any event.
+``tid_id`` and the ``(a, b)`` payload are interned element ids
+(:class:`~repro.core.lockset.Interner`); for simple sync opcodes ``(a, b)``
+is exactly the ``(key, gain)`` pair the kernel enqueues, so a shard running
+:class:`~repro.core.kernel.EncodedGoldilocks` appends them verbatim --
+zero per-event sync decoding.  Commits store in ``a`` an offset into the
+frame's *extras* array, which holds the footprint as
+``[n, var_id, is_write, var_id, is_write, ...]`` in the kernel's canonical
+check order.  Allocs store the interned ``LockVar(obj)`` id as a proxy for
+the object (``Obj`` itself is not a lockset element).
+
+A **frame** is one immutable ``bytes`` value carrying an interner *delta*
+(the elements the receiver has not seen yet, in id order) followed by the
+records and extras::
+
+    u8  version (=1)
+    u32 base          -- receiver must hold exactly ``base`` elements
+    u32 n_elements    -- delta entries, each:
+                           u8 etype, payload (ints little-endian):
+                           TID      i64 value
+                           LOCK     i64 obj
+                           VVAR     i64 obj, u16 len, utf-8 field
+                           DVAR     i64 obj, u16 len, utf-8 field
+    u32 n_record_ints -- little-endian i64 array (6 per record)
+    u32 n_extra_ints  -- little-endian i64 array
+
+Senders keep one master :class:`~repro.core.lockset.Interner` plus a cursor
+per receiver; each frame ships only the ids minted since that receiver's
+last frame, so the id space stays consistent end to end (the "shared
+interner snapshot protocol").
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+import zlib
+from array import array
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .actions import (
+    OP_ACQUIRE,
+    OP_ALLOC,
+    OP_COMMIT,
+    OP_FORK,
+    OP_JOIN,
+    OP_READ,
+    OP_RELEASE,
+    OP_VREAD,
+    OP_VWRITE,
+    OP_WRITE,
+    Acquire,
+    Alloc,
+    Commit,
+    DataVar,
+    Event,
+    Fork,
+    Join,
+    LockVar,
+    LocksetElement,
+    Obj,
+    Read,
+    Release,
+    Tid,
+    VolatileRead,
+    VolatileVar,
+    VolatileWrite,
+    Write,
+)
+from .lockset import Interner
+from .report import AccessRef, RaceReport
+
+#: ints per packed record
+RECORD_WIDTH = 6
+#: frame format version (bump on any layout change)
+FRAME_VERSION = 1
+
+# element type tags in a frame's interner-delta section
+_ET_TID = 1
+_ET_LOCK = 2
+_ET_VVAR = 3
+_ET_DVAR = 4
+
+_HEADER = struct.Struct("<BI")
+_U32 = struct.Struct("<I")
+_I64 = struct.Struct("<q")
+_U16 = struct.Struct("<H")
+
+#: the last opcode that is a *simple* sync record (``(a, b) == (key, gain)``)
+_LAST_SIMPLE_SYNC = OP_JOIN
+
+_BIG_ENDIAN = sys.byteorder == "big"
+
+
+def _q_to_bytes(ints: array) -> bytes:
+    if _BIG_ENDIAN:  # pragma: no cover - little-endian CI
+        ints = array("q", ints)
+        ints.byteswap()
+    return ints.tobytes()
+
+
+def _q_from_bytes(data: bytes) -> array:
+    ints = array("q")
+    ints.frombytes(data)
+    if _BIG_ENDIAN:  # pragma: no cover - little-endian CI
+        ints.byteswap()
+    return ints
+
+
+# -- interner-delta serialization ----------------------------------------------
+
+
+def encode_elements(elements: Iterable[LocksetElement]) -> Tuple[bytes, int]:
+    """Serialize interner elements in id order; returns (payload, count)."""
+    parts: List[bytes] = []
+    count = 0
+    for element in elements:
+        count += 1
+        if isinstance(element, Tid):
+            parts.append(bytes((_ET_TID,)) + _I64.pack(element.value))
+        elif isinstance(element, LockVar):
+            parts.append(bytes((_ET_LOCK,)) + _I64.pack(element.obj.value))
+        elif isinstance(element, VolatileVar):
+            field = element.field.encode("utf-8")
+            parts.append(
+                bytes((_ET_VVAR,))
+                + _I64.pack(element.obj.value)
+                + _U16.pack(len(field))
+                + field
+            )
+        elif isinstance(element, DataVar):
+            field = element.field.encode("utf-8")
+            parts.append(
+                bytes((_ET_DVAR,))
+                + _I64.pack(element.obj.value)
+                + _U16.pack(len(field))
+                + field
+            )
+        else:  # TL is pinned at id 0 and never travels in a delta
+            raise TypeError(f"element not serializable in a frame: {element!r}")
+    return b"".join(parts), count
+
+
+def decode_elements(
+    data: bytes, offset: int, count: int
+) -> Tuple[List[LocksetElement], int]:
+    """Inverse of :func:`encode_elements`; returns (elements, new offset)."""
+    elements: List[LocksetElement] = []
+    for _ in range(count):
+        etype = data[offset]
+        offset += 1
+        (value,) = _I64.unpack_from(data, offset)
+        offset += 8
+        if etype == _ET_TID:
+            elements.append(Tid(value))
+            continue
+        if etype == _ET_LOCK:
+            elements.append(LockVar(Obj(value)))
+            continue
+        (length,) = _U16.unpack_from(data, offset)
+        offset += 2
+        field = data[offset : offset + length].decode("utf-8")
+        offset += length
+        if etype == _ET_VVAR:
+            elements.append(VolatileVar(Obj(value), field))
+        elif etype == _ET_DVAR:
+            elements.append(DataVar(Obj(value), field))
+        else:
+            raise ValueError(f"unknown element type tag {etype}")
+    return elements, offset
+
+
+# -- frame pack / unpack -------------------------------------------------------
+
+
+def encode_frame(
+    base: int,
+    delta: Iterable[LocksetElement],
+    records: array,
+    extras: array,
+) -> bytes:
+    """Pack an interner delta plus records/extras into one immutable buffer."""
+    element_bytes, n_elements = encode_elements(delta)
+    record_bytes = _q_to_bytes(records)
+    extra_bytes = _q_to_bytes(extras)
+    return b"".join(
+        (
+            _HEADER.pack(FRAME_VERSION, base),
+            _U32.pack(n_elements),
+            element_bytes,
+            _U32.pack(len(records)),
+            record_bytes,
+            _U32.pack(len(extras)),
+            extra_bytes,
+        )
+    )
+
+
+def decode_frame(data: bytes) -> Tuple[int, List[LocksetElement], array, array]:
+    """Unpack a frame; returns ``(base, delta elements, records, extras)``."""
+    version, base = _HEADER.unpack_from(data, 0)
+    if version != FRAME_VERSION:
+        raise ValueError(f"unsupported frame version {version}")
+    offset = _HEADER.size
+    (n_elements,) = _U32.unpack_from(data, offset)
+    offset += 4
+    elements, offset = decode_elements(data, offset, n_elements)
+    (n_record_ints,) = _U32.unpack_from(data, offset)
+    offset += 4
+    records = _q_from_bytes(data[offset : offset + 8 * n_record_ints])
+    offset += 8 * n_record_ints
+    (n_extra_ints,) = _U32.unpack_from(data, offset)
+    offset += 4
+    extras = _q_from_bytes(data[offset : offset + 8 * n_extra_ints])
+    if len(records) % RECORD_WIDTH:
+        raise ValueError("record section is not a whole number of records")
+    return base, elements, records, extras
+
+
+def extend_interner(
+    interner: Interner, base: int, delta: Sequence[LocksetElement]
+) -> None:
+    """Apply a frame's delta to a replica interner (idempotent on overlap)."""
+    have = len(interner)
+    if have < base:
+        raise ValueError(
+            f"frame assumes {base} interned elements, replica has {have}"
+        )
+    for i, element in enumerate(delta):
+        if base + i < have:
+            continue  # already known (e.g. a replayed frame)
+        interner.intern(element)
+
+
+# -- the ingestion-edge encoder ------------------------------------------------
+
+
+class EventEncoder:
+    """Translates events (or raw text lines) into packed records, once.
+
+    Holds the master :class:`Interner` and integer-keyed caches so that in
+    steady state encoding a text line constructs *no* dataclasses at all:
+    thread, lock, and variable ids come straight out of dicts keyed by the
+    parsed integers/strings.  ``cache_misses`` counts the slow paths (one
+    per newly seen element) -- the deterministic "per-event allocations"
+    proxy of the ingest benchmark.
+    """
+
+    def __init__(self, n_shards: int = 1) -> None:
+        self.interner = Interner()
+        self.n_shards = n_shards
+        self.cache_misses = 0
+        self.events_encoded = 0
+        self._tid_ids: Dict[int, int] = {}
+        self._lock_ids: Dict[int, int] = {}
+        self._vvar_ids: Dict[Tuple[int, str], int] = {}
+        self._dvar_ids: Dict[Tuple[int, str], int] = {}
+        #: data-variable id -> owning shard (crc32 partition, cached)
+        self._var_shard: Dict[int, int] = {}
+
+    # -- element id lookups (cached; misses intern and count) ------------------
+
+    def _tid_id(self, value: int) -> int:
+        eid = self._tid_ids.get(value)
+        if eid is None:
+            self.cache_misses += 1
+            eid = self._tid_ids[value] = self.interner.intern(Tid(value))
+        return eid
+
+    def _lock_id(self, obj_value: int) -> int:
+        eid = self._lock_ids.get(obj_value)
+        if eid is None:
+            self.cache_misses += 1
+            eid = self._lock_ids[obj_value] = self.interner.intern(
+                LockVar(Obj(obj_value))
+            )
+        return eid
+
+    def _vvar_id(self, obj_value: int, field: str) -> int:
+        key = (obj_value, field)
+        eid = self._vvar_ids.get(key)
+        if eid is None:
+            self.cache_misses += 1
+            eid = self._vvar_ids[key] = self.interner.intern(
+                VolatileVar(Obj(obj_value), field)
+            )
+        return eid
+
+    def _dvar_id(self, obj_value: int, field: str) -> int:
+        key = (obj_value, field)
+        eid = self._dvar_ids.get(key)
+        if eid is None:
+            self.cache_misses += 1
+            eid = self._dvar_ids[key] = self.interner.intern(
+                DataVar(Obj(obj_value), field)
+            )
+            self._var_shard[eid] = (
+                zlib.crc32(f"{obj_value}.{field}".encode("utf-8")) % self.n_shards
+            )
+        return eid
+
+    def shard_of_var(self, var_id: int) -> int:
+        """The crc32 partition of an encoded data variable (cached)."""
+        return self._var_shard[var_id]
+
+    def intern_element(self, element: LocksetElement) -> int:
+        """Intern a foreign element (wire ingest), keeping caches coherent."""
+        if isinstance(element, Tid):
+            return self._tid_id(element.value)
+        if isinstance(element, LockVar):
+            return self._lock_id(element.obj.value)
+        if isinstance(element, VolatileVar):
+            return self._vvar_id(element.obj.value, element.field)
+        if isinstance(element, DataVar):
+            return self._dvar_id(element.obj.value, element.field)
+        raise TypeError(f"cannot intern {element!r}")
+
+    # -- encoding ----------------------------------------------------------------
+
+    def encode_event(
+        self, event: Event
+    ) -> Tuple[int, int, int, int, int, Optional[List[int]]]:
+        """One event -> ``(op, tid_id, index, a, b, extras-or-None)``."""
+        action = event.action
+        tid_id = self._tid_id(event.tid.value)
+        self.events_encoded += 1
+        if isinstance(action, Read):
+            return OP_READ, tid_id, event.index, self._dvar_id(
+                action.var.obj.value, action.var.field
+            ), 0, None
+        if isinstance(action, Write):
+            return OP_WRITE, tid_id, event.index, self._dvar_id(
+                action.var.obj.value, action.var.field
+            ), 0, None
+        if isinstance(action, Acquire):
+            lock_id = self._lock_id(action.obj.value)
+            return OP_ACQUIRE, tid_id, event.index, lock_id, tid_id, None
+        if isinstance(action, Release):
+            lock_id = self._lock_id(action.obj.value)
+            return OP_RELEASE, tid_id, event.index, tid_id, lock_id, None
+        if isinstance(action, VolatileRead):
+            vid = self._vvar_id(action.var.obj.value, action.var.field)
+            return OP_VREAD, tid_id, event.index, vid, tid_id, None
+        if isinstance(action, VolatileWrite):
+            vid = self._vvar_id(action.var.obj.value, action.var.field)
+            return OP_VWRITE, tid_id, event.index, tid_id, vid, None
+        if isinstance(action, Fork):
+            return OP_FORK, tid_id, event.index, tid_id, self._tid_id(
+                action.child.value
+            ), None
+        if isinstance(action, Join):
+            return OP_JOIN, tid_id, event.index, self._tid_id(
+                action.child.value
+            ), tid_id, None
+        if isinstance(action, Alloc):
+            return OP_ALLOC, tid_id, event.index, self._lock_id(
+                action.obj.value
+            ), 0, None
+        if isinstance(action, Commit):
+            footprint = {
+                (v.obj.value, v.field): 0 for v in action.reads
+            }
+            for v in action.writes:
+                footprint[(v.obj.value, v.field)] = 1
+            extras = self._commit_extras(footprint)
+            return OP_COMMIT, tid_id, event.index, 0, 0, extras
+        raise TypeError(f"cannot encode action {action!r}")
+
+    def encode_line(
+        self, line: str
+    ) -> Tuple[int, int, int, int, int, Optional[List[int]]]:
+        """One trace text line -> packed record, with zero object churn.
+
+        Mirrors :func:`repro.trace.io.parse_event`'s grammar and raises on
+        exactly the lines it rejects.  Elements are interned in the same
+        order as :meth:`encode_event` (thread first), so both entry points
+        produce identical id assignments; a rejected line can leave its
+        thread id interned, which is harmless (an unreferenced id merely
+        rides along in the next delta).
+        """
+        parts = line.split()
+        if len(parts) < 3:
+            raise ValueError(f"malformed event line: {line!r}")
+        tid_value = int(parts[0])
+        index = int(parts[1])
+        kind = parts[2]
+        args = parts[3:]
+        handler = _LINE_HANDLERS.get(kind)
+        if handler is None:
+            raise ValueError(f"unknown event kind {kind!r}")
+        tid_id = self._tid_id(tid_value)
+        op, a_spec, b_spec, extras = handler(self, args)
+        self.events_encoded += 1
+        a = tid_id if a_spec == "tid" else a_spec
+        b = tid_id if b_spec == "tid" else b_spec
+        return op, tid_id, index, a, b, extras
+
+    def _commit_extras(self, footprint: Dict[Tuple[int, str], int]) -> List[int]:
+        """Footprint -> ``[n, var_id, is_write, ...]`` in canonical order."""
+        extras = [len(footprint)]
+        for (obj_value, field) in sorted(footprint):
+            extras.append(self._dvar_id(obj_value, field))
+            extras.append(footprint[(obj_value, field)])
+        return extras
+
+
+# The handlers below mirror ``parse_event``'s exact laxness (positional
+# access, trailing tokens ignored) so both transports agree line-for-line on
+# what counts as a parse error.
+
+
+def _line_data(op):
+    def handle(enc: EventEncoder, args):
+        return op, enc._dvar_id(int(args[0]), args[1]), 0, None
+
+    return handle
+
+
+def _line_acq(enc: EventEncoder, args):
+    return OP_ACQUIRE, enc._lock_id(int(args[0])), "tid", None
+
+
+def _line_rel(enc: EventEncoder, args):
+    return OP_RELEASE, "tid", enc._lock_id(int(args[0])), None
+
+
+def _line_vread(enc: EventEncoder, args):
+    return OP_VREAD, enc._vvar_id(int(args[0]), args[1]), "tid", None
+
+
+def _line_vwrite(enc: EventEncoder, args):
+    return OP_VWRITE, "tid", enc._vvar_id(int(args[0]), args[1]), None
+
+
+def _line_fork(enc: EventEncoder, args):
+    return OP_FORK, "tid", enc._tid_id(int(args[0])), None
+
+
+def _line_join(enc: EventEncoder, args):
+    return OP_JOIN, enc._tid_id(int(args[0])), "tid", None
+
+
+def _line_alloc(enc: EventEncoder, args):
+    return OP_ALLOC, enc._lock_id(int(args[0])), 0, None
+
+
+def _line_commit(enc: EventEncoder, args):
+    if not args or args[0] != "R":
+        raise ValueError("malformed commit line")
+    w_at = args.index("W")  # ValueError when absent, like parse_event
+    footprint: Dict[Tuple[int, str], int] = {}
+    for mode, token in [(0, t) for t in args[1:w_at]] + [
+        (1, t) for t in args[w_at + 1 :]
+    ]:
+        obj_text, dot, field = token.partition(".")
+        if not dot:
+            raise ValueError(f"malformed variable token {token!r}")
+        key = (int(obj_text), field)
+        footprint[key] = max(footprint.get(key, 0), mode)
+    extras = enc._commit_extras(footprint)
+    return OP_COMMIT, 0, 0, extras
+
+
+_LINE_HANDLERS = {
+    "read": _line_data(OP_READ),
+    "write": _line_data(OP_WRITE),
+    "acq": _line_acq,
+    "rel": _line_rel,
+    "vread": _line_vread,
+    "vwrite": _line_vwrite,
+    "fork": _line_fork,
+    "join": _line_join,
+    "alloc": _line_alloc,
+    "commit": _line_commit,
+}
+
+
+# -- frame decoding back to Events (seed shards, object-mode wire ingest) -------
+
+
+class FrameDecoder:
+    """Reconstitutes :class:`Event` objects from packed frames.
+
+    Used where objects are unavoidable: a shard running the *seed* kernel
+    (parity, not speed) and object-transport ingestion of binary wire
+    frames.  ``sync_decoded`` counts every sync/alloc/commit record that
+    had to be materialized -- the counter that proves encoded-kernel shards
+    do **zero** per-event sync decoding in packed mode (it stays 0 there
+    because this class is never instantiated on that path).
+    """
+
+    def __init__(self) -> None:
+        self.interner = Interner()
+        self.sync_decoded = 0
+
+    def decode_payload(self, data: bytes) -> List[Tuple[int, Event]]:
+        base, delta, records, extras = decode_frame(data)
+        extend_interner(self.interner, base, delta)
+        return self.decode_records(records, extras)
+
+    def decode_records(
+        self, records: array, extras: array
+    ) -> List[Tuple[int, Event]]:
+        resolve = self.interner.resolve
+        out: List[Tuple[int, Event]] = []
+        for i in range(0, len(records), RECORD_WIDTH):
+            op, seq, tid_id, index, a, b = records[i : i + RECORD_WIDTH]
+            tid = resolve(tid_id)
+            if op == OP_READ:
+                action = Read(resolve(a))
+            elif op == OP_WRITE:
+                action = Write(resolve(a))
+            elif op == OP_ACQUIRE:
+                self.sync_decoded += 1
+                action = Acquire(resolve(a).obj)
+            elif op == OP_RELEASE:
+                self.sync_decoded += 1
+                action = Release(resolve(b).obj)
+            elif op == OP_VREAD:
+                self.sync_decoded += 1
+                action = VolatileRead(resolve(a))
+            elif op == OP_VWRITE:
+                self.sync_decoded += 1
+                action = VolatileWrite(resolve(b))
+            elif op == OP_FORK:
+                self.sync_decoded += 1
+                action = Fork(resolve(b))
+            elif op == OP_JOIN:
+                self.sync_decoded += 1
+                action = Join(resolve(a))
+            elif op == OP_ALLOC:
+                self.sync_decoded += 1
+                action = Alloc(resolve(a).obj)
+            elif op == OP_COMMIT:
+                self.sync_decoded += 1
+                n = extras[a]
+                reads = set()
+                writes = set()
+                for j in range(a + 1, a + 1 + 2 * n, 2):
+                    var = resolve(extras[j])
+                    (writes if extras[j + 1] else reads).add(var)
+                action = Commit(frozenset(reads), frozenset(writes))
+            else:
+                raise ValueError(f"unknown opcode {op}")
+            out.append((seq, Event(tid, index, action)))
+        return out
+
+
+# -- packed race reports -------------------------------------------------------
+
+_KIND_CODES = {"read": 0, "write": 1, "commit": 2}
+_KIND_NAMES = {0: "read", 1: "write", 2: "commit"}
+
+
+def pack_report(seq: int, report: RaceReport, interner: Interner) -> Tuple[int, ...]:
+    """One race as a flat int tuple (ids resolvable by the edge interner)."""
+    first = report.first
+    if first is None:
+        head: Tuple[int, ...] = (-1, 0, 0, 0)
+    else:
+        head = (
+            interner.intern(first.tid),
+            first.index,
+            _KIND_CODES[first.kind],
+            1 if first.xact else 0,
+        )
+    second = report.second
+    return (
+        seq,
+        interner.intern(report.var),
+        *head,
+        interner.intern(second.tid),
+        second.index,
+        _KIND_CODES[second.kind],
+        1 if second.xact else 0,
+    )
+
+
+def unpack_reports(
+    rows: Iterable[Tuple[int, ...]],
+    interner: Interner,
+    detector: str = "goldilocks",
+) -> List[Tuple[int, RaceReport]]:
+    """Reconstitute ``(seq, RaceReport)`` pairs at the service edge."""
+    resolve = interner.resolve
+    out: List[Tuple[int, RaceReport]] = []
+    for (seq, var_id, t1, i1, k1, x1, t2, i2, k2, x2) in rows:
+        first = (
+            None
+            if t1 < 0
+            else AccessRef(resolve(t1), i1, _KIND_NAMES[k1], bool(x1))
+        )
+        second = AccessRef(resolve(t2), i2, _KIND_NAMES[k2], bool(x2))
+        out.append(
+            (seq, RaceReport(var=resolve(var_id), first=first, second=second,
+                             detector=detector))
+        )
+    return out

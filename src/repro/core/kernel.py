@@ -33,7 +33,13 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .actions import (
+    OP_ACQUIRE,
+    OP_ALLOC,
     OP_COMMIT,
+    OP_JOIN,
+    OP_READ,
+    OP_RELEASE,
+    OP_WRITE,
     TL,
     Acquire,
     Alloc,
@@ -358,6 +364,101 @@ class EncodedGoldilocks(Detector):
     def _commit_vars(self, action: Commit) -> List[DataVar]:
         """Footprint variables this instance checks (sharding overrides it)."""
         return sorted(action.footprint, key=lambda v: (v.obj.value, v.field))
+
+    # -- packed ingestion (the encode-once path) ---------------------------------
+
+    def _packed_owns(self, var_id: int, var: DataVar) -> bool:
+        """Data-access ownership filter for packed frames (sharding overrides)."""
+        return True
+
+    def apply_packed(self, frame: bytes) -> Tuple[List[Tuple[int, RaceReport]], int]:
+        """Consume one packed frame; returns ``((seq, report) list, n events)``.
+
+        The frame's simple sync records carry exactly the ``(key, gain)``
+        pair :meth:`process` would compute, so they are appended to the
+        encoded list verbatim -- no ``Event`` is ever constructed and no
+        sync payload is decoded (the edge already did it, once).  Commits
+        arrive as footprint id lists in the frame's extras; their gain
+        locksets are rebuilt from ids alone.  Only data/commit *accesses*
+        resolve ids back to :class:`DataVar` (O(1) table lookups), because
+        the kernel's per-variable state is keyed by variable objects.
+        """
+        from .encode import decode_frame, extend_interner
+
+        base, delta, records, extras = decode_frame(frame)
+        extend_interner(self.interner, base, delta)
+        resolve = self.interner.resolve
+        reports: List[Tuple[int, RaceReport]] = []
+        count = 0
+        for i in range(0, len(records), 6):
+            op, seq, tid_id, index, a, b = records[i : i + 6]
+            count += 1
+            if op <= OP_JOIN:
+                self.stats.sync_events += 1
+                if op == OP_ACQUIRE:  # a is the lock id, b the acquirer
+                    self._held.setdefault(tid_id, []).append(a)
+                elif op == OP_RELEASE:  # b is the lock id (innermost hold)
+                    held = self._held.get(tid_id, [])
+                    for k in range(len(held) - 1, -1, -1):
+                        if held[k] == b:
+                            del held[k]
+                            break
+                self.events.enqueue_encoded(op, tid_id, a, b)
+                self._maybe_collect()
+            elif op == OP_READ or op == OP_WRITE:
+                var = resolve(a)
+                if not self._packed_owns(a, var):
+                    continue
+                self.stats.accesses_checked += 1
+                tid = resolve(tid_id)
+                if op == OP_READ:
+                    found = self._handle_read(tid, index, var, None)
+                else:
+                    found = self._handle_write(tid, index, var, None)
+                for report in found:
+                    reports.append((seq, report))
+            elif op == OP_COMMIT:
+                reports.extend(self._packed_commit(seq, tid_id, index, a, extras))
+            elif op == OP_ALLOC:
+                self._handle_alloc(resolve(a).obj)
+            else:
+                raise ValueError(f"unknown opcode {op} in packed frame")
+        return reports, count
+
+    def _packed_commit(
+        self, seq: int, tid_id: int, index: int, offset, extras
+    ) -> List[Tuple[int, RaceReport]]:
+        """Section 5.3 on a packed commit: gains come straight from the ids."""
+        self.stats.sync_events += 1
+        n_vars = extras[offset]
+        end = offset + 1 + 2 * n_vars
+        if self.commit_sync == "footprint":
+            gain_ls: IntLockset = 0
+            for j in range(offset + 1, end, 2):
+                gain_ls = ls_add(gain_ls, extras[j])
+            incoming_ls = outgoing_ls = gain_ls
+        else:
+            incoming_ls = outgoing_ls = ls_add(0, TL_ID)
+        row = self.events.add_commit_row(incoming_ls, outgoing_ls, tid_id)
+        self.events.enqueue_encoded(OP_COMMIT, tid_id, row, 0)
+        reports: List[Tuple[int, RaceReport]] = []
+        resolve = self.interner.resolve
+        tid = resolve(tid_id)
+        # extras arrive in the canonical (obj, field) order of _commit_vars
+        for j in range(offset + 1, end, 2):
+            var_id = extras[j]
+            var = resolve(var_id)
+            if not self._packed_owns(var_id, var):
+                continue
+            self.stats.accesses_checked += 1
+            if extras[j + 1]:
+                found = self._handle_write(tid, index, var, outgoing_ls)
+            else:
+                found = self._handle_read(tid, index, var, outgoing_ls)
+            for report in found:
+                reports.append((seq, report))
+        self._maybe_collect()
+        return reports
 
     def _handle_alloc(self, obj: Obj) -> None:
         """Allocation makes every field of ``obj`` fresh: drop its infos."""

@@ -207,6 +207,10 @@ class Interner:
         """The element behind an id (for reports, debugging, and decoding)."""
         return self._elements[eid]
 
+    def elements_since(self, start: int) -> List[LocksetElement]:
+        """Elements with ids >= ``start``, in id order (frame deltas)."""
+        return self._elements[start:]
+
     def __len__(self) -> int:
         return len(self._elements)
 

@@ -46,6 +46,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shard workers: separate processes (default) or in-process",
     )
     parser.add_argument(
+        "--transport",
+        choices=["packed", "object"],
+        default="packed",
+        help="shard transport: packed integer frames (default) or pickled Events",
+    )
+    parser.add_argument(
         "--flush-interval",
         type=float,
         default=0.05,
@@ -86,6 +92,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         batch_size=args.batch_size,
         queue_depth=args.queue_depth,
         workers=args.workers,
+        transport=args.transport,
         commit_sync=args.commit_sync,
         gc_threshold=args.gc_threshold or None,
         flush_interval=args.flush_interval,

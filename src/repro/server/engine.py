@@ -27,8 +27,29 @@ sidestepping the GIL so detection scales with cores).  Batching amortizes
 queue/pickling overhead; bounded task queues give backpressure: when a
 shard falls behind, ``submit`` blocks instead of buffering unboundedly.
 
+Since the encode-once rework the engine has two transports
+(:attr:`EngineConfig.transport`):
+
+``"packed"`` (default)
+    Events are translated once at the edge (:class:`~repro.core.encode.
+    EventEncoder`) into flat integer records; shard batches travel as
+    single immutable frame ``bytes`` (sync records broadcast as the same
+    buffer content, never N pickled copies), encoded-kernel shards append
+    sync records verbatim via :meth:`EncodedGoldilocks.apply_packed`, and
+    races come back as packed int rows reconstituted to
+    :class:`RaceReport` only here at the edge.  Seed-kernel shards decode
+    frames back to Events at the shard boundary -- parity, not speed.
+
+``"object"``
+    The original path: ``Event`` dataclasses, pickled per batch.  Kept as
+    the A/B lever for the ingest benchmark and for bisecting packed-path
+    regressions.  Batches are explicitly pickled in *both* worker modes so
+    ``queue_bytes`` measures the same thing inline as across processes.
+
 Variable-to-shard routing uses CRC32, not ``hash()``: Python string hashes
-are salted per process, and the router and workers must agree.
+are salted per process, and the router and workers must agree.  In packed
+mode the route is computed from the interned ints (cached per variable id),
+never by re-deriving strings per event.
 """
 
 from __future__ import annotations
@@ -38,10 +59,16 @@ import pickle
 import queue as queue_mod
 import time
 import zlib
+from array import array
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.actions import (
+    OP_ALLOC,
+    OP_COMMIT,
+    OP_JOIN,
+    OP_READ,
+    OP_WRITE,
     Commit,
     DataVar,
     Event,
@@ -49,9 +76,19 @@ from ..core.actions import (
     Write,
     is_data_access,
 )
+from ..core.encode import (
+    RECORD_WIDTH,
+    EventEncoder,
+    FrameDecoder,
+    decode_frame,
+    encode_frame,
+    pack_report,
+    unpack_reports,
+)
 from ..core.kernel import EncodedGoldilocks
 from ..core.lazy import LazyGoldilocks
 from ..core.report import RaceReport
+from ..trace.io import parse_event
 from .stats import ServiceStats, ShardStats
 
 #: a race report tagged with the ingestion sequence number that completed it
@@ -82,6 +119,7 @@ class _PartitionMixin:
         self.shard_id = shard_id
         self.n_shards = n_shards
         self.label = f"shard {shard_id}/{n_shards}"
+        self._own_cache: Dict[int, bool] = {}
 
     def owns(self, var: DataVar) -> bool:
         return shard_of(var, self.n_shards) == self.shard_id
@@ -94,6 +132,14 @@ class _PartitionMixin:
 
     def _commit_vars(self, action: Commit) -> List[DataVar]:
         return [var for var in super()._commit_vars(action) if self.owns(var)]  # type: ignore[misc]
+
+    def _packed_owns(self, var_id: int, var: DataVar) -> bool:
+        # Same crc32 partition, but decided once per variable *id*: packed
+        # frames guarantee stable ids, so the route is a dict hit.
+        cached = self._own_cache.get(var_id)
+        if cached is None:
+            cached = self._own_cache[var_id] = self.owns(var)
+        return cached
 
     # The base reset() re-invokes __init__ from the stored detector kwargs;
     # prepend our partition coordinates.
@@ -109,6 +155,7 @@ class _PartitionMixin:
         self.shard_id, self.n_shards = state.pop("partition")
         super().__setstate__(state)  # type: ignore[misc]
         self.label = f"shard {self.shard_id}/{self.n_shards}"
+        self._own_cache = {}
 
 
 class PartitionedGoldilocks(_PartitionMixin, EncodedGoldilocks):
@@ -130,6 +177,9 @@ PARTITION_KERNELS = {
     "seed": PartitionedSeedGoldilocks,
 }
 
+#: engine transports selectable via :attr:`EngineConfig.transport`
+TRANSPORTS = ("packed", "object")
+
 
 @dataclass
 class EngineConfig:
@@ -147,6 +197,8 @@ class EngineConfig:
     gc_threshold: Optional[int] = 50_000
     #: "encoded" (the integer kernel, default) or "seed" (reference lazy)
     kernel: str = "encoded"
+    #: "packed" (encode-once frames, default) or "object" (pickled Events)
+    transport: str = "packed"
 
     def detector_kwargs(self) -> dict:
         return {"commit_sync": self.commit_sync, "gc_threshold": self.gc_threshold}
@@ -158,29 +210,100 @@ class EngineConfig:
             raise ValueError(f"unknown engine kernel {self.kernel!r}") from None
 
 
-def _shard_worker(shard_id, n_shards, kernel, detector_kwargs, blob, task_q, result_q):
+class _PackedBuffer:
+    """One shard's pending records before they are framed and pushed."""
+
+    __slots__ = ("records", "extras", "count")
+
+    def __init__(self) -> None:
+        self.records = array("q")
+        self.extras = array("q")
+        self.count = 0
+
+
+class WireIngest:
+    """Per-connection state for ingesting binary wire frames.
+
+    Wire frames carry *client-assigned* interner ids.  For the packed
+    transport each newly announced element is interned once into the
+    engine's master interner and the id translation is remembered, so
+    records are rewritten int-for-int -- still no ``Event`` objects.  For
+    the object transport the connection keeps a :class:`FrameDecoder` and
+    the engine ingests reconstituted Events (the A/B-comparable path).
+    """
+
+    __slots__ = ("remap", "decoder")
+
+    def __init__(self, transport: str) -> None:
+        self.remap: List[int] = [0]  # client id 0 is TL on both sides
+        self.decoder = FrameDecoder() if transport == "object" else None
+
+
+def _shard_worker(
+    shard_id, n_shards, kernel, transport, detector_kwargs, blob, task_q, result_q
+):
     """Worker-process main loop: apply batches, acknowledge with results."""
     if blob is not None:
         detector = pickle.loads(blob)
     else:
         detector = PARTITION_KERNELS[kernel](shard_id, n_shards, **detector_kwargs)
+    packed_kernel = hasattr(detector, "apply_packed") and transport == "packed"
+    decoder = FrameDecoder() if (transport == "packed" and not packed_kernel) else None
+    sync_decoded = 0
     try:
         while True:
             msg = task_q.get()
             kind = msg[0]
-            if kind == "batch":
+            if kind == "frame":
+                if packed_kernel:
+                    reports, n = detector.apply_packed(msg[1])
+                    payload = (
+                        "packed",
+                        [
+                            pack_report(seq, report, detector.interner)
+                            for seq, report in reports
+                        ],
+                    )
+                else:
+                    before = decoder.sync_decoded
+                    obj_reports: List[SeqReport] = []
+                    n = 0
+                    for seq, event in decoder.decode_payload(msg[1]):
+                        n += 1
+                        for report in detector.process(event):
+                            obj_reports.append((seq, report))
+                    sync_decoded += decoder.sync_decoded - before
+                    payload = ("obj", obj_reports)
+                result_q.put(
+                    ("ack", shard_id, n, payload, detector.stats.as_dict(), sync_decoded)
+                )
+            elif kind == "obatch":
+                batch = pickle.loads(msg[1])
                 reports: List[SeqReport] = []
-                for seq, event in msg[1]:
+                for seq, event in batch:
+                    if not is_data_access(event.action):
+                        sync_decoded += 1
                     for report in detector.process(event):
                         reports.append((seq, report))
                 result_q.put(
-                    ("ack", shard_id, len(msg[1]), reports, detector.stats.as_dict())
+                    (
+                        "ack",
+                        shard_id,
+                        len(batch),
+                        ("obj", reports),
+                        detector.stats.as_dict(),
+                        sync_decoded,
+                    )
                 )
             elif kind == "checkpoint":
                 result_q.put(("checkpoint", shard_id, detector.checkpoint()))
             elif kind == "reset":
                 detector.reset()
-                result_q.put(("ack", shard_id, 0, [], detector.stats.as_dict()))
+                if decoder is not None:
+                    decoder = FrameDecoder()
+                result_q.put(
+                    ("ack", shard_id, 0, ("obj", []), detector.stats.as_dict(), sync_decoded)
+                )
             elif kind == "stop":
                 result_q.put(("stopped", shard_id))
                 break
@@ -207,29 +330,44 @@ class ShardedEngine:
             raise ValueError("need at least one shard")
         if self.config.workers not in ("process", "inline"):
             raise ValueError(f"unknown worker mode {self.config.workers!r}")
+        if self.config.transport not in TRANSPORTS:
+            raise ValueError(f"unknown transport {self.config.transport!r}")
         n = self.config.n_shards
         self._seq = 0
         self._started = time.monotonic()
         self._closed = False
         self._checkpoints: Dict[int, bytes] = {}
         self._reports: List[SeqReport] = []
+        self._packed = self.config.transport == "packed"
         self._buffers: List[List[Tuple[int, Event]]] = [[] for _ in range(n)]
+        self._pbuffers: List[_PackedBuffer] = [_PackedBuffer() for _ in range(n)]
+        self._encoder = EventEncoder(n)
+        self._cursors = [1] * n  # every replica interner starts with just TL
         self._sent_batches = [0] * n
         self._acked_batches = [0] * n
         self._sent_events = [0] * n
         self._acked_events = [0] * n
         self._shard_stats: List[Dict[str, int]] = [{} for _ in range(n)]
+        self._sync_decoded = [0] * n
         # ingestion counters surfaced in ServiceStats
         self.events_ingested = 0
         self.sync_broadcast = 0
         self.data_routed = 0
         self.batches_flushed = 0
         self.backpressure_stalls = 0
+        #: bytes shipped to shards (frame bytes, or pickled batch bytes)
+        self.queue_bytes = 0
+        #: per-event object materializations forced by the object transport
+        self._object_allocs = 0
         detector_cls = self.config.detector_class()
         if self.config.workers == "inline":
             self._detectors = [
                 detector_cls(i, n, **self.config.detector_kwargs())
                 for i in range(n)
+            ]
+            self._decoders = [
+                FrameDecoder() if self._packed and not hasattr(d, "apply_packed") else None
+                for d in self._detectors
             ]
         else:
             ctx = mp.get_context()
@@ -242,6 +380,7 @@ class ShardedEngine:
                         i,
                         n,
                         self.config.kernel,
+                        self.config.transport,
                         self.config.detector_kwargs(),
                         None,
                         self._task_qs[i],
@@ -256,6 +395,17 @@ class ShardedEngine:
 
     # -- ingestion -------------------------------------------------------------
 
+    @property
+    def edge_allocs(self) -> int:
+        """Per-event allocation proxy: what ingestion *had* to materialize.
+
+        Packed transport: one per newly seen element (steady state ~0/event).
+        Object transport: one per event (the unavoidable ``Event``).
+        """
+        if self._packed:
+            return self._encoder.cache_misses
+        return self._object_allocs
+
     def submit(self, event: Event, seq: Optional[int] = None) -> int:
         """Route one event; returns its ingestion sequence number.
 
@@ -264,14 +414,18 @@ class ShardedEngine:
         shard's buffer.  Full buffers are pushed; a full task queue blocks
         (backpressure) until the shard catches up.
         """
+        if self._packed:
+            op, tid_id, index, a, b, extras = self._encoder.encode_event(event)
+            return self._ingest_record(op, tid_id, index, a, b, extras, seq)
         if seq is None:
             seq = self._seq
         self._seq = seq + 1
         self.events_ingested += 1
+        self._object_allocs += 1
         action = event.action
         if is_data_access(action):
             self.data_routed += 1
-            targets = (shard_of(action.var, self.config.n_shards),)
+            targets: Sequence[int] = (shard_of(action.var, self.config.n_shards),)
         else:
             self.sync_broadcast += 1
             targets = range(self.config.n_shards)
@@ -283,28 +437,167 @@ class ShardedEngine:
         self._drain(block=False)
         return seq
 
+    def submit_line(self, line: str) -> int:
+        """Ingest one trace text line.
+
+        On the packed transport this is the encode-once fast path: the line
+        becomes an integer record directly, constructing zero dataclasses
+        in steady state.  Raises on malformed input (before any caches are
+        touched), mirroring :func:`repro.trace.io.parse_event`.
+        """
+        if self._packed:
+            op, tid_id, index, a, b, extras = self._encoder.encode_line(line)
+            return self._ingest_record(op, tid_id, index, a, b, extras, None)
+        return self.submit(parse_event(line))
+
+    def _ingest_record(
+        self,
+        op: int,
+        tid_id: int,
+        index: int,
+        a: int,
+        b: int,
+        extras: Optional[List[int]],
+        seq: Optional[int],
+    ) -> int:
+        if seq is None:
+            seq = self._seq
+        self._seq = seq + 1
+        self.events_ingested += 1
+        if op == OP_READ or op == OP_WRITE:
+            self.data_routed += 1
+            targets: Sequence[int] = (self._encoder.shard_of_var(a),)
+        else:
+            self.sync_broadcast += 1
+            targets = range(self.config.n_shards)
+        for shard in targets:
+            buffer = self._pbuffers[shard]
+            if extras is None:
+                local_a = a
+            else:
+                local_a = len(buffer.extras)
+                buffer.extras.extend(extras)
+            buffer.records.extend((op, seq, tid_id, index, local_a, b))
+            buffer.count += 1
+            if buffer.count >= self.config.batch_size:
+                self._push(shard)
+        self._drain(block=False)
+        return seq
+
+    def submit_wire_frame(self, payload: bytes, state: WireIngest) -> int:
+        """Ingest one client-encoded binary frame; returns events accepted.
+
+        Client interner ids are rewritten to engine ids through the
+        connection's :class:`WireIngest` remap (each element decoded and
+        interned exactly once per connection); the client's local sequence
+        numbers are discarded -- the engine assigns its own, so binary and
+        text ingestion of the same stream produce identical ``seq`` tags.
+        """
+        if state.decoder is not None:  # object transport: reconstitute
+            count = 0
+            for _seq, event in state.decoder.decode_payload(payload):
+                self.submit(event)
+                count += 1
+            return count
+        base, delta, records, extras = decode_frame(payload)
+        remap = state.remap
+        if len(remap) < base:
+            raise ValueError(
+                f"frame assumes {base} announced elements, connection has {len(remap)}"
+            )
+        for i, element in enumerate(delta):
+            if base + i < len(remap):
+                continue
+            remap.append(self._encoder.intern_element(element))
+        count = 0
+        for i in range(0, len(records), RECORD_WIDTH):
+            op, _seq, tid_id, index, a, b = records[i : i + RECORD_WIDTH]
+            tid_id = remap[tid_id]
+            local_extras: Optional[List[int]] = None
+            if op <= OP_JOIN:
+                a = remap[a]
+                b = remap[b]
+            elif op == OP_COMMIT:
+                n_vars = extras[a]
+                local_extras = [n_vars]
+                for j in range(a + 1, a + 1 + 2 * n_vars, 2):
+                    local_extras.append(remap[extras[j]])
+                    local_extras.append(extras[j + 1])
+                a = b = 0
+            elif op in (OP_READ, OP_WRITE, OP_ALLOC):
+                a = remap[a]
+            else:
+                raise ValueError(f"unknown opcode {op} in wire frame")
+            self._ingest_record(op, tid_id, index, a, b, local_extras, None)
+            count += 1
+        return count
+
+    def wire_state(self) -> WireIngest:
+        """Fresh per-connection state for :meth:`submit_wire_frame`."""
+        return WireIngest(self.config.transport)
+
     def flush(self) -> None:
         """Push every non-empty batch buffer to its shard."""
         for shard in range(self.config.n_shards):
-            if self._buffers[shard]:
+            if self._packed:
+                if self._pbuffers[shard].count:
+                    self._push(shard)
+            elif self._buffers[shard]:
                 self._push(shard)
         self._drain(block=False)
 
     def _push(self, shard: int) -> None:
-        batch, self._buffers[shard] = self._buffers[shard], []
         self.batches_flushed += 1
         self._sent_batches[shard] += 1
-        self._sent_events[shard] += len(batch)
-        if self.config.workers == "inline":
-            detector = self._detectors[shard]
-            reports: List[SeqReport] = []
-            for seq, event in batch:
-                for report in detector.process(event):
-                    reports.append((seq, report))
-            self._apply_ack(shard, len(batch), reports, detector.stats.as_dict())
-            return
+        if self._packed:
+            buffer, self._pbuffers[shard] = self._pbuffers[shard], _PackedBuffer()
+            n_events = buffer.count
+            frame = encode_frame(
+                self._cursors[shard],
+                self._encoder.interner.elements_since(self._cursors[shard]),
+                buffer.records,
+                buffer.extras,
+            )
+            self._cursors[shard] = len(self._encoder.interner)
+            self.queue_bytes += len(frame)
+            self._sent_events[shard] += n_events
+            if self.config.workers == "inline":
+                detector = self._detectors[shard]
+                decoder = self._decoders[shard]
+                if decoder is None:
+                    reports, n = detector.apply_packed(frame)
+                else:
+                    before = decoder.sync_decoded
+                    reports = []
+                    n = 0
+                    for seq, event in decoder.decode_payload(frame):
+                        n += 1
+                        for report in detector.process(event):
+                            reports.append((seq, report))
+                    self._sync_decoded[shard] += decoder.sync_decoded - before
+                self._apply_ack_inline(shard, n, reports, detector)
+                return
+            message = ("frame", frame)
+        else:
+            batch, self._buffers[shard] = self._buffers[shard], []
+            n_events = len(batch)
+            self._sent_events[shard] += n_events
+            # The object transport pays its pickling cost in both worker
+            # modes, so queue_bytes means the same thing everywhere.
+            blob = pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
+            self.queue_bytes += len(blob)
+            if self.config.workers == "inline":
+                detector = self._detectors[shard]
+                reports = []
+                for seq, event in pickle.loads(blob):
+                    if not is_data_access(event.action):
+                        self._sync_decoded[shard] += 1
+                    for report in detector.process(event):
+                        reports.append((seq, report))
+                self._apply_ack_inline(shard, n_events, reports, detector)
+                return
+            message = ("obatch", blob)
         task_q = self._task_qs[shard]
-        message = ("batch", batch)
         try:
             task_q.put_nowait(message)
         except queue_mod.Full:
@@ -320,11 +613,22 @@ class ShardedEngine:
 
     # -- results ---------------------------------------------------------------
 
-    def _apply_ack(self, shard, n_events, reports, stats_dict) -> None:
+    def _apply_ack_inline(self, shard, n_events, reports, detector) -> None:
         self._acked_batches[shard] += 1
         self._acked_events[shard] += n_events
         self._reports.extend(reports)
+        self._shard_stats[shard] = detector.stats.as_dict()
+
+    def _apply_ack(self, shard, n_events, payload, stats_dict, sync_decoded) -> None:
+        self._acked_batches[shard] += 1
+        self._acked_events[shard] += n_events
+        tag, rows = payload
+        if tag == "packed":
+            self._reports.extend(unpack_reports(rows, self._encoder.interner))
+        else:
+            self._reports.extend(rows)
         self._shard_stats[shard] = stats_dict
+        self._sync_decoded[shard] = sync_decoded
 
     def _drain(self, block: bool) -> None:
         if self.config.workers == "inline":
@@ -335,7 +639,7 @@ class ShardedEngine:
             except queue_mod.Empty:
                 return
             if msg[0] == "ack":
-                self._apply_ack(msg[1], msg[2], msg[3], msg[4])
+                self._apply_ack(msg[1], msg[2], msg[3], msg[4], msg[5])
                 if block:
                     return
             elif msg[0] == "checkpoint":
@@ -376,11 +680,21 @@ class ShardedEngine:
         if self.config.workers == "inline":
             for detector in self._detectors:
                 detector.reset()
+            self._decoders = [
+                FrameDecoder() if self._packed and not hasattr(d, "apply_packed") else None
+                for d in self._detectors
+            ]
         else:
             for shard, task_q in enumerate(self._task_qs):
                 self._sent_batches[shard] += 1
                 task_q.put(("reset",))
             self.barrier()
+        # Shard interner replicas restarted from scratch: the edge encoder
+        # and its per-shard delta cursors must restart with them (sequence
+        # numbers keep counting -- the execution restarts, the stream not).
+        self._encoder = EventEncoder(self.config.n_shards)
+        self._cursors = [1] * self.config.n_shards
+        self._pbuffers = [_PackedBuffer() for _ in range(self.config.n_shards)]
         self._shard_stats = [{} for _ in range(self.config.n_shards)]
 
     def checkpoint(self) -> List[bytes]:
@@ -429,6 +743,7 @@ class ShardedEngine:
                         + det.get("sync_events", 0)
                     ),
                     detector=det,
+                    sync_decoded=self._sync_decoded[i],
                 )
             )
         return ServiceStats(
@@ -441,6 +756,10 @@ class ShardedEngine:
             backpressure_stalls=self.backpressure_stalls,
             races_reported=sum(s.races for s in shards),
             n_shards=self.config.n_shards,
+            transport=self.config.transport,
+            queue_bytes=self.queue_bytes,
+            edge_allocs=self.edge_allocs,
+            sync_decoded=sum(self._sync_decoded),
             shards=shards,
         )
 

@@ -15,6 +15,8 @@ Client -> server, one line each:
       !flush       force the current batches through and drain every shard
       !stats       snapshot ServiceStats as one JSON line
       !reset       restart detection from an empty execution
+      !binary      switch this connection's client->server direction to
+                   length-prefixed binary frames (see below)
       !shutdown    drain, acknowledge, and stop the service
 
 Server -> client, one line each:
@@ -27,17 +29,80 @@ Server -> client, one line each:
 * ``ok <command> [key=value ...]`` -- success acknowledgments;
 * ``error <message>`` -- malformed event or control lines (the stream keeps
   going; errors are counted in :class:`~repro.server.stats.ServiceStats`).
+
+**Binary mode** (opt-in; text stays the default).  A client sends the text
+line ``!binary``; the server acknowledges with ``ok binary`` and from that
+point on reads length-prefixed frames on the same connection::
+
+    u8 frame-type, u32 payload-length (little-endian), payload bytes
+
+with frame types
+
+* ``FRAME_EVENTS`` (1) -- a packed event frame
+  (:func:`repro.core.encode.encode_frame`): interner delta + int records;
+* ``FRAME_CONTROL`` (2) -- one UTF-8 control line (``!flush`` etc.);
+* ``FRAME_TEXT`` (3) -- UTF-8 event lines (escape hatch for mixed streams).
+
+Server -> client traffic stays line-oriented text in both modes, so one
+client implementation parses races and acknowledgments identically either
+way.  Compatibility: a server that predates binary mode answers ``!binary``
+with an ``error`` line and the connection simply continues in text mode.
 """
 
 from __future__ import annotations
 
-from typing import NamedTuple, Optional, Tuple
+import struct
+from typing import BinaryIO, NamedTuple, Optional, Tuple
 
 from ..core.actions import DataVar, Obj, Tid
 from ..core.report import AccessRef, RaceReport
 
 CONTROL_PREFIX = "!"
-CONTROL_COMMANDS = ("ping", "flush", "stats", "reset", "shutdown")
+CONTROL_COMMANDS = ("ping", "flush", "stats", "reset", "binary", "shutdown")
+
+# -- binary framing (client -> server after `!binary` negotiation) -------------
+
+#: payload is one packed event frame (repro.core.encode.encode_frame)
+FRAME_EVENTS = 1
+#: payload is one UTF-8 control line
+FRAME_CONTROL = 2
+#: payload is UTF-8 event lines (newline separated)
+FRAME_TEXT = 3
+
+_FRAME_HEADER = struct.Struct("<BI")
+#: refuse absurd frames rather than allocating unboundedly
+MAX_FRAME_LEN = 64 * 1024 * 1024
+
+
+def pack_frame(frame_type: int, payload: bytes) -> bytes:
+    """Wrap a payload in the ``u8 type + u32 length`` wire header."""
+    return _FRAME_HEADER.pack(frame_type, len(payload)) + payload
+
+
+def read_frame(stream: BinaryIO) -> Optional[Tuple[int, bytes]]:
+    """Read one frame; ``None`` on clean EOF, ``ValueError`` on a torn one."""
+    header = _read_exactly(stream, _FRAME_HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    frame_type, length = _FRAME_HEADER.unpack(header)
+    if length > MAX_FRAME_LEN:
+        raise ValueError(f"frame of {length} bytes exceeds the {MAX_FRAME_LEN} cap")
+    payload = _read_exactly(stream, length, allow_eof=False)
+    return frame_type, payload
+
+
+def _read_exactly(stream: BinaryIO, n: int, allow_eof: bool) -> Optional[bytes]:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = stream.read(remaining)
+        if not chunk:
+            if allow_eof and remaining == n:
+                return None
+            raise ValueError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks) if chunks else b""
 
 
 class RaceLine(NamedTuple):
@@ -120,6 +185,22 @@ def summary_line(command: str, **info: object) -> str:
     return " ".join(["ok", command] + parts)
 
 
+def coerce_scalar(value: str):
+    """An int only when the round trip is exact, otherwise the string.
+
+    ``summary_line`` renders ints with ``str``, so anything that does not
+    survive ``str(int(value)) == value`` -- ``"09"``, ``"+5"``, ``"--5"``,
+    ``"1_0"`` -- was never an int it wrote and must stay textual (the old
+    ``isdigit`` heuristic silently rewrote ``"09"`` to ``9`` and crashed on
+    ``"--5"``).
+    """
+    try:
+        number = int(value)
+    except ValueError:
+        return value
+    return number if str(number) == value else value
+
+
 def parse_summary(payload: str) -> Tuple[str, dict]:
     """Parse the payload of an ``ok`` line into (command, info dict)."""
     parts = payload.split()
@@ -127,5 +208,5 @@ def parse_summary(payload: str) -> Tuple[str, dict]:
     info = {}
     for part in parts[1:]:
         key, _, value = part.partition("=")
-        info[key] = int(value) if value.lstrip("-").isdigit() else value
+        info[key] = coerce_scalar(value)
     return command, info

@@ -28,15 +28,19 @@ import socketserver
 import threading
 import time
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, TextIO
+from typing import BinaryIO, Iterable, List, Optional, TextIO, Tuple
 
 from ..core.actions import Event
-from ..trace.io import follow_trace, parse_event
+from ..trace.io import follow_trace
 from .engine import EngineConfig, SeqReport, ShardedEngine
 from .protocol import (
+    FRAME_CONTROL,
+    FRAME_EVENTS,
+    FRAME_TEXT,
     format_race,
     is_control,
     parse_control,
+    read_frame,
     summary_line,
 )
 from .stats import ServiceStats
@@ -54,6 +58,8 @@ class ServiceConfig:
     gc_threshold: Optional[int] = 50_000
     #: "encoded" (integer kernel) or "seed" (reference lazy detector)
     kernel: str = "encoded"
+    #: "packed" (encode-once integer frames) or "object" (pickled Events)
+    transport: str = "packed"
     #: seconds of ingestion slack after which pending batches are flushed
     #: anyway (keeps report latency bounded on slow streams); <= 0 disables
     #: the background flusher
@@ -68,6 +74,7 @@ class ServiceConfig:
             commit_sync=self.commit_sync,
             gc_threshold=self.gc_threshold,
             kernel=self.kernel,
+            transport=self.transport,
         )
 
 
@@ -96,14 +103,19 @@ class RaceDetectionService:
             return self.engine.submit(event)
 
     def submit_line(self, line: str) -> Optional[int]:
-        """Parse and submit one event line; None (and a count) on bad input."""
+        """Submit one event line; None (and a count) on bad input.
+
+        On the packed transport the engine encodes the line straight into
+        an integer record -- the text is parsed exactly once, service-side
+        ``Event`` objects are never built.
+        """
         try:
-            event = parse_event(line)
+            with self._lock:
+                return self.engine.submit_line(line)
         except Exception:
             with self._lock:
                 self._parse_errors += 1
             return None
-        return self.submit_event(event)
 
     def poll_reports(self) -> List[SeqReport]:
         with self._lock:
@@ -137,12 +149,23 @@ class RaceDetectionService:
 
     # -- the stream protocol ----------------------------------------------------
 
-    def handle_stream(self, reader: Iterable[str], writer: TextIO) -> int:
+    def handle_stream(
+        self,
+        reader: Iterable[str],
+        writer: TextIO,
+        binary: Optional[BinaryIO] = None,
+    ) -> int:
         """Serve one connection until EOF or ``!shutdown``; returns its race count.
 
         ``reader`` yields lines (a file object works); responses and race
         lines are written to ``writer``.  The final drain happens on EOF, so
         piping a complete trace in gives exactly the offline verdict.
+
+        ``binary`` is the connection's underlying byte stream, if it has
+        one.  A ``!binary`` control line switches the client->server
+        direction to length-prefixed frames read from it (replies stay
+        text); on a purely textual transport (stdin) the request is
+        answered with an ``error`` line and the stream continues as text.
         """
         races = 0
         events = 0
@@ -152,28 +175,26 @@ class RaceDetectionService:
                 continue
             if is_control(line):
                 command, _args = parse_control(line)
-                if command == "ping":
-                    writer.write("ok pong\n")
-                elif command == "flush":
-                    reports = self.barrier()
-                    races += self._write_races(writer, reports)
-                    writer.write(summary_line("flush", races=len(reports)) + "\n")
-                elif command == "stats":
-                    writer.write("stats " + self.stats().to_json() + "\n")
-                elif command == "reset":
-                    with self._lock:
-                        self.engine.reset()
-                    writer.write("ok reset\n")
-                elif command == "shutdown":
-                    reports = self.barrier()
-                    races += self._write_races(writer, reports)
-                    writer.write(summary_line("shutdown", races=races) + "\n")
+                if command == "binary":
+                    if binary is None:
+                        writer.write("error binary mode needs a byte stream\n")
+                        writer.flush()
+                        continue
+                    writer.write("ok binary\n")
                     writer.flush()
-                    self.request_shutdown()
-                    return races
-                else:
-                    writer.write(f"error unknown control command {command!r}\n")
+                    frame_events, frame_races, stop = self._binary_loop(
+                        binary, writer
+                    )
+                    events += frame_events
+                    races += frame_races
+                    if stop:
+                        return races
+                    break  # binary EOF ends the connection: drain below
+                stop, delta = self._control(command, writer, races)
+                races += delta
                 writer.flush()
+                if stop:
+                    return races
                 continue
             seq = self.submit_line(line)
             if seq is None:
@@ -187,6 +208,91 @@ class RaceDetectionService:
         writer.write(summary_line("eof", events=events, races=races) + "\n")
         writer.flush()
         return races
+
+    def _control(self, command: str, writer: TextIO, races: int) -> Tuple[bool, int]:
+        """Run one control command; returns ``(stop stream?, races written)``."""
+        if command == "ping":
+            writer.write("ok pong\n")
+            return False, 0
+        if command == "flush":
+            reports = self.barrier()
+            written = self._write_races(writer, reports)
+            writer.write(summary_line("flush", races=len(reports)) + "\n")
+            return False, written
+        if command == "stats":
+            writer.write("stats " + self.stats().to_json() + "\n")
+            return False, 0
+        if command == "reset":
+            with self._lock:
+                self.engine.reset()
+            writer.write("ok reset\n")
+            return False, 0
+        if command == "shutdown":
+            reports = self.barrier()
+            written = self._write_races(writer, reports)
+            writer.write(summary_line("shutdown", races=races + written) + "\n")
+            writer.flush()
+            self.request_shutdown()
+            return True, written
+        writer.write(f"error unknown control command {command!r}\n")
+        return False, 0
+
+    def _binary_loop(
+        self, binary: BinaryIO, writer: TextIO
+    ) -> Tuple[int, int, bool]:
+        """Consume binary frames until EOF; returns (events, races, stop?)."""
+        state = self.engine.wire_state()
+        events = 0
+        races = 0
+        while True:
+            try:
+                frame = read_frame(binary)
+            except ValueError as exc:
+                writer.write(f"error {exc}\n")
+                writer.flush()
+                return events, races, False
+            if frame is None:
+                return events, races, False
+            frame_type, payload = frame
+            if frame_type == FRAME_EVENTS:
+                try:
+                    with self._lock:
+                        count = self.engine.submit_wire_frame(payload, state)
+                except Exception as exc:
+                    with self._lock:
+                        self._parse_errors += 1
+                    writer.write(f"error bad event frame: {exc}\n")
+                    writer.flush()
+                    continue
+                events += count
+                races += self._write_races(writer, self.poll_reports())
+            elif frame_type == FRAME_CONTROL:
+                line = payload.decode("utf-8", "replace").strip()
+                command = parse_control(line)[0] if is_control(line) else line
+                if command == "binary":  # already negotiated; idempotent
+                    writer.write("ok binary\n")
+                    writer.flush()
+                    continue
+                stop, delta = self._control(command, writer, races)
+                races += delta
+                writer.flush()
+                if stop:
+                    return events, races, True
+            elif frame_type == FRAME_TEXT:
+                for raw in payload.decode("utf-8", "replace").splitlines():
+                    line = raw.strip()
+                    if not line or line.startswith("#"):
+                        continue
+                    seq = self.submit_line(line)
+                    if seq is None:
+                        writer.write(f"error unparseable event line: {line}\n")
+                        writer.flush()
+                        continue
+                    events += 1
+                    races += self._write_races(writer, self.poll_reports())
+            else:
+                writer.write(f"error unknown frame type {frame_type}\n")
+                writer.flush()
 
     @staticmethod
     def _write_races(writer: TextIO, reports: List[SeqReport]) -> int:
@@ -272,7 +378,9 @@ class _StreamHandler(socketserver.StreamRequestHandler):
         reader = (raw.decode("utf-8", "replace") for raw in self.rfile)
         writer = _TextOverBinary(self.wfile)
         try:
-            self.server.service.handle_stream(reader, writer)
+            # rfile is a BufferedReader: readline/read can be mixed safely,
+            # so the same stream serves text lines and binary frames.
+            self.server.service.handle_stream(reader, writer, binary=self.rfile)
         except (BrokenPipeError, ConnectionResetError):
             pass
 

@@ -12,8 +12,23 @@ client library can reconstitute it.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List
+
+
+def _known_subset(cls, data: Dict[str, Any]) -> Dict[str, Any]:
+    """Keep only keys the dataclass knows; count the rest.
+
+    Forward compatibility: an older client must be able to parse a newer
+    server's ``!stats`` JSON.  Unknown keys are dropped, and their count is
+    folded into ``unknown_fields`` so the loss is visible, not silent.
+    """
+    known = {f.name for f in fields(cls)}
+    payload = {key: value for key, value in data.items() if key in known}
+    dropped = len(data) - len(payload)
+    if dropped:
+        payload["unknown_fields"] = payload.get("unknown_fields", 0) + dropped
+    return payload
 
 
 @dataclass
@@ -31,8 +46,13 @@ class ShardStats:
     short_circuit_rate: float = 1.0
     #: the shard detector's deterministic cost counter
     detector_work: int = 0
+    #: sync/alloc/commit records this shard materialized as Events
+    #: (stays 0 for an encoded-kernel shard on the packed transport)
+    sync_decoded: int = 0
     #: full :meth:`DetectorStats.as_dict` payload from the shard
     detector: Dict[str, int] = field(default_factory=dict)
+    #: snapshot keys dropped by from_dict (newer-server fields)
+    unknown_fields: int = 0
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -42,12 +62,14 @@ class ShardStats:
             "races": self.races,
             "short_circuit_rate": self.short_circuit_rate,
             "detector_work": self.detector_work,
+            "sync_decoded": self.sync_decoded,
             "detector": dict(self.detector),
+            "unknown_fields": self.unknown_fields,
         }
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ShardStats":
-        return cls(**data)
+        return cls(**_known_subset(cls, data))
 
 
 @dataclass
@@ -74,6 +96,16 @@ class ServiceStats:
     races_reported: int = 0
     #: number of detection shards
     n_shards: int = 1
+    #: the engine transport in force ("packed" or "object")
+    transport: str = "packed"
+    #: bytes shipped to shards (packed frames or pickled batches)
+    queue_bytes: int = 0
+    #: per-event allocation proxy at the ingestion edge
+    edge_allocs: int = 0
+    #: sync records materialized as Events across all shards
+    sync_decoded: int = 0
+    #: snapshot keys dropped by from_dict (newer-server fields)
+    unknown_fields: int = 0
     shards: List[ShardStats] = field(default_factory=list)
 
     @property
@@ -112,6 +144,11 @@ class ServiceStats:
             "parse_errors": self.parse_errors,
             "races_reported": self.races_reported,
             "n_shards": self.n_shards,
+            "transport": self.transport,
+            "queue_bytes": self.queue_bytes,
+            "edge_allocs": self.edge_allocs,
+            "sync_decoded": self.sync_decoded,
+            "unknown_fields": self.unknown_fields,
             "short_circuit_rate": self.short_circuit_rate,
             "shards": [shard.as_dict() for shard in self.shards],
         }
@@ -121,7 +158,7 @@ class ServiceStats:
         data = dict(data)
         data.pop("short_circuit_rate", None)  # derived, not stored
         shards = [ShardStats.from_dict(s) for s in data.pop("shards", [])]
-        return cls(shards=shards, **data)
+        return cls(shards=shards, **_known_subset(cls, data))
 
     def to_json(self) -> str:
         return json.dumps(self.as_dict(), sort_keys=True)

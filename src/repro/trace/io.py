@@ -23,12 +23,19 @@ in-repo at a fraction of the size.  :func:`iter_trace` parses lazily for
 streaming consumers, and :func:`follow_trace` tails a growing file
 incrementally, ``tail -f`` style -- the ingestion paths of the
 :mod:`repro.server` service.
+
+:func:`iter_packed_frames` is the fast path from a stored trace to the
+binary wire: it encodes text lines straight into packed integer frames
+(:mod:`repro.core.encode`) without ever constructing ``Event`` objects, so
+a gzipped trace can be replayed against a binary-mode service at frame
+granularity.
 """
 
 from __future__ import annotations
 
 import gzip
 import time
+from array import array
 from typing import Callable, Iterable, Iterator, List, Optional, TextIO, Union
 
 from ..core.actions import (
@@ -162,6 +169,72 @@ def _iter_lines(handle: Iterable[str]) -> Iterator[Event]:
         if not line or line.startswith("#"):
             continue
         yield parse_event(line)
+
+
+def iter_packed_frames(
+    source: Union[TextIO, str],
+    events_per_frame: int = 512,
+    encoder: Optional["EventEncoder"] = None,
+) -> Iterator[bytes]:
+    """Read a text trace straight into packed wire frames.
+
+    Each yielded ``bytes`` value is one :func:`repro.core.encode.encode_frame`
+    payload carrying up to ``events_per_frame`` events plus the interner
+    delta the receiver needs -- exactly what a binary-mode client ships in a
+    ``FRAME_EVENTS`` frame.  Lines are encoded via
+    :meth:`~repro.core.encode.EventEncoder.encode_line`, so no ``Event``
+    objects exist on this path; ``.gz`` paths decompress transparently.
+
+    The ``seq`` column holds a local running count -- receivers that assign
+    their own sequence numbers (the service does) ignore it.  Pass a shared
+    ``encoder`` to keep one id space across several files; the caller then
+    owns cursor bookkeeping for any *additional* receivers.
+    """
+    from ..core.encode import EventEncoder, encode_frame
+
+    if encoder is None:
+        encoder = EventEncoder()
+    cursor = len(encoder.interner)
+    records = array("q")
+    extras = array("q")
+    pending = 0
+    seq = 0
+
+    def _frame() -> bytes:
+        nonlocal cursor
+        frame = encode_frame(
+            cursor, encoder.interner.elements_since(cursor), records, extras
+        )
+        cursor = len(encoder.interner)
+        return frame
+
+    if isinstance(source, str):
+        handle_cm = _open_path(source, "r")
+    else:
+        handle_cm = None
+    handle = handle_cm if handle_cm is not None else source
+    try:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            op, tid_id, index, a, b, extra_ints = encoder.encode_line(line)
+            if extra_ints is not None:
+                a = len(extras)
+                extras.extend(extra_ints)
+            records.extend((op, seq, tid_id, index, a, b))
+            seq += 1
+            pending += 1
+            if pending >= events_per_frame:
+                yield _frame()
+                records = array("q")
+                extras = array("q")
+                pending = 0
+        if pending:
+            yield _frame()
+    finally:
+        if handle_cm is not None:
+            handle_cm.close()
 
 
 def follow_trace(

@@ -1,0 +1,215 @@
+"""The encode-once packing layer: records, frames, and kernel parity."""
+
+from array import array
+
+import pytest
+
+from repro.core import EncodedGoldilocks, LazyGoldilocks
+from repro.core.actions import (
+    Acquire,
+    Alloc,
+    Commit,
+    DataVar,
+    Event,
+    Fork,
+    Join,
+    LockVar,
+    Obj,
+    Read,
+    Release,
+    Tid,
+    VolatileRead,
+    VolatileVar,
+    VolatileWrite,
+    Write,
+)
+from repro.core.encode import (
+    RECORD_WIDTH,
+    EventEncoder,
+    FrameDecoder,
+    decode_elements,
+    decode_frame,
+    encode_elements,
+    encode_frame,
+    extend_interner,
+    pack_report,
+    unpack_reports,
+)
+from repro.core.lockset import Interner
+from repro.core.report import AccessRef, RaceReport
+from repro.trace import RandomTraceGenerator
+from repro.trace.io import format_event
+
+
+def normalize(event):
+    """Commits with a var in both R and W pack as write-only (equivalent)."""
+    action = event.action
+    if isinstance(action, Commit):
+        action = Commit(action.reads - action.writes, action.writes)
+    return Event(event.tid, event.index, action)
+
+
+def frame_of(events, encoder=None, base=None):
+    """Pack a whole trace into one frame, the way the edge does."""
+    encoder = encoder or EventEncoder()
+    if base is None:
+        base = len(encoder.interner)
+    records = array("q")
+    extras = array("q")
+    for seq, event in enumerate(events):
+        op, tid_id, index, a, b, extra = encoder.encode_event(event)
+        if extra is not None:
+            a = len(extras)
+            extras.extend(extra)
+        records.extend((op, seq, tid_id, index, a, b))
+    delta = encoder.interner.elements_since(base)
+    return encode_frame(base, delta, records, extras), encoder
+
+
+ELEMENTS = [
+    Tid(3),
+    LockVar(Obj(9)),
+    VolatileVar(Obj(2), "flag"),
+    DataVar(Obj(4), "champó"),  # non-ASCII field survives the wire
+    DataVar(Obj(-1), ""),
+]
+
+
+def test_element_round_trip():
+    payload, count = encode_elements(ELEMENTS)
+    decoded, offset = decode_elements(payload, 0, count)
+    assert decoded == ELEMENTS
+    assert offset == len(payload)
+
+
+def test_frame_round_trip_and_validation():
+    events = RandomTraceGenerator().generate(seed=3)
+    frame, encoder = frame_of(events)
+    base, delta, records, extras = decode_frame(frame)
+    assert base == 1  # a fresh replica holds exactly [TL]
+    assert len(records) == RECORD_WIDTH * len(events)
+    assert [0] + [encoder.interner.intern(e) for e in delta] == list(
+        range(len(encoder.interner))
+    )
+    with pytest.raises(ValueError):
+        decode_frame(b"\x09" + frame[1:])  # bad version byte
+
+
+def test_extend_interner_is_idempotent_but_rejects_gaps():
+    master = EventEncoder()
+    for element in ELEMENTS:
+        master.intern_element(element)
+    delta = master.interner.elements_since(1)
+    replica = Interner()
+    extend_interner(replica, 1, delta)
+    extend_interner(replica, 1, delta)  # replayed frame: no-op
+    assert len(replica) == len(master.interner)
+    behind = Interner()
+    with pytest.raises(ValueError):
+        extend_interner(behind, 2, delta)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_frame_decoder_round_trips_random_traces(seed):
+    events = RandomTraceGenerator().generate(seed=seed)
+    frame, _ = frame_of(events)
+    decoder = FrameDecoder()
+    decoded = decoder.decode_payload(frame)
+    assert [seq for seq, _ in decoded] == list(range(len(events)))
+    assert [e for _, e in decoded] == [normalize(e) for e in events]
+    sync_like = sum(
+        1
+        for e in events
+        if not isinstance(e.action, (Read, Write))
+    )
+    assert decoder.sync_decoded == sync_like
+
+
+def test_encode_line_matches_encode_event():
+    events = RandomTraceGenerator(steps_per_thread=20).generate(seed=11)
+    by_event = EventEncoder()
+    by_line = EventEncoder()
+    for event in events:
+        assert by_line.encode_line(format_event(event)) == by_event.encode_event(
+            event
+        )
+    assert len(by_line.interner) == len(by_event.interner)
+
+
+def test_cache_misses_count_only_new_elements():
+    encoder = EventEncoder()
+    events = RandomTraceGenerator().generate(seed=2)
+    for event in events:
+        encoder.encode_event(event)
+    first_pass = encoder.cache_misses
+    assert first_pass == len(encoder.interner) - 1  # everything but TL
+    for event in events:
+        encoder.encode_event(event)
+    assert encoder.cache_misses == first_pass  # steady state: no churn
+
+
+@pytest.mark.parametrize(
+    "line",
+    ["1 0 acq", "1 0 warp 3", "1 0 read 5", "x 0 read 5 f", "1 0 commit W 1.f"],
+)
+def test_encode_line_rejects_what_parse_event_rejects(line):
+    from repro.trace.io import parse_event
+
+    with pytest.raises(Exception):
+        parse_event(line)
+    with pytest.raises(Exception):
+        EventEncoder().encode_line(line)
+
+
+def test_commit_read_write_overlap_normalizes_to_write():
+    var = DataVar(Obj(7), "f")
+    event = Event(Tid(1), 0, Commit(frozenset([var]), frozenset([var])))
+    encoder = EventEncoder()
+    op, _, _, _, _, extras = encoder.encode_event(event)
+    assert extras[0] == 1  # one footprint entry, not two
+    assert extras[2] == 1  # and it is a write
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_apply_packed_matches_the_seed_detector(seed):
+    events = RandomTraceGenerator().generate(seed=seed)
+    expected = LazyGoldilocks().process_all(events)
+
+    frame, _ = frame_of(events)
+    kernel = EncodedGoldilocks()
+    reports, count = kernel.apply_packed(frame)
+    assert count == len(events)
+    assert [r for _, r in reports] == expected
+    # seq tags are the packed records' seq column
+    packed_seqs = [seq for seq, _ in reports]
+    assert packed_seqs == sorted(packed_seqs)
+
+
+def test_apply_packed_matches_object_processing_counters():
+    events = RandomTraceGenerator().generate(seed=4)
+    frame, _ = frame_of(events)
+    packed = EncodedGoldilocks()
+    packed.apply_packed(frame)
+    objected = EncodedGoldilocks()
+    objected.process_all(events)
+    assert packed.stats.races == objected.stats.races
+    assert packed.stats.sync_events == objected.stats.sync_events
+    assert packed.stats.accesses_checked == objected.stats.accesses_checked
+
+
+def test_pack_report_round_trip():
+    interner = Interner()
+    var = DataVar(Obj(3), "f")
+    report = RaceReport(
+        var=var,
+        first=AccessRef(Tid(1), 4, "write", False),
+        second=AccessRef(Tid(2), 9, "commit", True),
+        detector="goldilocks",
+    )
+    row = pack_report(17, report, interner)
+    [(seq, back)] = unpack_reports([row], interner)
+    assert (seq, back) == (17, report)
+    # Rule-8 style reports have no first access
+    row = pack_report(3, RaceReport(var=var, first=None, second=report.second), interner)
+    [(_, back)] = unpack_reports([row], interner)
+    assert back.first is None
