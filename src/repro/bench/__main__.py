@@ -14,6 +14,8 @@ Regenerates the paper's evaluation artifacts:
   only argument);
 * ``ingest`` -- end-to-end service ingest, text wire vs the packed binary
   path (``BENCH_service_ingest.json``);
+* ``obs`` -- observability-overhead ablation: all-off vs counters-on vs
+  span-sampling-on (``BENCH_obs_overhead.json``);
 * ``all`` -- everything above.
 
 Options: ``--scale tiny|small|full`` (default small), ``--repeats N``,
@@ -85,7 +87,10 @@ def main(argv=None) -> int:
         "what",
         nargs="?",
         default="throughput",
-        choices=["table1", "table2", "table3", "figures", "throughput", "ingest", "all"],
+        choices=[
+            "table1", "table2", "table3", "figures", "throughput", "ingest",
+            "obs", "all",
+        ],
         help="which artifact to regenerate (default: throughput)",
     )
     parser.add_argument("--scale", default="small", choices=["tiny", "small", "full"])
@@ -107,11 +112,10 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
     if args.json == "":  # bare --json: pick the benchmark's canonical path
-        args.json = (
-            "BENCH_service_ingest.json"
-            if args.what == "ingest"
-            else "BENCH_detector_throughput.json"
-        )
+        args.json = {
+            "ingest": "BENCH_service_ingest.json",
+            "obs": "BENCH_obs_overhead.json",
+        }.get(args.what, "BENCH_detector_throughput.json")
 
     names = args.workloads.split(",") if args.workloads else None
 
@@ -136,10 +140,12 @@ def main(argv=None) -> int:
         print()
     if args.what in ("figures", "all"):
         print(_figures_text())
-    if args.what in ("throughput", "all") or (args.json and args.what != "ingest"):
+    if args.what in ("throughput", "all") or (
+        args.json and args.what not in ("ingest", "obs")
+    ):
         from .throughput import bench_throughput, render_throughput, write_throughput_json
 
-        if args.json and args.what != "ingest":
+        if args.json and args.what not in ("ingest", "obs"):
             payload = write_throughput_json(args.json, repeats=args.repeats)
             print(f"wrote {args.json}")
         else:
@@ -154,6 +160,15 @@ def main(argv=None) -> int:
         else:
             payload = bench_ingest(repeats=args.repeats)
         print(render_ingest(payload))
+    if args.what in ("obs", "all"):
+        from .obs import bench_obs, render_obs, write_obs_json
+
+        if args.what == "obs" and args.json:
+            payload = write_obs_json(args.json, repeats=args.repeats)
+            print(f"wrote {args.json}")
+        else:
+            payload = bench_obs(repeats=args.repeats)
+        print(render_obs(payload))
     return 0
 
 

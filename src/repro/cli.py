@@ -171,6 +171,47 @@ def cmd_explain(args) -> int:
     return 0
 
 
+def cmd_replay_flightrec(args) -> int:
+    """Replay a ``.flightrec`` dump offline; verify the recorded races.
+
+    Exit status: 0 when every recorded race line was reproduced (including
+    an empty recording, e.g. a SIGTERM dump with no races), 1 when at least
+    one recorded line could not be reproduced from the window, 2 on an
+    unreadable file.
+    """
+    from .obs.flightrec import load_flightrec, replay_flightrec
+
+    try:
+        recording = load_flightrec(args.file)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    header = recording.header
+    result = replay_flightrec(recording)
+    print(
+        f"# flightrec shard {header.get('shard')}/{header.get('n_shards')} "
+        f"reason={header.get('reason')} records={header.get('n_records')} "
+        f"seq=[{header.get('seq_first')}..{header.get('seq_last')}] "
+        f"evicted={header.get('evicted_records')}"
+    )
+    for line in result.replayed:
+        marker = " (recorded)" if line in result.reproduced else ""
+        print(f"{line}{marker}")
+    if result.missing:
+        for line in result.missing:
+            print(f"# NOT reproduced (evicted from the window?): {line}")
+        print(
+            f"# {len(result.missing)} of {len(header.get('races', []))} "
+            "recorded race(s) missing from the replay"
+        )
+        return 1
+    print(
+        f"# replay ok: {len(result.reproduced)} recorded race(s) reproduced, "
+        f"{len(result.replayed)} total in the window"
+    )
+    return 0
+
+
 def main(argv: List[str] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-race",
@@ -218,6 +259,13 @@ def main(argv: List[str] = None) -> int:
     explain.add_argument("trace", help="trace file, .gz, or - for stdin")
     explain.add_argument("--var", required=True, help="variable as <obj>.<field>")
     explain.set_defaults(func=cmd_explain)
+
+    replay = sub.add_parser(
+        "replay-flightrec",
+        help="re-run a .flightrec race dump offline and verify its races",
+    )
+    replay.add_argument("file", help="a .flightrec file written by the service")
+    replay.set_defaults(func=cmd_replay_flightrec)
 
     args = parser.parse_args(argv)
     return args.func(args)

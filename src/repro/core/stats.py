@@ -14,6 +14,64 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+#: the short-circuit rungs of the Check-Happens-Before ladder, in check
+#: order.  Everything that consumes a ``DetectorStats.as_dict()`` snapshot
+#: (service shard aggregation, the metrics bridge, the benchmark tables)
+#: derives rates from this one tuple instead of hand-listing the rungs.
+SC_RUNGS = (
+    "sc_same_thread",
+    "sc_alock",
+    "sc_xact",
+    "sc_thread_restricted",
+    "sc_fresh",
+    "sc_epoch",
+)
+
+#: one-line help text per counter, consumed by the metrics bridge (metric
+#: catalog) and docs/OBSERVABILITY.md.  Keys match ``as_dict`` exactly.
+METRIC_HELP: Dict[str, str] = {
+    "accesses_checked": "data accesses submitted for checking",
+    "sync_events": "synchronization events observed",
+    "sc_same_thread": "HB queries answered by the same-thread short circuit",
+    "sc_alock": "HB queries answered by the remembered-lock short circuit",
+    "sc_xact": "HB queries answered by the both-transactional short circuit",
+    "sc_thread_restricted": "HB queries answered by the thread-restricted traversal",
+    "sc_fresh": "HB queries answered by the fresh-variable case",
+    "sc_epoch": "HB queries answered by the constant-time sync-epoch check",
+    "full_lockset_computations": "HB queries that fell through to a full lockset computation",
+    "memo_shared_hits": "full computations answered from the shared-segment memo",
+    "cells_traversed": "synchronization-list cells visited during lazy computations",
+    "rule_applications": "individual lockset update rules applied",
+    "races": "races reported",
+    "cells_collected": "cells reclaimed by the synchronization-list GC",
+    "partial_evaluations": "locksets advanced by partially-eager evaluation",
+}
+
+
+def hb_queries_of(det: Dict[str, int]) -> int:
+    """Total happens-before queries in an ``as_dict`` snapshot."""
+    return sum(det.get(rung, 0) for rung in SC_RUNGS) + det.get(
+        "full_lockset_computations", 0
+    )
+
+
+def short_circuit_rate_of(det: Dict[str, int]) -> float:
+    """Fraction of HB queries settled by short circuits (1.0 when idle)."""
+    queries = hb_queries_of(det)
+    if queries == 0:
+        return 1.0
+    return (queries - det.get("full_lockset_computations", 0)) / queries
+
+
+def detector_work_of(det: Dict[str, int]) -> int:
+    """The deterministic cost proxy, recomputed from a snapshot dict."""
+    return (
+        det.get("rule_applications", 0)
+        + det.get("cells_traversed", 0)
+        + hb_queries_of(det)
+        + det.get("sync_events", 0)
+    )
+
 
 @dataclass
 class DetectorStats:
@@ -56,12 +114,7 @@ class DetectorStats:
     def hb_queries(self) -> int:
         """Total happens-before queries answered."""
         return (
-            self.sc_same_thread
-            + self.sc_alock
-            + self.sc_xact
-            + self.sc_thread_restricted
-            + self.sc_fresh
-            + self.sc_epoch
+            sum(getattr(self, rung) for rung in SC_RUNGS)
             + self.full_lockset_computations
         )
 

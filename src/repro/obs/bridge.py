@@ -1,0 +1,166 @@
+"""Auto-populate a metrics registry from the service's stats snapshots.
+
+``ServiceStats`` / ``ShardStats`` / ``DetectorStats`` are deterministic
+plain-dict snapshots; this module gives every counter in them a stable,
+typed, documented metric name.  One call builds a fresh registry from one
+snapshot (scrape semantics: the snapshot *is* the source of truth, so
+totals are set rather than incremented), then merges in the lifecycle
+tracer's live families when one is passed.
+
+The metric catalog (see ``docs/OBSERVABILITY.md``) is generated from the
+same tables used here, so names in the docs cannot drift from names on
+the wire.  :data:`REQUIRED_METRICS` is the contract the CI smoke job
+asserts against a live ``/metrics`` scrape.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..core.stats import METRIC_HELP, SC_RUNGS
+from .registry import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..server.stats import ServiceStats
+    from .tracing import LifecycleTracer
+
+#: ServiceStats counter attribute -> (metric name, help)
+_SERVICE_COUNTERS = {
+    "events_ingested": ("ingest_events_total", "events accepted by the ingestion layer"),
+    "sync_broadcast": ("ingest_sync_broadcast_total", "sync/alloc/commit events broadcast to every shard"),
+    "data_routed": ("ingest_data_routed_total", "data accesses hash-routed to exactly one shard"),
+    "batches_flushed": ("ingest_batches_flushed_total", "batches flushed to shards"),
+    "backpressure_stalls": ("ingest_backpressure_stalls_total", "times ingestion blocked on a full shard queue"),
+    "parse_errors": ("ingest_parse_errors_total", "event lines the ingestion layer could not parse"),
+    "queue_bytes": ("ingest_queue_bytes_total", "bytes shipped to shards (frames or pickled batches)"),
+    "edge_allocs": ("ingest_edge_allocs_total", "per-event allocation proxy at the ingestion edge"),
+    "sync_decoded": ("sync_decoded_total", "sync records materialized as Events across all shards"),
+    "races_reported": ("races_reported_total", "races reported by all shards together"),
+    "unknown_fields": ("stats_unknown_fields_total", "snapshot keys dropped by from_dict"),
+}
+
+#: ShardStats attribute -> (metric name, type, help); all labeled by shard
+_SHARD_METRICS = {
+    "queue_depth": ("shard_queue_depth", "gauge", "batches handed to the shard but not yet acknowledged"),
+    "events_processed": ("shard_events_processed_total", "counter", "events the shard has finished processing"),
+    "races": ("shard_races_total", "counter", "races this shard has reported"),
+    "short_circuit_rate": ("shard_short_circuit_rate", "gauge", "the shard detector's short-circuit rate"),
+    "detector_work": ("shard_detector_work_total", "counter", "the shard detector's deterministic cost counter"),
+    "sync_decoded": ("shard_sync_decoded_total", "counter", "sync records this shard materialized as Events"),
+}
+
+#: DetectorStats counters surfaced as plain kernel totals (summed over
+#: shards); the HB-query rungs get the labeled family below instead.
+_KERNEL_PLAIN = (
+    "accesses_checked",
+    "sync_events",
+    "full_lockset_computations",
+    "memo_shared_hits",
+    "cells_traversed",
+    "rule_applications",
+    "cells_collected",
+    "partial_evaluations",
+)
+
+#: metric names (sans prefix) that must appear in any healthy exposition;
+#: the CI smoke job and tests/obs assert these against a live scrape
+REQUIRED_METRICS = (
+    "repro_uptime_seconds",
+    "repro_ingest_events_total",
+    "repro_ingest_events_per_second",
+    "repro_ingest_parse_errors_total",
+    "repro_races_reported_total",
+    "repro_service_shards",
+    "repro_shard_queue_depth",
+    "repro_shard_events_processed_total",
+    "repro_kernel_hb_queries_total",
+    "repro_kernel_accesses_checked_total",
+    "repro_short_circuit_rate",
+    "repro_stage_events_total",
+    "repro_stage_latency_seconds",
+)
+
+
+def registry_from_stats(
+    stats: "ServiceStats",
+    tracer: Optional["LifecycleTracer"] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Build (or extend) a registry from one ``ServiceStats`` snapshot."""
+    reg = registry or MetricsRegistry()
+
+    reg.gauge("uptime_seconds", "seconds since the service started").set(
+        stats.uptime_sec
+    )
+    reg.gauge(
+        "ingest_events_per_second", "ingest rate over the whole uptime"
+    ).set(stats.events_per_sec)
+    reg.gauge("service_shards", "number of detection shards").set(stats.n_shards)
+    reg.gauge(
+        "service_transport_info",
+        "engine transport in force (value is always 1; transport is the label)",
+        labels=("transport",),
+    ).labels(stats.transport).set(1)
+    reg.gauge(
+        "short_circuit_rate",
+        "aggregate short-circuit rate, weighted by per-shard query counts",
+    ).set(stats.short_circuit_rate)
+
+    for attr, (name, help_text) in _SERVICE_COUNTERS.items():
+        reg.counter(name, help_text).set_total(getattr(stats, attr))
+
+    for name, mtype, help_text in _SHARD_METRICS.values():
+        if mtype == "gauge":
+            reg.gauge(name, help_text, labels=("shard",))
+        else:
+            reg.counter(name, help_text, labels=("shard",))
+    for shard in stats.shards:
+        label = str(shard.shard)
+        for attr, (name, mtype, _help) in _SHARD_METRICS.items():
+            child = reg.family(name).labels(label)
+            value = getattr(shard, attr)
+            if mtype == "gauge":
+                child.set(value)
+            else:
+                child.set_total(value)
+
+    # Kernel fast-path totals, summed across shards.  The HB-query ladder
+    # is one labeled family so rung shares can be graphed directly.
+    rungs = reg.counter(
+        "kernel_hb_queries_total",
+        "happens-before queries answered, by short-circuit rung",
+        labels=("rung",),
+    )
+    totals = {key: 0 for key in _KERNEL_PLAIN}
+    rung_totals = {rung: 0 for rung in SC_RUNGS}
+    for shard in stats.shards:
+        det = shard.detector or {}
+        for key in _KERNEL_PLAIN:
+            totals[key] += det.get(key, 0)
+        for rung in SC_RUNGS:
+            rung_totals[rung] += det.get(rung, 0)
+    for rung in SC_RUNGS:
+        rungs.labels(rung).set_total(rung_totals[rung])
+    rungs.labels("full").set_total(totals["full_lockset_computations"])
+    for key in _KERNEL_PLAIN:
+        reg.counter(
+            f"kernel_{key}_total", METRIC_HELP.get(key, key)
+        ).set_total(totals[key])
+
+    if tracer is not None:
+        _merge_registry(reg, tracer.registry)
+    return reg
+
+
+def _merge_registry(dest: MetricsRegistry, src: MetricsRegistry) -> None:
+    """Adopt every family of ``src`` into ``dest`` (shared references).
+
+    Scrape-time composition: the tracer's histograms keep accumulating in
+    place; the snapshot registry just exposes them under one prefix.
+    Family names must not collide -- registration rules apply.
+    """
+    for name in src.names():
+        fam = src.family(name)
+        if name in dest.names():
+            raise ValueError(f"metric {name!r} defined by both registries")
+        dest._families[name] = fam

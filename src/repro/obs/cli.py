@@ -1,0 +1,147 @@
+"""``repro-obs``: terminal tooling over the service's observability surface.
+
+Usage::
+
+    repro-obs tail --tcp 127.0.0.1:7914              # live table, 1s refresh
+    repro-obs tail --unix /tmp/repro.sock --once     # one snapshot and exit
+    repro-obs tail --url http://127.0.0.1:9109       # via the HTTP endpoint
+    repro-obs metrics --tcp 127.0.0.1:7914           # raw Prometheus text
+
+``tail`` renders :class:`~repro.server.stats.ServiceStats` snapshots as a
+terminal table (service totals plus one row per shard) and refreshes in
+place until interrupted.  Sources: the ``!stats`` control command over a
+service socket, or the ``/healthz``-adjacent JSON at ``/metrics``'s
+sibling -- when ``--url`` is given, ``tail`` polls ``<url>/healthz`` for
+liveness and renders the stats embedded in it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from ..server.stats import ServiceStats
+
+
+def render_stats_table(stats: ServiceStats) -> str:
+    """One snapshot as a fixed-width terminal table."""
+    head = (
+        f"uptime {stats.uptime_sec:8.1f}s   events {stats.events_ingested:>10}   "
+        f"{stats.events_per_sec:>10.0f} ev/s   races {stats.races_reported:>6}   "
+        f"transport {stats.transport}"
+    )
+    second = (
+        f"routed {stats.data_routed:>10}   broadcast {stats.sync_broadcast:>8}   "
+        f"batches {stats.batches_flushed:>8}   stalls {stats.backpressure_stalls:>5}   "
+        f"parse errors {stats.parse_errors}"
+    )
+    lines = [head, second, ""]
+    lines.append(
+        f"{'shard':>5} {'queue':>6} {'processed':>10} {'races':>6} "
+        f"{'sc rate':>8} {'work':>12} {'sync dec':>9}"
+    )
+    for shard in stats.shards:
+        lines.append(
+            f"{shard.shard:>5} {shard.queue_depth:>6} {shard.events_processed:>10} "
+            f"{shard.races:>6} {shard.short_circuit_rate:>8.3f} "
+            f"{shard.detector_work:>12} {shard.sync_decoded:>9}"
+        )
+    lines.append(
+        f"{'all':>5} {'':>6} {sum(s.events_processed for s in stats.shards):>10} "
+        f"{stats.races_reported:>6} {stats.short_circuit_rate:>8.3f} "
+        f"{sum(s.detector_work for s in stats.shards):>12} {stats.sync_decoded:>9}"
+    )
+    return "\n".join(lines)
+
+
+def _client_from_args(args):
+    from ..server.client import ServiceClient
+
+    if args.unix:
+        return ServiceClient.unix(args.unix)
+    host, _, port = args.tcp.rpartition(":")
+    return ServiceClient.tcp(host or "127.0.0.1", int(port))
+
+
+def _stats_from_url(url: str) -> ServiceStats:
+    from urllib.request import urlopen
+
+    with urlopen(url.rstrip("/") + "/healthz", timeout=10.0) as resp:
+        payload = json.loads(resp.read().decode("utf-8"))
+    return ServiceStats.from_dict(payload["stats"])
+
+
+def _fetch_stats(args) -> ServiceStats:
+    if args.url:
+        return _stats_from_url(args.url)
+    with _client_from_args(args) as client:
+        return client.stats()
+
+
+def cmd_tail(args) -> int:
+    try:
+        while True:
+            stats = _fetch_stats(args)
+            table = render_stats_table(stats)
+            if args.once:
+                print(table)
+                return 0
+            # Clear-and-redraw keeps the table in place on ANSI terminals.
+            sys.stdout.write("\x1b[2J\x1b[H" + table + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except (ConnectionError, OSError) as exc:
+        print(f"repro-obs: {exc}", file=sys.stderr)
+        return 2
+
+
+def cmd_metrics(args) -> int:
+    if args.url:
+        from urllib.request import urlopen
+
+        with urlopen(args.url.rstrip("/") + "/metrics", timeout=10.0) as resp:
+            sys.stdout.write(resp.read().decode("utf-8"))
+        return 0
+    with _client_from_args(args) as client:
+        sys.stdout.write(client.metrics())
+    return 0
+
+
+def _add_source_args(parser: argparse.ArgumentParser) -> None:
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument("--tcp", metavar="HOST:PORT", help="service TCP address")
+    source.add_argument("--unix", metavar="PATH", help="service Unix socket")
+    source.add_argument("--url", metavar="URL", help="metrics HTTP endpoint base URL")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-obs", description="observability tooling for repro-serve"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    tail = sub.add_parser("tail", help="render live stats snapshots as a table")
+    _add_source_args(tail)
+    tail.add_argument("--interval", type=float, default=1.0, help="refresh seconds")
+    tail.add_argument("--once", action="store_true", help="print one snapshot and exit")
+    tail.set_defaults(func=cmd_tail)
+
+    metrics = sub.add_parser("metrics", help="print the Prometheus exposition")
+    _add_source_args(metrics)
+    metrics.set_defaults(func=cmd_metrics)
+
+    args = parser.parse_args(argv)
+    if args.tcp:
+        port_text = args.tcp.rpartition(":")[2]
+        if not port_text.isdigit():
+            parser.error(f"--tcp expects HOST:PORT, got {args.tcp!r}")
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -7,17 +7,27 @@ Usage::
     repro-serve --unix /tmp/repro.sock                       # Unix socket
     repro-serve --tail run.trace --follow                    # tail a recorder
     repro-serve --stdin --stats                              # final snapshot
+    repro-serve --tcp :7914 --metrics-port 9109              # + /metrics HTTP
+    repro-serve --tcp :7914 --flightrec-dir ./flightrecs     # + race dumps
 
 Exit status mirrors ``repro-race analyze``: 1 if any race was detected
 (stdin/tail modes), 0 otherwise.  Socket modes run until ``!shutdown``.
+
+Observability (see ``docs/OBSERVABILITY.md``): stage counters are on by
+default (``--no-obs-counters`` turns them off); ``--span-sample N`` with
+``--span-log FILE`` writes every Nth batch as a JSONL span;
+``--flightrec-dir`` arms the race flight recorder, which also dumps every
+shard's ring on SIGTERM before exiting.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import List, Optional
 
+from ..obs.tracing import ObsConfig
 from .service import RaceDetectionService, ServiceConfig, serve_tcp, serve_unix
 
 
@@ -72,6 +82,48 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--stats", action="store_true", help="print a final stats snapshot to stderr"
     )
+    obs = parser.add_argument_group("observability")
+    obs.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="PORT",
+        help="serve GET /metrics and /healthz over HTTP on this port (0 picks one)",
+    )
+    obs.add_argument(
+        "--metrics-host",
+        default="127.0.0.1",
+        metavar="HOST",
+        help="bind address for --metrics-port (default 127.0.0.1)",
+    )
+    obs.add_argument(
+        "--no-obs-counters",
+        action="store_true",
+        help="turn off the default-on stage counters and latency histograms",
+    )
+    obs.add_argument(
+        "--span-sample",
+        type=int,
+        default=0,
+        metavar="N",
+        help="write every Nth batch to the span log (0 disables; default 0)",
+    )
+    obs.add_argument(
+        "--span-log",
+        metavar="FILE",
+        help="JSONL file for sampled spans and parse errors ('-' for stderr)",
+    )
+    obs.add_argument(
+        "--flightrec-dir",
+        metavar="DIR",
+        help="write .flightrec dumps here when races are reported (and on SIGTERM)",
+    )
+    obs.add_argument(
+        "--flightrec-capacity",
+        type=int,
+        default=4096,
+        metavar="N",
+        help="packed records retained per shard flight ring (default 4096)",
+    )
     return parser
 
 
@@ -87,6 +139,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         port_text = args.tcp.rpartition(":")[2]
         if not port_text.isdigit():
             parser.error(f"--tcp expects HOST:PORT, got {args.tcp!r}")
+    if args.span_sample < 0:
+        parser.error("--span-sample must be >= 0")
+    if args.flightrec_capacity < 1:
+        parser.error("--flightrec-capacity must be at least 1")
     config = ServiceConfig(
         n_shards=args.shards,
         batch_size=args.batch_size,
@@ -96,8 +152,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         commit_sync=args.commit_sync,
         gc_threshold=args.gc_threshold or None,
         flush_interval=args.flush_interval,
+        obs=ObsConfig(
+            counters=not args.no_obs_counters,
+            span_sample=args.span_sample,
+            span_log=args.span_log,
+            flightrec_dir=args.flightrec_dir,
+            flightrec_capacity=args.flightrec_capacity,
+        ),
     )
+    metrics_server = None
     with RaceDetectionService(config) as service:
+        _install_sigterm(service)
+        if args.metrics_port is not None:
+            from ..obs.httpd import start_metrics_server
+
+            metrics_server = start_metrics_server(
+                service, args.metrics_port, args.metrics_host
+            )
+            mhost, mport = metrics_server.address
+            print(
+                f"# repro-serve metrics on http://{mhost}:{mport}/metrics",
+                file=sys.stderr,
+            )
         try:
             if args.tcp:
                 host, _, port = args.tcp.rpartition(":")
@@ -129,9 +205,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         except KeyboardInterrupt:  # pragma: no cover - interactive only
             service.request_shutdown()
             races = service.stats().races_reported
+        finally:
+            if metrics_server is not None:
+                metrics_server.close()
         if args.stats:
             print("stats " + service.stats().to_json(), file=sys.stderr)
     return 1 if races else 0
+
+
+def _install_sigterm(service: RaceDetectionService) -> None:
+    """Dump flight rings before dying on SIGTERM (crash forensics path)."""
+
+    def _handler(signum, frame):  # pragma: no cover - signal delivery timing
+        try:
+            service.dump_flight_recorders("sigterm")
+        finally:
+            service.request_shutdown()
+            raise SystemExit(128 + signum)
+
+    try:
+        signal.signal(signal.SIGTERM, _handler)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
 
 
 if __name__ == "__main__":  # pragma: no cover

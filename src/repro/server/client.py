@@ -23,6 +23,7 @@ the connection simply continues in text mode.
 
 from __future__ import annotations
 
+import json
 import socket
 from array import array
 from typing import Iterable, List, Optional
@@ -199,6 +200,30 @@ class ServiceClient:
 
     def stats(self) -> ServiceStats:
         return ServiceStats.from_json(self._command("stats", "stats"))
+
+    def metrics(self) -> str:
+        """The server's Prometheus text exposition (``!metrics``).
+
+        The ``ok metrics lines=<n>`` acknowledgment announces the block
+        length, so the exposition is read verbatim -- no per-line sniffing
+        that could mistake a metric for a protocol reply.
+        """
+        payload = self._command("metrics", "ok")
+        command, info = parse_summary(payload)
+        if command != "metrics":
+            raise RuntimeError(f"unexpected !metrics acknowledgment: {payload!r}")
+        n_lines = int(info.get("lines", 0))
+        lines = []
+        for _ in range(n_lines):
+            line = self._reader.readline()
+            if not line:
+                raise ConnectionError("server closed mid-exposition")
+            lines.append(line.rstrip("\n"))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def health(self) -> dict:
+        """The server's ``!health`` snapshot as a dict."""
+        return json.loads(self._command("health", "health"))
 
     def reset(self) -> None:
         self._command("reset", "ok")

@@ -60,8 +60,9 @@ import queue as queue_mod
 import time
 import zlib
 from array import array
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..core.actions import (
     OP_ALLOC,
@@ -88,7 +89,11 @@ from ..core.encode import (
 from ..core.kernel import EncodedGoldilocks
 from ..core.lazy import LazyGoldilocks
 from ..core.report import RaceReport
+from ..core.stats import detector_work_of, short_circuit_rate_of
+from ..obs.flightrec import FlightRecorder
+from ..obs.tracing import LifecycleTracer, ObsConfig
 from ..trace.io import parse_event
+from .protocol import format_race
 from .stats import ServiceStats, ShardStats
 
 #: a race report tagged with the ingestion sequence number that completed it
@@ -199,6 +204,10 @@ class EngineConfig:
     kernel: str = "encoded"
     #: "packed" (encode-once frames, default) or "object" (pickled Events)
     transport: str = "packed"
+    #: observability tunables; None means the :class:`ObsConfig` defaults
+    #: (stage counters on, span sampling off, flight recorder ring on but
+    #: not writing files)
+    obs: Optional[ObsConfig] = None
 
     def detector_kwargs(self) -> dict:
         return {"commit_sync": self.commit_sync, "gc_threshold": self.gc_threshold}
@@ -240,9 +249,16 @@ class WireIngest:
 
 
 def _shard_worker(
-    shard_id, n_shards, kernel, transport, detector_kwargs, blob, task_q, result_q
+    shard_id, n_shards, kernel, transport, detector_kwargs, blob, task_q, result_q,
+    timed=False,
 ):
-    """Worker-process main loop: apply batches, acknowledge with results."""
+    """Worker-process main loop: apply batches, acknowledge with results.
+
+    With ``timed`` (set when the engine's lifecycle tracer is enabled) each
+    batch ack carries the wall-clock apply duration as its last element, so
+    the router can fill the ``apply`` stage histogram without a second
+    cross-process round trip.
+    """
     if blob is not None:
         detector = pickle.loads(blob)
     else:
@@ -255,6 +271,7 @@ def _shard_worker(
             msg = task_q.get()
             kind = msg[0]
             if kind == "frame":
+                t_apply = time.perf_counter() if timed else 0.0
                 if packed_kernel:
                     reports, n = detector.apply_packed(msg[1])
                     payload = (
@@ -274,10 +291,20 @@ def _shard_worker(
                             obj_reports.append((seq, report))
                     sync_decoded += decoder.sync_decoded - before
                     payload = ("obj", obj_reports)
+                apply_sec = time.perf_counter() - t_apply if timed else 0.0
                 result_q.put(
-                    ("ack", shard_id, n, payload, detector.stats.as_dict(), sync_decoded)
+                    (
+                        "ack",
+                        shard_id,
+                        n,
+                        payload,
+                        detector.stats.as_dict(),
+                        sync_decoded,
+                        apply_sec,
+                    )
                 )
             elif kind == "obatch":
+                t_apply = time.perf_counter() if timed else 0.0
                 batch = pickle.loads(msg[1])
                 reports: List[SeqReport] = []
                 for seq, event in batch:
@@ -285,6 +312,7 @@ def _shard_worker(
                         sync_decoded += 1
                     for report in detector.process(event):
                         reports.append((seq, report))
+                apply_sec = time.perf_counter() - t_apply if timed else 0.0
                 result_q.put(
                     (
                         "ack",
@@ -293,6 +321,7 @@ def _shard_worker(
                         ("obj", reports),
                         detector.stats.as_dict(),
                         sync_decoded,
+                        apply_sec,
                     )
                 )
             elif kind == "checkpoint":
@@ -302,7 +331,15 @@ def _shard_worker(
                 if decoder is not None:
                     decoder = FrameDecoder()
                 result_q.put(
-                    ("ack", shard_id, 0, ("obj", []), detector.stats.as_dict(), sync_decoded)
+                    (
+                        "ack",
+                        shard_id,
+                        0,
+                        ("obj", []),
+                        detector.stats.as_dict(),
+                        sync_decoded,
+                        0.0,
+                    )
                 )
             elif kind == "stop":
                 result_q.put(("stopped", shard_id))
@@ -359,6 +396,28 @@ class ShardedEngine:
         self.queue_bytes = 0
         #: per-event object materializations forced by the object transport
         self._object_allocs = 0
+        # -- observability: lifecycle tracer plus the race flight recorder.
+        # The tracer degrades to no-ops when fully disabled; the recorder
+        # rides the packed transport only (it stores packed frames verbatim)
+        # and never writes files unless a dump directory is configured.
+        self.obs_config = self.config.obs or ObsConfig()
+        self.tracer = LifecycleTracer(self.obs_config)
+        self.recorder: Optional[FlightRecorder] = None
+        if self._packed and self.obs_config.flightrec:
+            self.recorder = FlightRecorder(
+                n,
+                self._encoder.interner,
+                capacity=self.obs_config.flightrec_capacity,
+                directory=self.obs_config.flightrec_dir,
+                max_dumps=self.obs_config.flightrec_max_dumps,
+                kernel=self.config.kernel,
+                commit_sync=self.config.commit_sync,
+            )
+        #: per-shard FIFO of in-flight batches: (ordinal, events, sent-at,
+        #: span dict or None); acknowledgments pop in push order
+        self._inflight: List[Deque[Tuple[int, int, float, Optional[dict]]]] = [
+            deque() for _ in range(n)
+        ]
         detector_cls = self.config.detector_class()
         if self.config.workers == "inline":
             self._detectors = [
@@ -385,6 +444,7 @@ class ShardedEngine:
                         None,
                         self._task_qs[i],
                         self._result_q,
+                        self.obs_config.enabled,
                     ),
                     daemon=True,
                 )
@@ -548,7 +608,10 @@ class ShardedEngine:
 
     def _push(self, shard: int) -> None:
         self.batches_flushed += 1
+        ordinal = self.batches_flushed
         self._sent_batches[shard] += 1
+        tracer = self.tracer
+        t_route = tracer.clock()
         if self._packed:
             buffer, self._pbuffers[shard] = self._pbuffers[shard], _PackedBuffer()
             n_events = buffer.count
@@ -561,9 +624,22 @@ class ShardedEngine:
             self._cursors[shard] = len(self._encoder.interner)
             self.queue_bytes += len(frame)
             self._sent_events[shard] += n_events
+            if self.recorder is not None:
+                # The buffer's arrays would be garbage after this point;
+                # the flight recorder adopts them instead (no copy).
+                self.recorder.record(shard, buffer.records, buffer.extras)
+            route_sec = tracer.clock() - t_route
+            tracer.observe_elapsed("route", route_sec)
+            span = (
+                {"batch": ordinal, "events": n_events, "route": route_sec}
+                if tracer.should_sample(ordinal)
+                else None
+            )
+            self._inflight[shard].append((ordinal, n_events, tracer.clock(), span))
             if self.config.workers == "inline":
                 detector = self._detectors[shard]
                 decoder = self._decoders[shard]
+                t_apply = tracer.clock()
                 if decoder is None:
                     reports, n = detector.apply_packed(frame)
                 else:
@@ -575,7 +651,8 @@ class ShardedEngine:
                         for report in detector.process(event):
                             reports.append((seq, report))
                     self._sync_decoded[shard] += decoder.sync_decoded - before
-                self._apply_ack_inline(shard, n, reports, detector)
+                apply_sec = tracer.clock() - t_apply
+                self._apply_ack_inline(shard, n, reports, detector, apply_sec)
                 return
             message = ("frame", frame)
         else:
@@ -586,15 +663,25 @@ class ShardedEngine:
             # modes, so queue_bytes means the same thing everywhere.
             blob = pickle.dumps(batch, protocol=pickle.HIGHEST_PROTOCOL)
             self.queue_bytes += len(blob)
+            route_sec = tracer.clock() - t_route
+            tracer.observe_elapsed("route", route_sec)
+            span = (
+                {"batch": ordinal, "events": n_events, "route": route_sec}
+                if tracer.should_sample(ordinal)
+                else None
+            )
+            self._inflight[shard].append((ordinal, n_events, tracer.clock(), span))
             if self.config.workers == "inline":
                 detector = self._detectors[shard]
+                t_apply = tracer.clock()
                 reports = []
                 for seq, event in pickle.loads(blob):
                     if not is_data_access(event.action):
                         self._sync_decoded[shard] += 1
                     for report in detector.process(event):
                         reports.append((seq, report))
-                self._apply_ack_inline(shard, n_events, reports, detector)
+                apply_sec = tracer.clock() - t_apply
+                self._apply_ack_inline(shard, n_events, reports, detector, apply_sec)
                 return
             message = ("obatch", blob)
         task_q = self._task_qs[shard]
@@ -613,22 +700,56 @@ class ShardedEngine:
 
     # -- results ---------------------------------------------------------------
 
-    def _apply_ack_inline(self, shard, n_events, reports, detector) -> None:
+    def _apply_ack_inline(
+        self, shard, n_events, reports, detector, apply_sec=0.0
+    ) -> None:
         self._acked_batches[shard] += 1
         self._acked_events[shard] += n_events
-        self._reports.extend(reports)
+        if reports:
+            self._reports.extend(reports)
+            self._dump_on_race(shard, reports)
         self._shard_stats[shard] = detector.stats.as_dict()
+        self._finish_batch(shard, apply_sec)
 
-    def _apply_ack(self, shard, n_events, payload, stats_dict, sync_decoded) -> None:
+    def _apply_ack(
+        self, shard, n_events, payload, stats_dict, sync_decoded, apply_sec=0.0
+    ) -> None:
         self._acked_batches[shard] += 1
         self._acked_events[shard] += n_events
         tag, rows = payload
         if tag == "packed":
-            self._reports.extend(unpack_reports(rows, self._encoder.interner))
-        else:
+            rows = unpack_reports(rows, self._encoder.interner)
+        if rows:
             self._reports.extend(rows)
+            self._dump_on_race(shard, rows)
         self._shard_stats[shard] = stats_dict
         self._sync_decoded[shard] = sync_decoded
+        self._finish_batch(shard, apply_sec)
+
+    def _finish_batch(self, shard: int, apply_sec: float) -> None:
+        """Close the queue/apply stages for the oldest in-flight batch."""
+        try:
+            ordinal, _events, sent_at, span = self._inflight[shard].popleft()
+        except IndexError:  # pragma: no cover - defensive; pushes pair acks
+            return
+        if ordinal < 0:
+            return  # reset sentinel: no stage measurements for it
+        tracer = self.tracer
+        queue_sec = tracer.clock() - sent_at
+        tracer.observe_elapsed("queue", queue_sec)
+        tracer.observe_elapsed("apply", apply_sec)
+        if span is not None:
+            span["queue"] = queue_sec
+            span["apply"] = apply_sec
+            tracer.emit_span(span.pop("batch"), shard, span.pop("events"), span)
+
+    def _dump_on_race(self, shard: int, reports: List[SeqReport]) -> None:
+        """Snapshot the shard's flight ring the moment it reports races."""
+        recorder = self.recorder
+        if recorder is None or recorder.directory is None:
+            return
+        lines = [format_race(seq, report) for seq, report in reports]
+        recorder.dump(shard, lines, "race")
 
     def _drain(self, block: bool) -> None:
         if self.config.workers == "inline":
@@ -639,7 +760,7 @@ class ShardedEngine:
             except queue_mod.Empty:
                 return
             if msg[0] == "ack":
-                self._apply_ack(msg[1], msg[2], msg[3], msg[4], msg[5])
+                self._apply_ack(msg[1], msg[2], msg[3], msg[4], msg[5], msg[6])
                 if block:
                     return
             elif msg[0] == "checkpoint":
@@ -687,6 +808,9 @@ class ShardedEngine:
         else:
             for shard, task_q in enumerate(self._task_qs):
                 self._sent_batches[shard] += 1
+                # A reset ack pops the in-flight FIFO like any batch; the
+                # negative ordinal marks it as not a measurable stage.
+                self._inflight[shard].append((-1, 0, 0.0, None))
                 task_q.put(("reset",))
             self.barrier()
         # Shard interner replicas restarted from scratch: the edge encoder
@@ -696,6 +820,8 @@ class ShardedEngine:
         self._cursors = [1] * self.config.n_shards
         self._pbuffers = [_PackedBuffer() for _ in range(self.config.n_shards)]
         self._shard_stats = [{} for _ in range(self.config.n_shards)]
+        if self.recorder is not None:
+            self.recorder.rebind(self._encoder.interner)
 
     def checkpoint(self) -> List[bytes]:
         """Serialize every shard's detector state (drains first)."""
@@ -715,41 +841,23 @@ class ShardedEngine:
     def stats(self) -> ServiceStats:
         """A snapshot from the router's bookkeeping and the latest shard acks."""
         self._drain(block=False)
-        uptime = max(time.monotonic() - self._started, 1e-9)
         shards = []
         for i in range(self.config.n_shards):
             det = self._shard_stats[i]
-            full = det.get("full_lockset_computations", 0)
-            queries = (
-                det.get("sc_same_thread", 0)
-                + det.get("sc_alock", 0)
-                + det.get("sc_xact", 0)
-                + det.get("sc_thread_restricted", 0)
-                + det.get("sc_fresh", 0)
-                + det.get("sc_epoch", 0)
-                + full
-            )
             shards.append(
                 ShardStats(
                     shard=i,
                     queue_depth=self._sent_batches[i] - self._acked_batches[i],
                     events_processed=self._acked_events[i],
                     races=det.get("races", 0),
-                    short_circuit_rate=(queries - full) / queries if queries else 1.0,
-                    detector_work=(
-                        det.get("rule_applications", 0)
-                        + det.get("cells_traversed", 0)
-                        + queries
-                        + det.get("sync_events", 0)
-                    ),
+                    short_circuit_rate=short_circuit_rate_of(det),
+                    detector_work=detector_work_of(det),
                     detector=det,
                     sync_decoded=self._sync_decoded[i],
                 )
             )
-        return ServiceStats(
-            uptime_sec=uptime,
+        snapshot = ServiceStats(
             events_ingested=self.events_ingested,
-            events_per_sec=self.events_ingested / uptime,
             sync_broadcast=self.sync_broadcast,
             data_routed=self.data_routed,
             batches_flushed=self.batches_flushed,
@@ -760,8 +868,12 @@ class ShardedEngine:
             queue_bytes=self.queue_bytes,
             edge_allocs=self.edge_allocs,
             sync_decoded=sum(self._sync_decoded),
+            spans_sampled=self.tracer.spans_written,
+            flightrec_dumps=self.recorder.dumps_written if self.recorder else 0,
             shards=shards,
         )
+        snapshot.derive_rates(time.monotonic() - self._started)
+        return snapshot
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -769,6 +881,7 @@ class ShardedEngine:
         if self._closed:
             return
         self._closed = True
+        self.tracer.close()
         if self.config.workers == "process":
             try:
                 self.barrier(timeout=10.0)

@@ -14,6 +14,10 @@ Client -> server, one line each:
       !ping        liveness probe
       !flush       force the current batches through and drain every shard
       !stats       snapshot ServiceStats as one JSON line
+      !metrics     the Prometheus text exposition: an ``ok metrics
+                   lines=<n>`` line followed by exactly n exposition lines
+      !health      one ``health <json>`` line: status, uptime, rates,
+                   parse-error ring, per-shard queue depths
       !reset       restart detection from an empty execution
       !binary      switch this connection's client->server direction to
                    length-prefixed binary frames (see below)
@@ -26,6 +30,8 @@ Server -> client, one line each:
   access is processed (``seq`` is the ingestion sequence number of that
   access);
 * ``stats <json>`` -- the ``!stats`` reply;
+* ``health <json>`` -- the ``!health`` reply (older clients classify it as
+  ``other`` and skip it, so the command is forward compatible);
 * ``ok <command> [key=value ...]`` -- success acknowledgments;
 * ``error <message>`` -- malformed event or control lines (the stream keeps
   going; errors are counted in :class:`~repro.server.stats.ServiceStats`).
@@ -58,7 +64,16 @@ from ..core.actions import DataVar, Obj, Tid
 from ..core.report import AccessRef, RaceReport
 
 CONTROL_PREFIX = "!"
-CONTROL_COMMANDS = ("ping", "flush", "stats", "reset", "binary", "shutdown")
+CONTROL_COMMANDS = (
+    "ping",
+    "flush",
+    "stats",
+    "metrics",
+    "health",
+    "reset",
+    "binary",
+    "shutdown",
+)
 
 # -- binary framing (client -> server after `!binary` negotiation) -------------
 
@@ -163,11 +178,12 @@ def parse_race(line: str) -> RaceLine:
 def parse_response(line: str) -> Tuple[str, str]:
     """Classify a server line into ``(kind, payload)``.
 
-    ``kind`` is one of ``race``, ``stats``, ``ok``, ``error``, or ``other``
-    (unrecognized lines -- forward-compatible clients skip them).
+    ``kind`` is one of ``race``, ``stats``, ``health``, ``ok``, ``error``,
+    or ``other`` (unrecognized lines -- forward-compatible clients skip
+    them).
     """
     word, _, rest = line.partition(" ")
-    if word in ("race", "stats", "ok", "error"):
+    if word in ("race", "stats", "health", "ok", "error"):
         return word, rest
     return "other", line
 

@@ -24,13 +24,17 @@ events has been written.
 
 from __future__ import annotations
 
+import json
 import socketserver
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import BinaryIO, Iterable, List, Optional, TextIO, Tuple
+from typing import Any, BinaryIO, Deque, Dict, Iterable, List, Optional, TextIO, Tuple
 
 from ..core.actions import Event
+from ..obs.bridge import registry_from_stats
+from ..obs.tracing import ObsConfig
 from ..trace.io import follow_trace
 from .engine import EngineConfig, SeqReport, ShardedEngine
 from .protocol import (
@@ -64,6 +68,10 @@ class ServiceConfig:
     #: anyway (keeps report latency bounded on slow streams); <= 0 disables
     #: the background flusher
     flush_interval: float = 0.05
+    #: observability tunables (stage counters, span sampling, flight
+    #: recorder); None means the defaults of :class:`~repro.obs.tracing.
+    #: ObsConfig` -- counters on, sampling off, no dump directory
+    obs: Optional[ObsConfig] = None
 
     def engine_config(self) -> EngineConfig:
         return EngineConfig(
@@ -75,6 +83,7 @@ class ServiceConfig:
             gc_threshold=self.gc_threshold,
             kernel=self.kernel,
             transport=self.transport,
+            obs=self.obs,
         )
 
 
@@ -87,6 +96,11 @@ class RaceDetectionService:
         self._lock = threading.Lock()
         self._started = time.monotonic()
         self._parse_errors = 0
+        #: the last few offending input lines behind the parse_errors
+        #: counter -- surfaced by ``!health`` so a misbehaving producer can
+        #: be diagnosed without replaying its stream
+        self._bad_lines: Deque[str] = deque(maxlen=8)
+        self.tracer = self.engine.tracer
         self._races_seen = 0
         self._shutdown = threading.Event()
         self._flusher: Optional[threading.Thread] = None
@@ -109,13 +123,22 @@ class RaceDetectionService:
         an integer record -- the text is parsed exactly once, service-side
         ``Event`` objects are never built.
         """
+        t0 = self.tracer.clock()
         try:
             with self._lock:
-                return self.engine.submit_line(line)
+                seq = self.engine.submit_line(line)
         except Exception:
-            with self._lock:
-                self._parse_errors += 1
+            self._note_bad_input(line)
             return None
+        self.tracer.observe("ingest", t0)
+        return seq
+
+    def _note_bad_input(self, line: str) -> None:
+        """Count one unparseable input and remember it in the health ring."""
+        with self._lock:
+            self._parse_errors += 1
+            self._bad_lines.append(line)
+        self.tracer.log_parse_error(line)
 
     def poll_reports(self) -> List[SeqReport]:
         with self._lock:
@@ -133,10 +156,53 @@ class RaceDetectionService:
     def stats(self) -> ServiceStats:
         with self._lock:
             snapshot = self.engine.stats()
-        snapshot.uptime_sec = max(time.monotonic() - self._started, 1e-9)
-        snapshot.events_per_sec = snapshot.events_ingested / snapshot.uptime_sec
+        # Re-derive the rates against the *service* start time (monotonic,
+        # so the published uptime never goes backwards across snapshots).
+        snapshot.derive_rates(time.monotonic() - self._started)
         snapshot.parse_errors = self._parse_errors
         return snapshot
+
+    def render_metrics(self) -> str:
+        """The Prometheus text exposition for this service, freshly built."""
+        return registry_from_stats(self.stats(), tracer=self.tracer).render()
+
+    def health(self) -> Dict[str, Any]:
+        """The ``!health`` / ``GET /healthz`` payload: one JSON-able dict."""
+        snapshot = self.stats()
+        with self._lock:
+            bad_lines = list(self._bad_lines)
+        return {
+            "status": "ok",
+            "uptime_sec": snapshot.uptime_sec,
+            "events_ingested": snapshot.events_ingested,
+            "events_per_sec": snapshot.events_per_sec,
+            "races_reported": snapshot.races_reported,
+            "parse_errors": snapshot.parse_errors,
+            "last_parse_errors": bad_lines,
+            "n_shards": snapshot.n_shards,
+            "transport": snapshot.transport,
+            "queue_depths": [shard.queue_depth for shard in snapshot.shards],
+            "spans_sampled": snapshot.spans_sampled,
+            "flightrec_dumps": snapshot.flightrec_dumps,
+            "stats": snapshot.as_dict(),
+        }
+
+    def dump_flight_recorders(self, reason: str = "signal") -> List[str]:
+        """Write every shard's flight ring to disk (SIGTERM/crash path).
+
+        The lock acquire is best-effort with a timeout: a SIGTERM handler
+        runs on the main thread, which may already hold the ingestion lock
+        -- on the death path a possibly-torn last frame beats a deadlock.
+        """
+        recorder = self.engine.recorder
+        if recorder is None:
+            return []
+        locked = self._lock.acquire(timeout=1.0)
+        try:
+            return recorder.dump_all(reason)
+        finally:
+            if locked:
+                self._lock.release()
 
     def _flush_loop(self) -> None:
         interval = self.config.flush_interval
@@ -222,6 +288,19 @@ class RaceDetectionService:
         if command == "stats":
             writer.write("stats " + self.stats().to_json() + "\n")
             return False, 0
+        if command == "metrics":
+            # The exposition is multi-line; the ok line announces how many
+            # lines follow so clients can read the block without sniffing.
+            lines = self.render_metrics().splitlines()
+            writer.write(summary_line("metrics", lines=len(lines)) + "\n")
+            for text_line in lines:
+                writer.write(text_line + "\n")
+            return False, 0
+        if command == "health":
+            writer.write(
+                "health " + json.dumps(self.health(), sort_keys=True) + "\n"
+            )
+            return False, 0
         if command == "reset":
             with self._lock:
                 self.engine.reset()
@@ -259,8 +338,7 @@ class RaceDetectionService:
                     with self._lock:
                         count = self.engine.submit_wire_frame(payload, state)
                 except Exception as exc:
-                    with self._lock:
-                        self._parse_errors += 1
+                    self._note_bad_input(f"<binary frame of {len(payload)}B: {exc}>")
                     writer.write(f"error bad event frame: {exc}\n")
                     writer.flush()
                     continue
@@ -294,12 +372,14 @@ class RaceDetectionService:
                 writer.write(f"error unknown frame type {frame_type}\n")
                 writer.flush()
 
-    @staticmethod
-    def _write_races(writer: TextIO, reports: List[SeqReport]) -> int:
+    def _write_races(self, writer: TextIO, reports: List[SeqReport]) -> int:
+        if not reports:
+            return 0
+        t0 = self.tracer.clock()
         for seq, report in reports:
             writer.write(format_race(seq, report) + "\n")
-        if reports:
-            writer.flush()
+        writer.flush()
+        self.tracer.observe("report", t0, n=len(reports))
         return len(reports)
 
     def tail_file(

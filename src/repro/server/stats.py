@@ -15,6 +15,8 @@ import json
 from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List
 
+from ..core.stats import hb_queries_of
+
 
 def _known_subset(cls, data: Dict[str, Any]) -> Dict[str, Any]:
     """Keep only keys the dataclass knows; count the rest.
@@ -104,33 +106,44 @@ class ServiceStats:
     edge_allocs: int = 0
     #: sync records materialized as Events across all shards
     sync_decoded: int = 0
+    #: batches written to the span log (0 unless sampling is enabled)
+    spans_sampled: int = 0
+    #: ``.flightrec`` files written by the race flight recorder
+    flightrec_dumps: int = 0
     #: snapshot keys dropped by from_dict (newer-server fields)
     unknown_fields: int = 0
     shards: List[ShardStats] = field(default_factory=list)
 
     @property
     def short_circuit_rate(self) -> float:
-        """Aggregate short-circuit rate, weighted by per-shard query counts."""
+        """Aggregate short-circuit rate, weighted by per-shard query counts.
+
+        Idle shards (no HB queries yet) contribute no weight, so a service
+        where only one shard has seen traffic reports that shard's rate, and
+        a fully idle service reports 1.0.
+        """
         hits = queries = 0
         for shard in self.shards:
             det = shard.detector
             if not det:
                 continue
-            full = det.get("full_lockset_computations", 0)
-            total = (
-                det.get("sc_same_thread", 0)
-                + det.get("sc_alock", 0)
-                + det.get("sc_xact", 0)
-                + det.get("sc_thread_restricted", 0)
-                + det.get("sc_fresh", 0)
-                + det.get("sc_epoch", 0)
-                + full
-            )
+            total = hb_queries_of(det)
             queries += total
-            hits += total - full
+            hits += total - det.get("full_lockset_computations", 0)
         if queries == 0:
             return 1.0
         return hits / queries
+
+    def derive_rates(self, uptime_sec: float) -> None:
+        """Set ``uptime_sec`` / ``events_per_sec`` from a monotonic uptime.
+
+        The single place rate math happens: the guard keeps a zero (or
+        pathological negative) uptime from dividing by zero, and callers
+        always feed ``time.monotonic()`` differences, so the published
+        uptime can never go backwards across snapshots.
+        """
+        self.uptime_sec = max(uptime_sec, 1e-9)
+        self.events_per_sec = self.events_ingested / self.uptime_sec
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -148,6 +161,8 @@ class ServiceStats:
             "queue_bytes": self.queue_bytes,
             "edge_allocs": self.edge_allocs,
             "sync_decoded": self.sync_decoded,
+            "spans_sampled": self.spans_sampled,
+            "flightrec_dumps": self.flightrec_dumps,
             "unknown_fields": self.unknown_fields,
             "short_circuit_rate": self.short_circuit_rate,
             "shards": [shard.as_dict() for shard in self.shards],

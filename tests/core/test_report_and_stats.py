@@ -88,6 +88,32 @@ class TestDetectorStats:
         assert a.races == 1
         assert a.cells_traversed == 15
 
+    def test_merge_covers_every_snapshot_key(self):
+        # Construct two stats with every as_dict key set to distinct
+        # values; the merge must sum each one -- a field added to the
+        # dataclass but forgotten by as_dict would silently stop merging.
+        keys = list(DetectorStats().as_dict())
+        a = DetectorStats(**{key: i + 1 for i, key in enumerate(keys)})
+        b = DetectorStats(**{key: 100 * (i + 1) for i, key in enumerate(keys)})
+        a.merge(b)
+        assert a.as_dict() == {
+            key: 101 * (i + 1) for i, key in enumerate(keys)
+        }
+
+    def test_merge_with_empty_stats_is_identity(self):
+        stats = DetectorStats(sc_epoch=7, full_lockset_computations=3)
+        before = stats.as_dict()
+        stats.merge(DetectorStats())
+        assert stats.as_dict() == before
+
+    def test_derived_rates_recompute_after_merge(self):
+        a = DetectorStats(sc_same_thread=3, full_lockset_computations=1)
+        b = DetectorStats(sc_epoch=5, full_lockset_computations=1)
+        a.merge(b)
+        assert a.hb_queries == 10
+        assert a.short_circuit_rate == 0.8
+        assert a.detector_work == 10  # queries only: no rules/cells/sync yet
+
     def test_as_dict_round_trips_all_fields(self):
         stats = DetectorStats(accesses_checked=1, sync_events=2)
         snapshot = stats.as_dict()

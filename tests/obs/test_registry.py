@@ -1,0 +1,144 @@
+"""The metrics registry: naming invariants, rendering, and the parser."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs.registry import (
+    LATENCY_BUCKETS,
+    MetricsRegistry,
+    parse_exposition,
+)
+
+
+class TestNaming:
+    def test_family_names_must_be_snake_case(self):
+        reg = MetricsRegistry()
+        for bad in ("CamelCase", "has-dash", "1leading", "", "dots.bad"):
+            with pytest.raises(ValueError):
+                reg.counter(bad, "nope")
+
+    def test_re_registration_same_shape_returns_the_same_family(self):
+        reg = MetricsRegistry()
+        first = reg.counter("hits_total", "hits")
+        second = reg.counter("hits_total", "hits")
+        assert first is second
+
+    def test_re_registration_with_a_different_shape_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("hits_total", "hits")
+        with pytest.raises(ValueError):
+            reg.gauge("hits_total", "hits as a gauge")
+        with pytest.raises(ValueError):
+            reg.counter("hits_total", "hits", labels=("shard",))
+
+    def test_names_are_listed_without_the_prefix(self):
+        reg = MetricsRegistry(prefix="xx")
+        reg.gauge("b_gauge", "b")
+        reg.counter("a_total", "a")
+        assert reg.names() == ["a_total", "b_gauge"]
+
+
+class TestInstruments:
+    def test_counter_only_goes_up(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("ops_total", "ops")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_counter_set_total_rejects_going_backwards(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("ops_total", "ops")
+        counter.set_total(10)
+        counter.set_total(10)  # equal is fine (idempotent snapshot)
+        with pytest.raises(ValueError):
+            counter.set_total(9)
+
+    def test_gauge_moves_both_ways(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("depth", "queue depth")
+        gauge.set(7)
+        gauge.dec(2)
+        gauge.inc()
+        assert gauge.value == 6
+
+    def test_labeled_family_rejects_solo_access(self):
+        reg = MetricsRegistry()
+        fam = reg.counter("per_shard_total", "per shard", labels=("shard",))
+        with pytest.raises(ValueError):
+            fam.inc()
+        with pytest.raises(ValueError):
+            fam.labels("0", "extra")
+        fam.labels(0).inc(3)
+        assert fam.labels("0").value == 3  # str() normalization: same child
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        text = reg.render()
+        samples = parse_exposition(text)
+        buckets = {
+            labels["le"]: value
+            for labels, value in samples["repro_lat_seconds_bucket"]
+        }
+        assert buckets["0.1"] == 1
+        assert buckets["1"] == 3
+        assert buckets["+Inf"] == 4
+        assert samples["repro_lat_seconds_count"][0][1] == 4
+        assert samples["repro_lat_seconds_sum"][0][1] == pytest.approx(6.05)
+
+    def test_histogram_needs_at_least_one_bucket(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("h_seconds", "h", buckets=())
+
+    def test_default_latency_buckets_are_sorted_and_positive(self):
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+        assert LATENCY_BUCKETS[0] > 0
+
+
+class TestExposition:
+    def test_render_parses_and_declares_every_family(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "a").inc(2)
+        reg.gauge("b_gauge", "b").set(-1.5)
+        reg.histogram("c_seconds", "c", buckets=(1.0,)).observe(0.5)
+        samples = parse_exposition(reg.render())
+        assert samples["repro_a_total"] == [({}, 2.0)]
+        assert samples["repro_b_gauge"] == [({}, -1.5)]
+        # Histogram family names appear as keys even though only the
+        # _bucket/_sum/_count sample lines carry values.
+        assert samples["repro_c_seconds"] == []
+        assert "repro_c_seconds_bucket" in samples
+
+    def test_label_values_are_escaped_round_trip(self):
+        reg = MetricsRegistry()
+        tricky = 'quote " backslash \\ newline \n end'
+        reg.gauge("info", "info", labels=("detail",)).labels(tricky).set(1)
+        samples = parse_exposition(reg.render())
+        (labels, value), = samples["repro_info"]
+        assert labels == {"detail": tricky}
+        assert value == 1.0
+
+    def test_parse_rejects_garbage_sample_lines(self):
+        with pytest.raises(ValueError):
+            parse_exposition("this is not exposition at all!\n")
+
+    def test_parse_handles_inf(self):
+        samples = parse_exposition('x_bucket{le="+Inf"} 3\n')
+        assert samples["x_bucket"][0][1] == 3.0
+        assert parse_exposition("y 1\n")["y"] == [({}, 1.0)]
+        assert math.isinf(parse_exposition("z +Inf\n")["z"][0][1])
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("a_total", "a").inc()
+        reg.histogram("h_seconds", "h", buckets=(1.0,)).observe(2.0)
+        payload = json.loads(reg.to_json())
+        assert payload["repro_a_total"]["type"] == "counter"
+        assert payload["repro_h_seconds"]["series"][0]["count"] == 1
