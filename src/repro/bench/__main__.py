@@ -16,6 +16,8 @@ Regenerates the paper's evaluation artifacts:
   path (``BENCH_service_ingest.json``);
 * ``obs`` -- observability-overhead ablation: all-off vs counters-on vs
   span-sampling-on (``BENCH_obs_overhead.json``);
+* ``cluster`` -- multi-node scaling under the deterministic critical-path
+  cost model, 1/2/4 in-process nodes (``BENCH_cluster_scaling.json``);
 * ``all`` -- everything above.
 
 Options: ``--scale tiny|small|full`` (default small), ``--repeats N``,
@@ -89,7 +91,7 @@ def main(argv=None) -> int:
         default="throughput",
         choices=[
             "table1", "table2", "table3", "figures", "throughput", "ingest",
-            "obs", "all",
+            "obs", "cluster", "all",
         ],
         help="which artifact to regenerate (default: throughput)",
     )
@@ -115,6 +117,7 @@ def main(argv=None) -> int:
         args.json = {
             "ingest": "BENCH_service_ingest.json",
             "obs": "BENCH_obs_overhead.json",
+            "cluster": "BENCH_cluster_scaling.json",
         }.get(args.what, "BENCH_detector_throughput.json")
 
     names = args.workloads.split(",") if args.workloads else None
@@ -141,11 +144,11 @@ def main(argv=None) -> int:
     if args.what in ("figures", "all"):
         print(_figures_text())
     if args.what in ("throughput", "all") or (
-        args.json and args.what not in ("ingest", "obs")
+        args.json and args.what not in ("ingest", "obs", "cluster")
     ):
         from .throughput import bench_throughput, render_throughput, write_throughput_json
 
-        if args.json and args.what not in ("ingest", "obs"):
+        if args.json and args.what not in ("ingest", "obs", "cluster"):
             payload = write_throughput_json(args.json, repeats=args.repeats)
             print(f"wrote {args.json}")
         else:
@@ -169,6 +172,15 @@ def main(argv=None) -> int:
         else:
             payload = bench_obs(repeats=args.repeats)
         print(render_obs(payload))
+    if args.what in ("cluster", "all"):
+        from .cluster import bench_cluster, render_cluster, write_cluster_json
+
+        if args.what == "cluster" and args.json:
+            payload = write_cluster_json(args.json)
+            print(f"wrote {args.json}")
+        else:
+            payload = bench_cluster()
+        print(render_cluster(payload))
     return 0
 
 

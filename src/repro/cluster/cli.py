@@ -1,0 +1,239 @@
+"""``repro-cluster``: the multi-node coordinator, as a command.
+
+Usage::
+
+    # two already-running repro-serve nodes
+    repro-cluster --node a=127.0.0.1:7914 --node b=127.0.0.1:7915 < run.trace
+
+    # self-contained: spawn N in-process nodes, stream a trace file
+    repro-cluster --local-nodes 2 --groups 4 run.trace
+
+    # live migration mid-stream: move group 0 to node1 after 1200 events,
+    # buffer a 200-event window, then replay and flip placement
+    repro-cluster --local-nodes 2 --migrate 0:node1@1200 --window 200 < run.trace
+
+    # final coordinator snapshot / metrics exposition
+    repro-cluster --local-nodes 2 --stats --metrics-out cluster.prom < run.trace
+
+Race lines stream to stdout in the same canonical form a single-node
+``repro-serve --shards <groups>`` run emits (the coordinator assigns the
+``seq`` tags, so the two are line-identical -- the CI smoke job diffs
+them).  Exit status mirrors ``repro-serve``: 1 if any race was reported,
+0 otherwise, 2 for operational errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Tuple
+
+from .coordinator import ClusterConfig, ClusterCoordinator
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cluster",
+        description="route one event stream across repro-serve nodes",
+    )
+    parser.add_argument(
+        "trace",
+        nargs="?",
+        metavar="FILE",
+        help="trace file of event lines (default: stdin)",
+    )
+    nodes = parser.add_mutually_exclusive_group()
+    nodes.add_argument(
+        "--node",
+        action="append",
+        default=[],
+        metavar="NAME=HOST:PORT",
+        help="a running repro-serve node (repeatable)",
+    )
+    nodes.add_argument(
+        "--local-nodes",
+        type=int,
+        metavar="N",
+        help="spawn N in-process nodes named node0..node{N-1} instead",
+    )
+    parser.add_argument(
+        "--groups", type=int, default=4, help="global shard-group count"
+    )
+    parser.add_argument("--batch-size", type=int, default=256)
+    parser.add_argument(
+        "--balanced",
+        action="store_true",
+        help="pin groups round-robin over sorted node names at startup",
+    )
+    parser.add_argument(
+        "--migrate",
+        action="append",
+        default=[],
+        metavar="GROUP:NODE[@COUNT]",
+        help="migrate GROUP to NODE once COUNT events ingested (repeatable; "
+        "COUNT defaults to 0 = before streaming)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=0,
+        metavar="EVENTS",
+        help="events buffered between a migration's begin and complete "
+        "(0 = atomic hand-off)",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the final coordinator snapshot as JSON to stderr",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write a final metrics exposition ('-' for stderr)",
+    )
+    parser.add_argument(
+        "--keep-nodes",
+        action="store_true",
+        help="leave the nodes running on exit (default: !shutdown each)",
+    )
+    return parser
+
+
+def _parse_node(spec: str) -> Tuple[str, str, int]:
+    name, eq, addr = spec.partition("=")
+    host, colon, port = addr.rpartition(":")
+    if not (name and eq and colon and port.isdigit()):
+        raise ValueError(f"--node expects NAME=HOST:PORT, got {spec!r}")
+    return name, host or "127.0.0.1", int(port)
+
+
+def _parse_migration(spec: str) -> Tuple[int, str, int]:
+    """``GROUP:NODE[@COUNT]`` -> (group, node, at_count)."""
+    head, at, count_text = spec.partition("@")
+    group_text, colon, node = head.partition(":")
+    if not (group_text.isdigit() and colon and node):
+        raise ValueError(f"--migrate expects GROUP:NODE[@COUNT], got {spec!r}")
+    count = int(count_text) if at else 0
+    return int(group_text), node, count
+
+
+def _start_local_nodes(count: int):
+    """In-process nodes for the self-contained mode; returns (nodes, closers)."""
+    import threading
+
+    from ..server.service import RaceDetectionService, ServiceConfig, serve_tcp
+
+    nodes: Dict[str, Tuple[str, int]] = {}
+    closers = []
+    for i in range(count):
+        service = RaceDetectionService(
+            ServiceConfig(workers="inline", flush_interval=0)
+        )
+        server = serve_tcp(service, "127.0.0.1", 0)
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        nodes[f"node{i}"] = ("127.0.0.1", server.server_address[1])
+        closers.append((server, service))
+    return nodes, closers
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.groups < 1:
+        parser.error("--groups must be at least 1")
+    if args.window < 0:
+        parser.error("--window must be >= 0")
+    try:
+        migrations = sorted(
+            (_parse_migration(spec) for spec in args.migrate),
+            key=lambda item: item[2],
+        )
+        if args.local_nodes is not None:
+            if args.local_nodes < 1:
+                parser.error("--local-nodes must be at least 1")
+            nodes, closers = _start_local_nodes(args.local_nodes)
+        elif args.node:
+            nodes = {}
+            for spec in args.node:
+                name, host, port = _parse_node(spec)
+                if name in nodes:
+                    raise ValueError(f"duplicate node name {name!r}")
+                nodes[name] = (host, port)
+            closers = []
+        else:
+            parser.error("need --node NAME=HOST:PORT (repeatable) or --local-nodes N")
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    config = ClusterConfig(
+        nodes=nodes,
+        n_groups=args.groups,
+        batch_size=args.batch_size,
+        balanced=args.balanced,
+    )
+    out = sys.stdout
+    races = 0
+    stream = open(args.trace, "r", encoding="utf-8") if args.trace else sys.stdin
+    try:
+        with ClusterCoordinator(config) as coordinator:
+            # (group, dst, begin_at, complete_at), consumed front to back.
+            pending = [
+                (group, dst, at, at + args.window)
+                for group, dst, at in migrations
+            ]
+            in_window: List[Tuple[int, int]] = []  # (complete_at, group)
+            count = 0
+            for line in stream:
+                text = line.strip()
+                if not text or text.startswith("#"):
+                    continue
+                while pending and pending[0][2] <= count:
+                    group, dst, _at, done = pending.pop(0)
+                    coordinator.begin_migration(group, dst)
+                    in_window.append((done, group))
+                while in_window and in_window[0][0] <= count:
+                    coordinator.complete_migration(in_window.pop(0)[1])
+                coordinator.submit_line(text)
+                count += 1
+                coordinator.heartbeat()
+            # Anything still pending fires at end-of-stream.
+            for group, dst, _at, _done in pending:
+                coordinator.begin_migration(group, dst)
+                in_window.append((0, group))
+            for _done, group in in_window:
+                coordinator.complete_migration(group)
+            for line in coordinator.barrier():
+                out.write(line + "\n")
+            stats = coordinator.stats()
+            races = stats.races_reported
+            if args.stats:
+                print(json.dumps(stats.as_dict(), sort_keys=True), file=sys.stderr)
+            if args.metrics_out:
+                from ..obs.bridge import registry_from_cluster
+
+                exposition = registry_from_cluster(
+                    stats, tracer=coordinator.tracer
+                ).render()
+                if args.metrics_out == "-":
+                    sys.stderr.write(exposition)
+                else:
+                    with open(args.metrics_out, "w", encoding="utf-8") as fh:
+                        fh.write(exposition)
+            if not args.keep_nodes:
+                coordinator.shutdown_nodes()
+    except (OSError, RuntimeError, ValueError, ConnectionError) as exc:
+        print(f"repro-cluster: error: {exc}", file=sys.stderr)
+        return 2
+    finally:
+        if stream is not sys.stdin:
+            stream.close()
+        for server, service in closers:
+            server.shutdown()
+            server.server_close()
+            service.close()
+    return 1 if races else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,135 @@
+"""Cluster membership: which nodes exist and whether they are alive.
+
+Deliberately minimal -- the coordinator is the single writer, so this is a
+registry plus heartbeat bookkeeping, not a consensus protocol.  A node is
+``UP`` while its pings succeed; after ``max_missed`` consecutive failures
+it is marked ``DOWN`` (and surfaces that way in cluster stats/metrics, so
+an operator or the migration driver can evacuate its groups).  A node that
+answers again is restored to ``UP`` with its miss counter cleared.
+
+Time is injected (``clock``) so tests drive the heartbeat schedule
+deterministically.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+#: liveness states
+UP = "up"
+DOWN = "down"
+
+
+@dataclass
+class NodeState:
+    """One node's liveness record."""
+
+    name: str
+    status: str = UP
+    #: consecutive failed heartbeats
+    missed: int = 0
+    #: monotonic timestamp of the last successful contact
+    last_seen: float = 0.0
+    #: heartbeats attempted / failed (lifetime counters)
+    probes: int = 0
+    failures: int = 0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "status": self.status,
+            "missed": self.missed,
+            "last_seen": self.last_seen,
+            "probes": self.probes,
+            "failures": self.failures,
+        }
+
+
+class Membership:
+    """Heartbeat-driven liveness tracking over a set of named nodes."""
+
+    def __init__(
+        self,
+        interval: float = 2.0,
+        max_missed: int = 3,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_missed < 1:
+            raise ValueError("max_missed must be at least 1")
+        self.interval = interval
+        self.max_missed = max_missed
+        self._clock = clock
+        self._nodes: Dict[str, NodeState] = {}
+        self._last_sweep = clock()
+
+    # -- registry --------------------------------------------------------------
+
+    def register(self, name: str) -> NodeState:
+        state = self._nodes.get(name)
+        if state is None:
+            state = self._nodes[name] = NodeState(name, last_seen=self._clock())
+        return state
+
+    def forget(self, name: str) -> None:
+        self._nodes.pop(name, None)
+
+    def node(self, name: str) -> NodeState:
+        return self._nodes[name]
+
+    def nodes(self) -> List[NodeState]:
+        return [self._nodes[name] for name in sorted(self._nodes)]
+
+    def up_nodes(self) -> List[str]:
+        return [s.name for s in self.nodes() if s.status == UP]
+
+    # -- heartbeat bookkeeping -------------------------------------------------
+
+    def record_success(self, name: str) -> None:
+        state = self.register(name)
+        state.probes += 1
+        state.missed = 0
+        state.status = UP
+        state.last_seen = self._clock()
+
+    def record_failure(self, name: str) -> bool:
+        """Count one failed probe; returns True when the node just went DOWN."""
+        state = self.register(name)
+        state.probes += 1
+        state.failures += 1
+        state.missed += 1
+        if state.missed >= self.max_missed and state.status == UP:
+            state.status = DOWN
+            return True
+        return False
+
+    def due(self, now: Optional[float] = None) -> bool:
+        """True once ``interval`` has elapsed since the last sweep."""
+        now = self._clock() if now is None else now
+        return now - self._last_sweep >= self.interval
+
+    def sweep(
+        self, probe: Callable[[str], bool], now: Optional[float] = None
+    ) -> Dict[str, bool]:
+        """Probe every node once; returns name -> probe success."""
+        self._last_sweep = self._clock() if now is None else now
+        results: Dict[str, bool] = {}
+        for state in self.nodes():
+            try:
+                ok = bool(probe(state.name))
+            except Exception:
+                ok = False
+            results[state.name] = ok
+            if ok:
+                self.record_success(state.name)
+            else:
+                self.record_failure(state.name)
+        return results
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "interval": self.interval,
+            "max_missed": self.max_missed,
+            "nodes": [state.as_dict() for state in self.nodes()],
+        }

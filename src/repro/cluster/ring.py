@@ -1,0 +1,147 @@
+"""A deterministic consistent-hash ring for shard-group placement.
+
+The cluster routes a data access in two layers: variable -> *group* via the
+existing crc32 partitioner (identical to the single-node shard mapping, so
+verdicts are byte-compatible), then group -> *node* via this ring.  The ring
+exists for the membership dynamics crc32-modulo cannot give us: adding or
+removing a node remaps only the groups that land on (or leave) that node,
+instead of reshuffling nearly everything the way ``% n`` does.
+
+Hash points are MD5-derived, never Python's salted ``hash()``: the
+coordinator, every node, and any observer rebuilding a ring from the same
+member list must agree on placement across processes and hosts.  Each node
+contributes ``vnodes`` virtual points so load stays balanced within a few
+percent once ``vnodes`` is ~100+.
+
+:class:`Placement` layers an explicit override map on top: the migration
+driver pins a group to its new home without disturbing where the ring puts
+everything else, and unpins when the ring itself catches up (e.g. after a
+membership change that makes the override redundant).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+#: default virtual nodes per member -- enough that the largest arc a member
+#: owns stays within a small factor of fair share
+DEFAULT_VNODES = 128
+
+
+def _point(key: str) -> int:
+    """A stable 64-bit ring coordinate (process- and host-independent)."""
+    return int.from_bytes(hashlib.md5(key.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing over named nodes with virtual points.
+
+    Nodes are identified by arbitrary non-empty strings.  Lookup walks
+    clockwise from the key's point to the first virtual point; ties between
+    virtual points are broken by node name so two rings built from the same
+    membership are identical regardless of insertion order.
+    """
+
+    def __init__(
+        self, nodes: Iterable[str] = (), vnodes: int = DEFAULT_VNODES
+    ) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be at least 1")
+        self.vnodes = vnodes
+        self._points: List[Tuple[int, str]] = []
+        self._nodes: Dict[str, List[Tuple[int, str]]] = {}
+        for name in nodes:
+            self.add_node(name)
+
+    # -- membership ------------------------------------------------------------
+
+    def add_node(self, name: str) -> None:
+        if not name:
+            raise ValueError("node name must be non-empty")
+        if name in self._nodes:
+            return
+        points = [(_point(f"{name}#{i}"), name) for i in range(self.vnodes)]
+        self._nodes[name] = points
+        for pt in points:
+            bisect.insort(self._points, pt)
+
+    def remove_node(self, name: str) -> None:
+        points = self._nodes.pop(name, None)
+        if points is None:
+            return
+        for pt in points:
+            index = bisect.bisect_left(self._points, pt)
+            del self._points[index]
+
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    # -- lookup ----------------------------------------------------------------
+
+    def node_for(self, key: object) -> str:
+        """The node owning ``key`` (any object with a stable ``str()``)."""
+        if not self._points:
+            raise LookupError("hash ring has no nodes")
+        point = _point(str(key))
+        index = bisect.bisect_right(self._points, (point, "￿"))
+        if index == len(self._points):
+            index = 0  # wrap: the ring is a circle
+        return self._points[index][1]
+
+
+class Placement:
+    """Ring placement of shard groups, with explicit migration overrides.
+
+    ``node_of(group)`` consults the override map first, then the ring.  The
+    migration driver pins a group the moment it flips ownership; the ring
+    remains the source of truth for everything un-pinned, so membership
+    changes keep their minimal-remap property.
+    """
+
+    def __init__(self, ring: HashRing, n_groups: int) -> None:
+        if n_groups < 1:
+            raise ValueError("need at least one shard group")
+        self.ring = ring
+        self.n_groups = n_groups
+        self._overrides: Dict[int, str] = {}
+
+    def node_of(self, group: int) -> str:
+        if not 0 <= group < self.n_groups:
+            raise ValueError(f"group {group} out of range [0, {self.n_groups})")
+        pinned = self._overrides.get(group)
+        if pinned is not None:
+            return pinned
+        return self.ring.node_for(f"group:{group}")
+
+    def pin(self, group: int, node: str) -> None:
+        """Force ``group`` onto ``node`` (the migration flip)."""
+        if not 0 <= group < self.n_groups:
+            raise ValueError(f"group {group} out of range [0, {self.n_groups})")
+        if node not in self.ring:
+            raise ValueError(f"cannot pin group {group} to unknown node {node!r}")
+        self._overrides[group] = node
+
+    def unpin(self, group: int) -> None:
+        self._overrides.pop(group, None)
+
+    def overrides(self) -> Dict[int, str]:
+        return dict(self._overrides)
+
+    def assignment(self) -> Dict[str, List[int]]:
+        """Every node's sorted group list (nodes with none included)."""
+        out: Dict[str, List[int]] = {name: [] for name in self.ring.nodes()}
+        for group in range(self.n_groups):
+            out.setdefault(self.node_of(group), []).append(group)
+        return out
+
+    def assignment_by_group(self) -> Dict[int, str]:
+        """The inverse view: group -> owning node."""
+        return {group: self.node_of(group) for group in range(self.n_groups)}

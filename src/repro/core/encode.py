@@ -243,6 +243,70 @@ def extend_interner(
         interner.intern(element)
 
 
+# -- versioned interner snapshots ----------------------------------------------
+#
+# The cluster layer replicates one master interner across every node: all
+# replicas are strict prefixes of the master, and a replica's *version* is
+# simply its length.  A snapshot is the standalone, versioned form of the
+# per-frame delta protocol above -- ``since`` says which prefix the receiver
+# must already hold, ``total`` says which version applying it reaches.  The
+# coordinator uses snapshots to prime a node that joins mid-stream and to
+# fast-forward a migration target before replaying buffered frames.
+
+#: interner snapshot format version (bump on any layout change)
+SNAPSHOT_VERSION = 1
+
+_SNAP_HEADER = struct.Struct("<BII")
+
+
+def interner_version(interner: Interner) -> int:
+    """A replica's version: its length (ids are dense and append-only)."""
+    return len(interner)
+
+
+def encode_interner_snapshot(interner: Interner, since: int = 1) -> bytes:
+    """Serialize elements ``[since, len)`` as one versioned snapshot blob.
+
+    ``since`` is clamped to 1 because ``TL`` is pinned at id 0 on every
+    replica and never travels (exactly as in frame deltas).
+    """
+    since = max(1, since)
+    payload, count = encode_elements(interner.elements_since(since))
+    return _SNAP_HEADER.pack(SNAPSHOT_VERSION, since, since + count) + payload
+
+
+def decode_interner_snapshot(blob: bytes) -> Tuple[int, int, List[LocksetElement]]:
+    """Unpack a snapshot; returns ``(since, total, elements)``."""
+    version, since, total = _SNAP_HEADER.unpack_from(blob, 0)
+    if version != SNAPSHOT_VERSION:
+        raise ValueError(f"unsupported interner snapshot version {version}")
+    elements, offset = decode_elements(blob, _SNAP_HEADER.size, total - since)
+    if offset != len(blob):
+        raise ValueError("trailing bytes after interner snapshot payload")
+    return since, total, elements
+
+
+def apply_interner_snapshot(interner: Interner, blob: bytes) -> int:
+    """Fast-forward a replica to the snapshot's version; returns the version.
+
+    Idempotent on overlap, like :func:`extend_interner`: elements the replica
+    already holds are skipped (they are guaranteed identical because every
+    replica is a prefix of the same master).  Raises when the snapshot's
+    ``since`` leaves a gap in front of the replica.
+    """
+    since, total, elements = decode_interner_snapshot(blob)
+    have = len(interner)
+    if have < since:
+        raise ValueError(
+            f"snapshot starts at version {since}, replica is at {have}"
+        )
+    for i, element in enumerate(elements):
+        if since + i < have:
+            continue
+        interner.intern(element)
+    return len(interner)
+
+
 # -- the ingestion-edge encoder ------------------------------------------------
 
 
@@ -325,6 +389,21 @@ class EventEncoder:
         if isinstance(element, DataVar):
             return self._dvar_id(element.obj.value, element.field)
         raise TypeError(f"cannot intern {element!r}")
+
+    def prime(self, replica: Interner) -> None:
+        """Adopt a checkpointed replica's id space (restore/adoption path).
+
+        Replays the replica's elements in id order through the caches, so
+        this encoder reproduces exactly the ids a previous run assigned --
+        the requirement for feeding restored shards without a full interner
+        re-send.  Only valid on a fresh encoder; ``cache_misses`` is reset
+        afterwards because restored elements are not new edge allocations.
+        """
+        if len(self.interner) != 1:
+            raise ValueError("prime() requires a fresh encoder")
+        for element in replica.elements_since(1):
+            self.intern_element(element)
+        self.cache_misses = 0
 
     # -- encoding ----------------------------------------------------------------
 

@@ -21,6 +21,7 @@ from ..core.stats import METRIC_HELP, SC_RUNGS
 from .registry import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle)
+    from ..cluster.coordinator import ClusterStats
     from ..server.stats import ServiceStats
     from .tracing import LifecycleTracer
 
@@ -146,6 +147,79 @@ def registry_from_stats(
         reg.counter(
             f"kernel_{key}_total", METRIC_HELP.get(key, key)
         ).set_total(totals[key])
+
+    if tracer is not None:
+        _merge_registry(reg, tracer.registry)
+    return reg
+
+
+#: ClusterStats counter attribute -> (metric name, help); coordinator scope
+_CLUSTER_COUNTERS = {
+    "events_ingested": ("cluster_events_ingested_total", "events accepted by the cluster coordinator"),
+    "sync_broadcast": ("cluster_sync_broadcast_total", "sync/alloc/commit events broadcast to every node"),
+    "data_routed": ("cluster_data_routed_total", "data accesses routed to exactly one node"),
+    "races_reported": ("cluster_races_reported_total", "races reported by all nodes together"),
+    "migrations_completed": ("cluster_migrations_completed_total", "shard-group migrations completed"),
+}
+
+#: per-node entry key -> (metric name, type, help); all labeled by node
+_NODE_METRICS = {
+    "events_sent": ("node_events_sent_total", "counter", "events the coordinator shipped to the node"),
+    "frames_sent": ("node_frames_sent_total", "counter", "wire frames the coordinator shipped to the node"),
+    "bytes_sent": ("node_bytes_sent_total", "counter", "wire bytes the coordinator shipped to the node"),
+    "interner_cursor": ("node_interner_version", "gauge", "the node replica's interner version (delta cursor)"),
+    "missed": ("node_heartbeats_missed", "gauge", "consecutive failed heartbeats for the node"),
+}
+
+
+def registry_from_cluster(
+    stats: "ClusterStats",
+    tracer: Optional["LifecycleTracer"] = None,
+    registry: Optional[MetricsRegistry] = None,
+) -> MetricsRegistry:
+    """Build (or extend) a registry from one coordinator snapshot.
+
+    Everything per-node carries a ``node`` label, so one scrape graphs the
+    whole cluster: routing skew, replica versions, liveness, and how many
+    groups each node currently hosts (which a migration visibly shifts).
+    """
+    reg = registry or MetricsRegistry()
+
+    reg.gauge("cluster_groups", "global shard-group count").set(stats.n_groups)
+    reg.gauge("cluster_nodes", "nodes known to the coordinator").set(
+        len(stats.nodes)
+    )
+    reg.gauge(
+        "cluster_interner_version", "the master interner's version"
+    ).set(stats.interner_version)
+    reg.gauge(
+        "cluster_migrations_active", "group migrations currently in their window"
+    ).set(stats.migrations_active)
+    for attr, (name, help_text) in _CLUSTER_COUNTERS.items():
+        reg.counter(name, help_text).set_total(getattr(stats, attr))
+
+    hosted = reg.gauge(
+        "node_groups_hosted", "shard groups placed on the node", labels=("node",)
+    )
+    up = reg.gauge(
+        "node_up", "1 while the node's heartbeats succeed", labels=("node",)
+    )
+    for name, mtype, help_text in _NODE_METRICS.values():
+        if mtype == "gauge":
+            reg.gauge(name, help_text, labels=("node",))
+        else:
+            reg.counter(name, help_text, labels=("node",))
+    for node in stats.nodes:
+        label = str(node["name"])
+        hosted.labels(label).set(len(node.get("groups", [])))
+        up.labels(label).set(1 if node.get("status") == "up" else 0)
+        for key, (name, mtype, _help) in _NODE_METRICS.items():
+            child = reg.family(name).labels(label)
+            value = node.get(key, 0)
+            if mtype == "gauge":
+                child.set(value)
+            else:
+                child.set_total(value)
 
     if tracer is not None:
         _merge_registry(reg, tracer.registry)

@@ -214,13 +214,20 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 def _install_sigterm(service: RaceDetectionService) -> None:
-    """Dump flight rings before dying on SIGTERM (crash forensics path)."""
+    """Drain gracefully on SIGTERM instead of dropping in-flight batches.
+
+    The handler runs :meth:`RaceDetectionService.graceful_drain`: a final
+    ``barrier()`` so races completed by already-accepted events are still
+    reported, a flight-recorder flush, and one terminal ``ok drain ...``
+    stats line on stderr.  Only then does the process exit (with the
+    conventional ``128 + SIGTERM`` status).
+    """
 
     def _handler(signum, frame):  # pragma: no cover - signal delivery timing
         try:
-            service.dump_flight_recorders("sigterm")
+            line = service.graceful_drain(timeout=30.0)
+            print(f"# repro-serve sigterm: {line}", file=sys.stderr)
         finally:
-            service.request_shutdown()
             raise SystemExit(128 + signum)
 
     try:

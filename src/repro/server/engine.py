@@ -82,7 +82,9 @@ from ..core.encode import (
     EventEncoder,
     FrameDecoder,
     decode_frame,
+    decode_interner_snapshot,
     encode_frame,
+    encode_interner_snapshot,
     pack_report,
     unpack_reports,
 )
@@ -208,6 +210,18 @@ class EngineConfig:
     #: (stage counters on, span sampling off, flight recorder ring on but
     #: not writing files)
     obs: Optional[ObsConfig] = None
+    #: cluster node mode: the *global* partition count of the cluster this
+    #: engine is a node of.  When set, hosted shards are global partitions
+    #: ``(group, n_groups)``, wire frames keep their sender-assigned seq and
+    #: interner ids, and groups can be adopted/retired at runtime.
+    n_groups: Optional[int] = None
+    #: global partitions hosted from the start (node mode; may be empty --
+    #: a coordinator assigns groups via ``adopt_group``)
+    groups: Tuple[int, ...] = ()
+
+    @property
+    def node_mode(self) -> bool:
+        return self.n_groups is not None
 
     def detector_kwargs(self) -> dict:
         return {"commit_sync": self.commit_sync, "gc_threshold": self.gc_threshold}
@@ -239,13 +253,19 @@ class WireIngest:
     records are rewritten int-for-int -- still no ``Event`` objects.  For
     the object transport the connection keeps a :class:`FrameDecoder` and
     the engine ingests reconstituted Events (the A/B-comparable path).
+
+    In cluster node mode no remapping happens at all -- the node adopts the
+    coordinator's id space verbatim -- and ``replay_group``, when set by the
+    ``!replay`` verb, targets every record of subsequent frames at exactly
+    one hosted group (the migration delta-replay path).
     """
 
-    __slots__ = ("remap", "decoder")
+    __slots__ = ("remap", "decoder", "replay_group")
 
     def __init__(self, transport: str) -> None:
         self.remap: List[int] = [0]  # client id 0 is TL on both sides
         self.decoder = FrameDecoder() if transport == "object" else None
+        self.replay_group: Optional[int] = None
 
 
 def _shard_worker(
@@ -361,16 +381,46 @@ class ShardedEngine:
     is fully processed.
     """
 
-    def __init__(self, config: Optional[EngineConfig] = None, **kwargs) -> None:
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        checkpoints: Optional[Sequence[bytes]] = None,
+        seq_start: int = 0,
+        **kwargs,
+    ) -> None:
         self.config = config or EngineConfig(**kwargs)
-        if self.config.n_shards < 1:
+        node_mode = self.config.node_mode
+        if not node_mode and self.config.n_shards < 1:
             raise ValueError("need at least one shard")
         if self.config.workers not in ("process", "inline"):
             raise ValueError(f"unknown worker mode {self.config.workers!r}")
         if self.config.transport not in TRANSPORTS:
             raise ValueError(f"unknown transport {self.config.transport!r}")
-        n = self.config.n_shards
-        self._seq = 0
+        if node_mode:
+            if self.config.n_groups < 1:
+                raise ValueError("node mode needs at least one global group")
+            if self.config.transport != "packed":
+                raise ValueError("cluster node mode requires the packed transport")
+        #: the global partition count: cluster-wide groups in node mode,
+        #: local shards otherwise (variable -> partition is crc32 % this)
+        self._partitions = (
+            self.config.n_groups if node_mode else self.config.n_shards
+        )
+        #: global partition id hosted at each local slot; all per-shard
+        #: state below is indexed by *slot*.  Normal mode: slot == shard id.
+        self._slot_groups: List[int] = (
+            list(self.config.groups) if node_mode else list(range(self.config.n_shards))
+        )
+        for g in self._slot_groups:
+            if not 0 <= g < self._partitions:
+                raise ValueError(f"group {g} out of range [0, {self._partitions})")
+        if len(set(self._slot_groups)) != len(self._slot_groups):
+            raise ValueError("duplicate hosted groups")
+        self._slot_of: Dict[int, int] = {
+            g: i for i, g in enumerate(self._slot_groups)
+        }
+        n = len(self._slot_groups)
+        self._seq = seq_start
         self._started = time.monotonic()
         self._closed = False
         self._checkpoints: Dict[int, bytes] = {}
@@ -378,8 +428,35 @@ class ShardedEngine:
         self._packed = self.config.transport == "packed"
         self._buffers: List[List[Tuple[int, Event]]] = [[] for _ in range(n)]
         self._pbuffers: List[_PackedBuffer] = [_PackedBuffer() for _ in range(n)]
-        self._encoder = EventEncoder(n)
+        self._encoder = EventEncoder(self._partitions)
         self._cursors = [1] * n  # every replica interner starts with just TL
+        #: node mode: data records for groups this node does not host
+        self.foreign_dropped = 0
+        restored = None
+        if checkpoints is not None:
+            if node_mode:
+                raise ValueError(
+                    "node mode restores per group via adopt_group(blob)"
+                )
+            if len(checkpoints) != n:
+                raise ValueError(
+                    f"{len(checkpoints)} checkpoint blobs for {n} shards"
+                )
+            restored = [pickle.loads(blob) for blob in checkpoints]
+            # Re-prime the edge encoder from the longest shard replica (after
+            # the pre-checkpoint barrier they are all equal to the master),
+            # so the restored engine reuses the original id assignments, and
+            # re-sync every shard cursor from its *checkpointed* position
+            # instead of 1 -- a restored encoded shard gets an empty delta on
+            # its first frame rather than a full interner re-send.  Seed
+            # shards decode through a fresh FrameDecoder whose replica starts
+            # empty, so their cursor genuinely is 1.
+            if self.config.kernel == "encoded":
+                master = max((d.interner for d in restored), key=len)
+                self._encoder.prime(master)
+                self._cursors = [
+                    max(1, min(len(d.interner), len(master))) for d in restored
+                ]
         self._sent_batches = [0] * n
         self._acked_batches = [0] * n
         self._sent_events = [0] * n
@@ -399,11 +476,13 @@ class ShardedEngine:
         # -- observability: lifecycle tracer plus the race flight recorder.
         # The tracer degrades to no-ops when fully disabled; the recorder
         # rides the packed transport only (it stores packed frames verbatim)
-        # and never writes files unless a dump directory is configured.
+        # and never writes files unless a dump directory is configured.  Node
+        # mode skips the recorder: its per-shard rings assume a fixed shard
+        # count, and hosted groups come and go with migrations.
         self.obs_config = self.config.obs or ObsConfig()
         self.tracer = LifecycleTracer(self.obs_config)
         self.recorder: Optional[FlightRecorder] = None
-        if self._packed and self.obs_config.flightrec:
+        if self._packed and self.obs_config.flightrec and not node_mode:
             self.recorder = FlightRecorder(
                 n,
                 self._encoder.interner,
@@ -420,10 +499,13 @@ class ShardedEngine:
         ]
         detector_cls = self.config.detector_class()
         if self.config.workers == "inline":
-            self._detectors = [
-                detector_cls(i, n, **self.config.detector_kwargs())
-                for i in range(n)
-            ]
+            if restored is not None:
+                self._detectors = restored
+            else:
+                self._detectors = [
+                    detector_cls(g, self._partitions, **self.config.detector_kwargs())
+                    for g in self._slot_groups
+                ]
             self._decoders = [
                 FrameDecoder() if self._packed and not hasattr(d, "apply_packed") else None
                 for d in self._detectors
@@ -431,24 +513,26 @@ class ShardedEngine:
         else:
             ctx = mp.get_context()
             self._result_q = ctx.Queue()
-            self._task_qs = [ctx.Queue(maxsize=self.config.queue_depth) for _ in range(n)]
+            self._task_qs = [
+                ctx.Queue(maxsize=self.config.queue_depth) for _ in range(n)
+            ]
             self._procs = [
                 ctx.Process(
                     target=_shard_worker,
                     args=(
-                        i,
-                        n,
+                        g,
+                        self._partitions,
                         self.config.kernel,
                         self.config.transport,
                         self.config.detector_kwargs(),
-                        None,
+                        checkpoints[i] if checkpoints is not None else None,
                         self._task_qs[i],
                         self._result_q,
                         self.obs_config.enabled,
                     ),
                     daemon=True,
                 )
-                for i in range(n)
+                for i, g in enumerate(self._slot_groups)
             ]
             for proc in self._procs:
                 proc.start()
@@ -519,17 +603,34 @@ class ShardedEngine:
         b: int,
         extras: Optional[List[int]],
         seq: Optional[int],
+        only_slot: Optional[int] = None,
     ) -> int:
         if seq is None:
             seq = self._seq
         self._seq = seq + 1
         self.events_ingested += 1
-        if op == OP_READ or op == OP_WRITE:
+        if only_slot is not None:
+            # Migration delta replay: every record of the frame -- data and
+            # the window's sync tail alike -- is targeted at exactly the
+            # adopted group's slot, never broadcast (the other slots already
+            # saw those sync records through the normal stream).
+            targets: Sequence[int] = (only_slot,)
+            if op == OP_READ or op == OP_WRITE:
+                self.data_routed += 1
+            else:
+                self.sync_broadcast += 1
+        elif op == OP_READ or op == OP_WRITE:
             self.data_routed += 1
-            targets: Sequence[int] = (self._encoder.shard_of_var(a),)
+            slot = self._slot_of.get(self._encoder.shard_of_var(a))
+            if slot is None:
+                # node mode: the owning group lives on some other node
+                self.foreign_dropped += 1
+                self._drain(block=False)
+                return seq
+            targets = (slot,)
         else:
             self.sync_broadcast += 1
-            targets = range(self.config.n_shards)
+            targets = range(len(self._slot_groups))
         for shard in targets:
             buffer = self._pbuffers[shard]
             if extras is None:
@@ -552,6 +653,13 @@ class ShardedEngine:
         interned exactly once per connection); the client's local sequence
         numbers are discarded -- the engine assigns its own, so binary and
         text ingestion of the same stream produce identical ``seq`` tags.
+
+        Cluster node mode inverts both choices: the sender is the
+        coordinator, whose id space and sequence numbers are *the* cluster
+        truth, so ids are adopted verbatim (the node's interner is a prefix
+        replica of the coordinator's master) and each record keeps its wire
+        ``seq`` -- race lines come out tagged exactly as a single-node run
+        would tag them.
         """
         if state.decoder is not None:  # object transport: reconstitute
             count = 0
@@ -559,6 +667,8 @@ class ShardedEngine:
                 self.submit(event)
                 count += 1
             return count
+        if self.config.node_mode:
+            return self._ingest_node_frame(payload, state)
         base, delta, records, extras = decode_frame(payload)
         remap = state.remap
         if len(remap) < base:
@@ -592,13 +702,58 @@ class ShardedEngine:
             count += 1
         return count
 
+    def _ingest_node_frame(self, payload: bytes, state: WireIngest) -> int:
+        """Node-mode frame ingestion: coordinator ids and seq pass through.
+
+        The delta is interned through the encoder's caches (not appended
+        raw) so the variable-to-group route stays a dict hit; because the
+        delta arrives in id order and this replica is a prefix of the
+        sender's master, the assigned ids must line up exactly -- a mismatch
+        means the connection does not share our id space and is an error,
+        not something to remap around.
+        """
+        base, delta, records, extras = decode_frame(payload)
+        interner = self._encoder.interner
+        if len(interner) < base:
+            raise ValueError(
+                f"frame assumes {base} interned elements, node has {len(interner)}"
+            )
+        for i, element in enumerate(delta):
+            if base + i < len(interner):
+                continue
+            got = self._encoder.intern_element(element)
+            if got != base + i:
+                raise ValueError(
+                    f"node interner diverged: element {base + i} interned as {got}"
+                )
+        only_slot: Optional[int] = None
+        if state.replay_group is not None:
+            only_slot = self._slot_of.get(state.replay_group)
+            if only_slot is None:
+                raise ValueError(
+                    f"replay target group {state.replay_group} is not hosted here"
+                )
+        count = 0
+        for i in range(0, len(records), RECORD_WIDTH):
+            op, seq, tid_id, index, a, b = records[i : i + RECORD_WIDTH]
+            local_extras: Optional[List[int]] = None
+            if op == OP_COMMIT:
+                n_vars = extras[a]
+                local_extras = list(extras[a : a + 1 + 2 * n_vars])
+                a = b = 0
+            self._ingest_record(
+                op, tid_id, index, a, b, local_extras, seq, only_slot=only_slot
+            )
+            count += 1
+        return count
+
     def wire_state(self) -> WireIngest:
         """Fresh per-connection state for :meth:`submit_wire_frame`."""
         return WireIngest(self.config.transport)
 
     def flush(self) -> None:
         """Push every non-empty batch buffer to its shard."""
-        for shard in range(self.config.n_shards):
+        for shard in range(len(self._slot_groups)):
             if self._packed:
                 if self._pbuffers[shard].count:
                     self._push(shard)
@@ -760,7 +915,11 @@ class ShardedEngine:
             except queue_mod.Empty:
                 return
             if msg[0] == "ack":
-                self._apply_ack(msg[1], msg[2], msg[3], msg[4], msg[5], msg[6])
+                # Workers identify themselves by *global* partition id;
+                # translate to the hosting slot (identity in normal mode).
+                self._apply_ack(
+                    self._slot_of[msg[1]], msg[2], msg[3], msg[4], msg[5], msg[6]
+                )
                 if block:
                     return
             elif msg[0] == "checkpoint":
@@ -784,7 +943,7 @@ class ShardedEngine:
         deadline = time.monotonic() + timeout
         while any(
             self._acked_batches[i] < self._sent_batches[i]
-            for i in range(self.config.n_shards)
+            for i in range(len(self._slot_groups))
         ):
             if time.monotonic() > deadline:
                 raise TimeoutError("shard(s) failed to drain before the deadline")
@@ -816,10 +975,11 @@ class ShardedEngine:
         # Shard interner replicas restarted from scratch: the edge encoder
         # and its per-shard delta cursors must restart with them (sequence
         # numbers keep counting -- the execution restarts, the stream not).
-        self._encoder = EventEncoder(self.config.n_shards)
-        self._cursors = [1] * self.config.n_shards
-        self._pbuffers = [_PackedBuffer() for _ in range(self.config.n_shards)]
-        self._shard_stats = [{} for _ in range(self.config.n_shards)]
+        n = len(self._slot_groups)
+        self._encoder = EventEncoder(self._partitions)
+        self._cursors = [1] * n
+        self._pbuffers = [_PackedBuffer() for _ in range(n)]
+        self._shard_stats = [{} for _ in range(n)]
         if self.recorder is not None:
             self.recorder.rebind(self._encoder.interner)
 
@@ -832,21 +992,185 @@ class ShardedEngine:
         for task_q in self._task_qs:
             task_q.put(("checkpoint",))
         deadline = time.monotonic() + 60.0
-        while len(self._checkpoints) < self.config.n_shards:
+        while len(self._checkpoints) < len(self._slot_groups):
             if time.monotonic() > deadline:
                 raise TimeoutError("checkpoint collection timed out")
             self._drain(block=True)
-        return [self._checkpoints[i] for i in range(self.config.n_shards)]
+        return [self._checkpoints[g] for g in self._slot_groups]
+
+    # -- cluster node mode: dynamic shard-group hosting -------------------------
+
+    def hosted_groups(self) -> List[int]:
+        """The global partition ids this engine currently detects for."""
+        return sorted(self._slot_groups)
+
+    def interner_version(self) -> int:
+        """This engine's replica version (master interner length)."""
+        return len(self._encoder.interner)
+
+    def interner_snapshot(self, since: int = 1) -> bytes:
+        """A versioned snapshot of the master interner from ``since``."""
+        return encode_interner_snapshot(self._encoder.interner, since)
+
+    def adopt_interner_snapshot(self, blob: bytes) -> int:
+        """Fast-forward the edge interner from a snapshot; returns version.
+
+        Elements go through :meth:`EventEncoder.intern_element` (not raw
+        interning) so the variable-to-group route cache stays coherent, and
+        ids are verified against the snapshot's -- a divergent id space is
+        an error, exactly as in :meth:`_ingest_node_frame`.
+        """
+        since, _total, elements = decode_interner_snapshot(blob)
+        have = len(self._encoder.interner)
+        if have < since:
+            raise ValueError(
+                f"snapshot starts at version {since}, node is at {have}"
+            )
+        for i, element in enumerate(elements):
+            if since + i < have:
+                continue
+            got = self._encoder.intern_element(element)
+            if got != since + i:
+                raise ValueError(
+                    f"node interner diverged: element {since + i} interned as {got}"
+                )
+        return len(self._encoder.interner)
+
+    def export_group(self, group: int) -> bytes:
+        """Checkpoint exactly one hosted group's detector (drains first)."""
+        slot = self._slot_of.get(group)
+        if slot is None:
+            raise ValueError(f"group {group} is not hosted here")
+        self.barrier()
+        if self.config.workers == "inline":
+            return self._detectors[slot].checkpoint()
+        self._checkpoints.pop(group, None)
+        self._task_qs[slot].put(("checkpoint",))
+        deadline = time.monotonic() + 60.0
+        while group not in self._checkpoints:
+            if time.monotonic() > deadline:
+                raise TimeoutError("group checkpoint timed out")
+            self._drain(block=True)
+        return self._checkpoints.pop(group)
+
+    def adopt_group(self, group: int, blob: Optional[bytes] = None) -> None:
+        """Start hosting a global partition, fresh or from a checkpoint.
+
+        The restored detector's interner and this node's master are both
+        prefixes of the coordinator's, so the new slot's delta cursor is
+        simply the shorter of the two -- the first frame fills whichever
+        side is behind, and :func:`extend_interner`'s overlap skip absorbs
+        whichever side is ahead.  Seed-kernel slots decode through a fresh
+        :class:`FrameDecoder` (empty replica) and restart at cursor 1.
+        """
+        if not self.config.node_mode:
+            raise ValueError("adopt_group requires cluster node mode")
+        if not 0 <= group < self._partitions:
+            raise ValueError(f"group {group} out of range [0, {self._partitions})")
+        if group in self._slot_of:
+            raise ValueError(f"group {group} is already hosted")
+        detector = pickle.loads(blob) if blob is not None else None
+        cursor = 1
+        if detector is not None and self.config.kernel == "encoded":
+            cursor = max(
+                1, min(len(detector.interner), len(self._encoder.interner))
+            )
+        slot = len(self._slot_groups)
+        self._slot_groups.append(group)
+        self._slot_of[group] = slot
+        self._buffers.append([])
+        self._pbuffers.append(_PackedBuffer())
+        self._cursors.append(cursor)
+        self._sent_batches.append(0)
+        self._acked_batches.append(0)
+        self._sent_events.append(0)
+        self._acked_events.append(0)
+        self._shard_stats.append({})
+        self._sync_decoded.append(0)
+        self._inflight.append(deque())
+        if self.config.workers == "inline":
+            if detector is None:
+                detector = self.config.detector_class()(
+                    group, self._partitions, **self.config.detector_kwargs()
+                )
+            self._detectors.append(detector)
+            self._decoders.append(
+                FrameDecoder()
+                if self._packed and not hasattr(detector, "apply_packed")
+                else None
+            )
+        else:
+            ctx = mp.get_context()
+            task_q = ctx.Queue(maxsize=self.config.queue_depth)
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(
+                    group,
+                    self._partitions,
+                    self.config.kernel,
+                    self.config.transport,
+                    self.config.detector_kwargs(),
+                    blob,
+                    task_q,
+                    self._result_q,
+                    self.obs_config.enabled,
+                ),
+                daemon=True,
+            )
+            self._task_qs.append(task_q)
+            self._procs.append(proc)
+            proc.start()
+
+    def retire_group(self, group: int) -> None:
+        """Stop hosting a global partition (drains its in-flight work first).
+
+        The migration driver calls this on the source the moment the
+        checkpoint is exported: commits are broadcast, so a lingering copy
+        of the group would double-report every footprint race during the
+        hand-off window.
+        """
+        if not self.config.node_mode:
+            raise ValueError("retire_group requires cluster node mode")
+        slot = self._slot_of.get(group)
+        if slot is None:
+            raise ValueError(f"group {group} is not hosted here")
+        self.barrier()
+        if self.config.workers == "inline":
+            del self._detectors[slot]
+            del self._decoders[slot]
+        else:
+            task_q = self._task_qs.pop(slot)
+            proc = self._procs.pop(slot)
+            try:
+                task_q.put(("stop",), timeout=1.0)
+            except queue_mod.Full:  # pragma: no cover - drained by barrier
+                pass
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - defensive
+                proc.terminate()
+                proc.join(timeout=1.0)
+        del self._buffers[slot]
+        del self._pbuffers[slot]
+        del self._cursors[slot]
+        del self._sent_batches[slot]
+        del self._acked_batches[slot]
+        del self._sent_events[slot]
+        del self._acked_events[slot]
+        del self._shard_stats[slot]
+        del self._sync_decoded[slot]
+        del self._inflight[slot]
+        self._slot_groups.pop(slot)
+        self._slot_of = {g: i for i, g in enumerate(self._slot_groups)}
 
     def stats(self) -> ServiceStats:
         """A snapshot from the router's bookkeeping and the latest shard acks."""
         self._drain(block=False)
         shards = []
-        for i in range(self.config.n_shards):
+        for i, group in enumerate(self._slot_groups):
             det = self._shard_stats[i]
             shards.append(
                 ShardStats(
-                    shard=i,
+                    shard=group,
                     queue_depth=self._sent_batches[i] - self._acked_batches[i],
                     events_processed=self._acked_events[i],
                     races=det.get("races", 0),
@@ -863,7 +1187,7 @@ class ShardedEngine:
             batches_flushed=self.batches_flushed,
             backpressure_stalls=self.backpressure_stalls,
             races_reported=sum(s.races for s in shards),
-            n_shards=self.config.n_shards,
+            n_shards=len(self._slot_groups),
             transport=self.config.transport,
             queue_bytes=self.queue_bytes,
             edge_allocs=self.edge_allocs,

@@ -23,6 +23,18 @@ Client -> server, one line each:
                    length-prefixed binary frames (see below)
       !shutdown    drain, acknowledge, and stop the service
 
+  and the cluster verbs a coordinator uses to drive a node
+  (``docs/CLUSTER.md``)::
+
+      !cluster <n_groups>      draft this service into cluster node mode
+      !adopt <g> [b64]         host group g, fresh or from a checkpoint blob
+      !retire <g>              stop hosting group g (drains it first)
+      !checkpoint <g>          export group g; reply ``checkpoint <g> <b64>``
+      !replay <g> | done       target subsequent frames at exactly group g
+                               (migration delta replay), or end targeting
+      !interner [b64]          report the node's interner version; with a
+                               snapshot argument, fast-forward first
+
 Server -> client, one line each:
 
 * ``race <obj>.<field> <kind>:<tid>:<index>:<xact> <kind>:<tid>:<index>:<xact> seq=<n>``
@@ -73,6 +85,13 @@ CONTROL_COMMANDS = (
     "reset",
     "binary",
     "shutdown",
+    # cluster node verbs (coordinator -> node; see docs/CLUSTER.md)
+    "cluster",
+    "adopt",
+    "retire",
+    "checkpoint",
+    "replay",
+    "interner",
 )
 
 # -- binary framing (client -> server after `!binary` negotiation) -------------
@@ -178,12 +197,12 @@ def parse_race(line: str) -> RaceLine:
 def parse_response(line: str) -> Tuple[str, str]:
     """Classify a server line into ``(kind, payload)``.
 
-    ``kind`` is one of ``race``, ``stats``, ``health``, ``ok``, ``error``,
-    or ``other`` (unrecognized lines -- forward-compatible clients skip
-    them).
+    ``kind`` is one of ``race``, ``stats``, ``health``, ``checkpoint``,
+    ``ok``, ``error``, or ``other`` (unrecognized lines --
+    forward-compatible clients skip them).
     """
     word, _, rest = line.partition(" ")
-    if word in ("race", "stats", "health", "ok", "error"):
+    if word in ("race", "stats", "health", "checkpoint", "ok", "error"):
         return word, rest
     return "other", line
 

@@ -24,6 +24,7 @@ events has been written.
 
 from __future__ import annotations
 
+import base64
 import json
 import socketserver
 import threading
@@ -36,7 +37,7 @@ from ..core.actions import Event
 from ..obs.bridge import registry_from_stats
 from ..obs.tracing import ObsConfig
 from ..trace.io import follow_trace
-from .engine import EngineConfig, SeqReport, ShardedEngine
+from .engine import EngineConfig, SeqReport, ShardedEngine, WireIngest
 from .protocol import (
     FRAME_CONTROL,
     FRAME_EVENTS,
@@ -171,7 +172,15 @@ class RaceDetectionService:
         snapshot = self.stats()
         with self._lock:
             bad_lines = list(self._bad_lines)
-        return {
+            cluster = None
+            if self.engine.config.node_mode:
+                cluster = {
+                    "n_groups": self.engine.config.n_groups,
+                    "hosted_groups": self.engine.hosted_groups(),
+                    "interner_version": self.engine.interner_version(),
+                    "foreign_dropped": self.engine.foreign_dropped,
+                }
+        payload = {
             "status": "ok",
             "uptime_sec": snapshot.uptime_sec,
             "events_ingested": snapshot.events_ingested,
@@ -186,6 +195,9 @@ class RaceDetectionService:
             "flightrec_dumps": snapshot.flightrec_dumps,
             "stats": snapshot.as_dict(),
         }
+        if cluster is not None:
+            payload["cluster"] = cluster
+        return payload
 
     def dump_flight_recorders(self, reason: str = "signal") -> List[str]:
         """Write every shard's flight ring to disk (SIGTERM/crash path).
@@ -240,7 +252,7 @@ class RaceDetectionService:
             if not line or line.startswith("#"):
                 continue
             if is_control(line):
-                command, _args = parse_control(line)
+                command, args = parse_control(line)
                 if command == "binary":
                     if binary is None:
                         writer.write("error binary mode needs a byte stream\n")
@@ -256,7 +268,7 @@ class RaceDetectionService:
                     if stop:
                         return races
                     break  # binary EOF ends the connection: drain below
-                stop, delta = self._control(command, writer, races)
+                stop, delta = self._control(command, args, writer, races)
                 races += delta
                 writer.flush()
                 if stop:
@@ -275,8 +287,27 @@ class RaceDetectionService:
         writer.flush()
         return races
 
-    def _control(self, command: str, writer: TextIO, races: int) -> Tuple[bool, int]:
-        """Run one control command; returns ``(stop stream?, races written)``."""
+    def _control(
+        self,
+        command: str,
+        args: str,
+        writer: TextIO,
+        races: int,
+        state: Optional[WireIngest] = None,
+    ) -> Tuple[bool, int]:
+        """Run one control command; returns ``(stop stream?, races written)``.
+
+        ``state`` is the connection's binary ingest state when the command
+        arrived as a ``FRAME_CONTROL`` frame -- the ``!replay`` verb scopes
+        its targeting to exactly that connection.
+        """
+        if command in ("cluster", "adopt", "retire", "checkpoint", "replay",
+                       "interner"):
+            try:
+                self._cluster_control(command, args, writer, state)
+            except Exception as exc:
+                writer.write(f"error {command}: {exc}\n")
+            return False, 0
         if command == "ping":
             writer.write("ok pong\n")
             return False, 0
@@ -316,6 +347,88 @@ class RaceDetectionService:
         writer.write(f"error unknown control command {command!r}\n")
         return False, 0
 
+    # -- cluster node verbs (coordinator -> node; docs/CLUSTER.md) --------------
+
+    def _cluster_control(
+        self,
+        command: str,
+        args: str,
+        writer: TextIO,
+        state: Optional[WireIngest],
+    ) -> None:
+        """The ``!cluster``/``!adopt``/``!retire``/``!checkpoint``/``!replay``/
+        ``!interner`` verbs.  Raises on bad input; the caller turns that into
+        one ``error`` line."""
+        if command == "cluster":
+            n_groups = int(args)
+            self._enter_node_mode(n_groups)
+            writer.write(summary_line("cluster", n_groups=n_groups) + "\n")
+            return
+        if command == "interner":
+            with self._lock:
+                if args:
+                    self.engine.adopt_interner_snapshot(
+                        base64.b64decode(args.encode("ascii"))
+                    )
+                version = self.engine.interner_version()
+            writer.write(summary_line("interner", version=version) + "\n")
+            return
+        if command == "replay":
+            if state is None:
+                raise ValueError("replay targeting needs a binary connection")
+            if args == "done":
+                state.replay_group = None
+                writer.write("ok replay done\n")
+                return
+            group = int(args)
+            with self._lock:
+                if group not in self.engine.hosted_groups():
+                    raise ValueError(f"group {group} is not hosted here")
+            state.replay_group = group
+            writer.write(summary_line("replay", group=group) + "\n")
+            return
+        # the remaining verbs name one group
+        word, _, blob_text = args.partition(" ")
+        group = int(word)
+        if command == "checkpoint":
+            with self._lock:
+                blob = self.engine.export_group(group)
+            encoded = base64.b64encode(blob).decode("ascii")
+            writer.write(f"checkpoint {group} {encoded}\n")
+            return
+        if command == "adopt":
+            blob = (
+                base64.b64decode(blob_text.encode("ascii")) if blob_text else None
+            )
+            with self._lock:
+                self.engine.adopt_group(group, blob)
+            writer.write(summary_line("adopt", group=group) + "\n")
+            return
+        if command == "retire":
+            with self._lock:
+                self.engine.retire_group(group)
+            writer.write(summary_line("retire", group=group) + "\n")
+            return
+        raise ValueError(f"unhandled cluster verb {command!r}")
+
+    def _enter_node_mode(self, n_groups: int) -> None:
+        """Swap the engine for a cluster-node one (no groups hosted yet).
+
+        The coordinator drafts a plain ``repro-serve`` instance with
+        ``!cluster <n_groups>`` before switching to binary frames; hosted
+        groups then arrive through ``!adopt``.  Any detection state of the
+        old engine is discarded -- nodes are drafted fresh.
+        """
+        config = self.config.engine_config()
+        config.transport = "packed"
+        config.n_groups = n_groups
+        config.groups = ()
+        with self._lock:
+            old = self.engine
+            self.engine = ShardedEngine(config)
+            old.close()
+            self.tracer = self.engine.tracer
+
     def _binary_loop(
         self, binary: BinaryIO, writer: TextIO
     ) -> Tuple[int, int, bool]:
@@ -346,12 +459,15 @@ class RaceDetectionService:
                 races += self._write_races(writer, self.poll_reports())
             elif frame_type == FRAME_CONTROL:
                 line = payload.decode("utf-8", "replace").strip()
-                command = parse_control(line)[0] if is_control(line) else line
+                if is_control(line):
+                    command, args = parse_control(line)
+                else:
+                    command, args = line, ""
                 if command == "binary":  # already negotiated; idempotent
                     writer.write("ok binary\n")
                     writer.flush()
                     continue
-                stop, delta = self._control(command, writer, races)
+                stop, delta = self._control(command, args, writer, races, state)
                 races += delta
                 writer.flush()
                 if stop:
@@ -424,6 +540,49 @@ class RaceDetectionService:
         return races
 
     # -- lifecycle ---------------------------------------------------------------
+
+    def graceful_drain(
+        self, writer: Optional[TextIO] = None, timeout: float = 30.0
+    ) -> str:
+        """SIGTERM path: final barrier, flight-recorder flush, terminal stats.
+
+        Drains every in-flight batch so races completed by already-accepted
+        events are reported instead of dropped, dumps the flight rings (when
+        a dump directory is configured), and returns one terminal ``ok
+        drain ...`` summary line (also written to ``writer`` when given).
+        Ends by signalling shutdown; safe to call more than once.
+        """
+        # The lock acquire is best-effort with a timeout: a signal handler
+        # runs on the main thread, which may itself hold the (non-reentrant)
+        # ingestion lock -- a partial drain beats a deadlock on the way out.
+        reports: List[SeqReport] = []
+        locked = self._lock.acquire(timeout=timeout)
+        try:
+            if locked:
+                reports = self.engine.barrier(timeout=timeout)
+                self._races_seen += len(reports)
+        except Exception:
+            pass  # a torn drain still reports whatever it managed to collect
+        finally:
+            if locked:
+                self._lock.release()
+        if writer is not None and reports:
+            self._write_races(writer, reports)
+        dumps = self.dump_flight_recorders("drain")
+        # Counters are read without the lock on purpose (see above); they are
+        # monotonic ints, so the worst case is a slightly stale terminal line.
+        line = summary_line(
+            "drain",
+            drained=int(locked),
+            events=self.engine.events_ingested,
+            races=self._races_seen,
+            flightrec_dumps=len(dumps),
+        )
+        if writer is not None:
+            writer.write(line + "\n")
+            writer.flush()
+        self.request_shutdown()
+        return line
 
     def request_shutdown(self) -> None:
         """Signal every follow/flush loop (and a hosting server) to stop."""

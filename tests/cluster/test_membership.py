@@ -1,0 +1,67 @@
+"""Membership liveness bookkeeping, driven by an injected clock."""
+
+import pytest
+
+from repro.cluster.membership import DOWN, UP, Membership
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_nodes_go_down_after_max_missed_and_recover():
+    clock = FakeClock()
+    membership = Membership(interval=2.0, max_missed=3, clock=clock)
+    membership.register("a")
+    assert membership.node("a").status == UP
+    assert membership.record_failure("a") is False
+    assert membership.record_failure("a") is False
+    # The third consecutive miss flips the node, exactly once.
+    assert membership.record_failure("a") is True
+    assert membership.record_failure("a") is False
+    state = membership.node("a")
+    assert state.status == DOWN and state.missed == 4 and state.failures == 4
+    membership.record_success("a")
+    state = membership.node("a")
+    assert state.status == UP and state.missed == 0
+    assert state.last_seen == clock.now
+    assert membership.up_nodes() == ["a"]
+
+
+def test_sweep_honors_the_interval_and_probe_exceptions():
+    clock = FakeClock()
+    membership = Membership(interval=2.0, max_missed=1, clock=clock)
+    membership.register("a")
+    membership.register("b")
+    assert not membership.due()
+    clock.now += 2.0
+    assert membership.due()
+
+    def probe(name):
+        if name == "b":
+            raise ConnectionError("unreachable")
+        return True
+
+    results = membership.sweep(probe)
+    assert results == {"a": True, "b": False}
+    assert membership.node("a").status == UP
+    assert membership.node("b").status == DOWN  # max_missed=1: one strike
+    assert not membership.due()  # sweep resets the schedule
+    assert membership.up_nodes() == ["a"]
+
+
+def test_as_dict_and_registry():
+    membership = Membership(clock=FakeClock())
+    membership.register("a")
+    membership.register("a")  # idempotent
+    snapshot = membership.as_dict()
+    assert snapshot["max_missed"] == 3
+    assert [n["name"] for n in snapshot["nodes"]] == ["a"]
+    membership.forget("a")
+    assert membership.nodes() == []
+    with pytest.raises(ValueError):
+        Membership(max_missed=0)

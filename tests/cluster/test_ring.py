@@ -1,0 +1,143 @@
+"""Property tests for the consistent-hash ring and placement overrides.
+
+The ring's whole reason to exist over ``% n`` is minimal remapping: adding
+or removing a member may only move keys onto (or off) that member.  These
+are the properties migrations and membership changes lean on, so they are
+fuzzed here rather than spot-checked.
+"""
+
+import string
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.ring import DEFAULT_VNODES, HashRing, Placement, _point
+
+names = st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+keys = st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=50)
+
+
+@given(nodes=names, groups=keys)
+@settings(max_examples=50, deadline=None)
+def test_placement_is_order_independent(nodes, groups):
+    """Two rings over the same membership agree, whatever the build order."""
+    forward = HashRing(nodes, vnodes=16)
+    backward = HashRing(reversed(nodes), vnodes=16)
+    for key in groups:
+        assert forward.node_for(key) == backward.node_for(key)
+
+
+@given(nodes=names, extra=st.text(alphabet=string.ascii_lowercase, min_size=7, max_size=9), groups=keys)
+@settings(max_examples=50, deadline=None)
+def test_adding_a_node_only_pulls_keys_onto_it(nodes, extra, groups):
+    """Add-node stability: a key either keeps its owner or moves to the
+    new member -- never from one old member to another."""
+    ring = HashRing(nodes, vnodes=16)
+    before = {key: ring.node_for(key) for key in groups}
+    ring.add_node(extra)
+    for key in groups:
+        after = ring.node_for(key)
+        assert after == before[key] or after == extra
+
+
+@given(nodes=st.lists(
+    st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=6),
+    min_size=2, max_size=6, unique=True,
+), groups=keys)
+@settings(max_examples=50, deadline=None)
+def test_removing_a_node_only_moves_its_keys(nodes, groups):
+    """Remove-node stability: keys not on the removed member stay put."""
+    ring = HashRing(nodes, vnodes=16)
+    victim = sorted(nodes)[0]
+    before = {key: ring.node_for(key) for key in groups}
+    ring.remove_node(victim)
+    for key in groups:
+        after = ring.node_for(key)
+        if before[key] != victim:
+            assert after == before[key]
+        else:
+            assert after != victim
+
+
+@given(nodes=names, groups=keys)
+@settings(max_examples=25, deadline=None)
+def test_add_then_remove_roundtrips(nodes, groups):
+    """Removing what was just added restores the exact placement."""
+    ring = HashRing(nodes, vnodes=16)
+    before = {key: ring.node_for(key) for key in groups}
+    ring.add_node("zzz-transient")
+    ring.remove_node("zzz-transient")
+    assert {key: ring.node_for(key) for key in groups} == before
+
+
+def test_balance_across_default_vnodes():
+    """With 128 vnodes per member, 1000 keys split within 2x of fair share."""
+    for count in (2, 3, 5):
+        ring = HashRing([f"n{i}" for i in range(count)], vnodes=DEFAULT_VNODES)
+        tally = {name: 0 for name in ring.nodes()}
+        for key in range(1000):
+            tally[ring.node_for(f"group:{key}")] += 1
+        fair = 1000 / count
+        for name, hits in tally.items():
+            assert fair / 2 <= hits <= fair * 2, (count, name, tally)
+
+
+def test_ring_points_are_process_independent():
+    """MD5 coordinates, not salted hash(): golden values must never drift.
+
+    A coordinator restart (or an observer on another host) must rebuild
+    the identical ring from the member list alone.
+    """
+    assert _point("a#0") == int.from_bytes(
+        __import__("hashlib").md5(b"a#0").digest()[:8], "big"
+    )
+    ring = HashRing(["alpha", "beta", "gamma"], vnodes=DEFAULT_VNODES)
+    placement = {g: ring.node_for(f"group:{g}") for g in range(8)}
+    assert placement == {
+        g: HashRing(["gamma", "beta", "alpha"]).node_for(f"group:{g}")
+        for g in range(8)
+    }
+
+
+def test_ring_edge_cases():
+    import pytest
+
+    with pytest.raises(LookupError):
+        HashRing().node_for("group:0")
+    with pytest.raises(ValueError):
+        HashRing(vnodes=0)
+    with pytest.raises(ValueError):
+        HashRing([""])
+    ring = HashRing(["solo"])
+    ring.add_node("solo")  # idempotent
+    ring.remove_node("ghost")  # no-op
+    assert len(ring) == 1 and "solo" in ring
+    assert all(ring.node_for(k) == "solo" for k in range(20))
+
+
+def test_placement_overrides_layer_on_the_ring():
+    import pytest
+
+    ring = HashRing(["a", "b"], vnodes=32)
+    placement = Placement(ring, n_groups=4)
+    ring_owner = placement.node_of(0)
+    other = "b" if ring_owner == "a" else "a"
+    placement.pin(0, other)
+    assert placement.node_of(0) == other
+    assert placement.overrides() == {0: other}
+    assert placement.assignment_by_group()[0] == other
+    assert 0 in placement.assignment()[other]
+    placement.unpin(0)
+    assert placement.node_of(0) == ring_owner
+    with pytest.raises(ValueError):
+        placement.pin(9, "a")
+    with pytest.raises(ValueError):
+        placement.pin(0, "ghost")
+    with pytest.raises(ValueError):
+        placement.node_of(-1)
+    with pytest.raises(ValueError):
+        Placement(ring, n_groups=0)
