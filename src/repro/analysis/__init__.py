@@ -26,4 +26,36 @@ from .model import AnalysisModel
 from .chord import run_chord
 from .rccjava import run_rccjava
 
-__all__ = ["AccessPair", "AnalysisModel", "StaticRaceReport", "run_chord", "run_rccjava"]
+#: admission-control names re-exported lazily (PEP 562): importing them
+#: here eagerly would shadow ``python -m repro.analysis.admission``
+_ADMISSION_NAMES = (
+    "AdmissionFilter",
+    "ApproximateVarSet",
+    "build_admission_filter",
+    "combine_race_free",
+    "load_admission_filter",
+    "var_key",
+)
+
+
+def __getattr__(name):
+    if name in _ADMISSION_NAMES:
+        from . import admission
+
+        return getattr(admission, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "AccessPair",
+    "AdmissionFilter",
+    "AnalysisModel",
+    "ApproximateVarSet",
+    "StaticRaceReport",
+    "build_admission_filter",
+    "combine_race_free",
+    "load_admission_filter",
+    "run_chord",
+    "run_rccjava",
+    "var_key",
+]

@@ -18,6 +18,9 @@ Regenerates the paper's evaluation artifacts:
   span-sampling-on (``BENCH_obs_overhead.json``);
 * ``cluster`` -- multi-node scaling under the deterministic critical-path
   cost model, 1/2/4 in-process nodes (``BENCH_cluster_scaling.json``);
+* ``admit`` -- static admission control: counted work baseline vs
+  ``--admit`` across every ingestion mode, with race-line parity
+  (``BENCH_admission.json``);
 * ``all`` -- everything above.
 
 Options: ``--scale tiny|small|full`` (default small), ``--repeats N``,
@@ -91,7 +94,7 @@ def main(argv=None) -> int:
         default="throughput",
         choices=[
             "table1", "table2", "table3", "figures", "throughput", "ingest",
-            "obs", "cluster", "all",
+            "obs", "cluster", "admit", "all",
         ],
         help="which artifact to regenerate (default: throughput)",
     )
@@ -118,6 +121,7 @@ def main(argv=None) -> int:
             "ingest": "BENCH_service_ingest.json",
             "obs": "BENCH_obs_overhead.json",
             "cluster": "BENCH_cluster_scaling.json",
+            "admit": "BENCH_admission.json",
         }.get(args.what, "BENCH_detector_throughput.json")
 
     names = args.workloads.split(",") if args.workloads else None
@@ -144,11 +148,11 @@ def main(argv=None) -> int:
     if args.what in ("figures", "all"):
         print(_figures_text())
     if args.what in ("throughput", "all") or (
-        args.json and args.what not in ("ingest", "obs", "cluster")
+        args.json and args.what not in ("ingest", "obs", "cluster", "admit")
     ):
         from .throughput import bench_throughput, render_throughput, write_throughput_json
 
-        if args.json and args.what not in ("ingest", "obs", "cluster"):
+        if args.json and args.what not in ("ingest", "obs", "cluster", "admit"):
             payload = write_throughput_json(args.json, repeats=args.repeats)
             print(f"wrote {args.json}")
         else:
@@ -181,6 +185,15 @@ def main(argv=None) -> int:
         else:
             payload = bench_cluster()
         print(render_cluster(payload))
+    if args.what in ("admit", "all"):
+        from .admit import bench_admit, render_admit, write_admit_json
+
+        if args.what == "admit" and args.json:
+            payload = write_admit_json(args.json)
+            print(f"wrote {args.json}")
+        else:
+            payload = bench_admit()
+        print(render_admit(payload))
     return 0
 
 

@@ -72,6 +72,20 @@ def _make_detector(name: str, commit_sync: str):
 
 def cmd_analyze(args) -> int:
     events = _load(args.trace)
+    if getattr(args, "admit", None):
+        from .analysis.admission import load_admission_filter
+
+        try:
+            admit = load_admission_filter(args.admit)
+        except (OSError, ValueError) as exc:
+            print(f"error: --admit: {exc}")
+            return 2
+        total = len(events)
+        events = admit.filter_events(events)
+        print(
+            f"[admit] {admit.describe()}; "
+            f"{total - len(events)}/{total} event(s) dropped"
+        )
     status = 0
     for name in args.detector or ["goldilocks"]:
         try:
@@ -232,6 +246,12 @@ def main(argv: List[str] = None) -> int:
         action="append",
         choices=sorted(DETECTORS),
         help="detector(s) to run (default: goldilocks)",
+    )
+    analyze.add_argument(
+        "--admit",
+        metavar="FILTER.json",
+        help="static admission-control filter (python -m repro.analysis.admission); "
+        "data accesses it proves race-free are dropped before detection",
     )
     analyze.add_argument("--stats", action="store_true", help="print counters")
     analyze.set_defaults(func=cmd_analyze)

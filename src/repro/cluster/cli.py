@@ -83,6 +83,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "(0 = atomic hand-off)",
     )
     parser.add_argument(
+        "--admit",
+        metavar="FILTER.json",
+        help="static admission-control filter; race-free data accesses are "
+        "dropped at the coordinator and the filter is forwarded to nodes",
+    )
+    parser.add_argument(
         "--stats",
         action="store_true",
         help="print the final coordinator snapshot as JSON to stderr",
@@ -166,11 +172,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ValueError as exc:
         parser.error(str(exc))
 
+    admit_filter = None
+    if args.admit:
+        from ..analysis.admission import load_admission_filter
+
+        try:
+            admit_filter = load_admission_filter(args.admit)
+        except (OSError, ValueError) as exc:
+            parser.error(f"--admit: {exc}")
     config = ClusterConfig(
         nodes=nodes,
         n_groups=args.groups,
         batch_size=args.batch_size,
         balanced=args.balanced,
+        admit=admit_filter,
     )
     out = sys.stdout
     races = 0

@@ -30,6 +30,7 @@ between batches.
 
 from __future__ import annotations
 
+import base64
 import socket
 import time
 from array import array
@@ -79,6 +80,11 @@ class ClusterConfig:
     balanced: bool = False
     #: observability tunables (span log receives migration trace spans)
     obs: Optional[ObsConfig] = None
+    #: static admission filter (:class:`repro.analysis.admission.
+    #: AdmissionFilter`): data accesses it proves race-free are dropped at
+    #: the coordinator (still consuming their cluster-wide seq) and the
+    #: filter is forwarded to every node via ``!admit`` at connect time.
+    admit: Optional[object] = None
 
 
 class _NodeBuffer:
@@ -211,6 +217,10 @@ class ClusterStats:
     assignment: Dict[str, List[int]]
     nodes: List[Dict[str, object]]
     membership: Dict[str, object]
+    #: data accesses the coordinator dropped as statically race-free
+    data_filtered: int = 0
+    #: admission policy in force ("off" when no filter is installed)
+    admit: str = "off"
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -218,6 +228,8 @@ class ClusterStats:
             "events_ingested": self.events_ingested,
             "sync_broadcast": self.sync_broadcast,
             "data_routed": self.data_routed,
+            "data_filtered": self.data_filtered,
+            "admit": self.admit,
             "races_reported": self.races_reported,
             "interner_version": self.interner_version,
             "migrations_completed": self.migrations_completed,
@@ -242,7 +254,7 @@ class ClusterCoordinator:
         self.membership = Membership(
             interval=config.heartbeat_interval, max_missed=config.max_missed
         )
-        self.encoder = EventEncoder(config.n_groups)
+        self.encoder = EventEncoder(config.n_groups, admit=config.admit)
         self.tracer = LifecycleTracer(config.obs or ObsConfig())
         self._handles: Dict[str, NodeHandle] = {}
         self._migrations: Dict[int, _Migration] = {}
@@ -250,13 +262,22 @@ class ClusterCoordinator:
         self.events_ingested = 0
         self.sync_broadcast = 0
         self.data_routed = 0
+        self.data_filtered = 0
         self.migrations_completed = 0
         #: every race line drained so far, sorted at each barrier
         self.race_lines: List[str] = []
+        admit_line = None
+        if config.admit is not None:
+            blob = base64.b64encode(config.admit.to_json().encode("utf-8"))
+            admit_line = "!admit " + blob.decode("ascii")
         for name in sorted(config.nodes):
             host, port = config.nodes[name]
             handle = NodeHandle(name, host, port, timeout=config.timeout)
             handle.connect(config.n_groups)
+            if admit_line is not None:
+                # forward the filter so nodes defend in depth and report
+                # the policy in their own stats/metrics
+                handle.command(admit_line)
             self._handles[name] = handle
             self.membership.record_success(name)
         if config.balanced:
@@ -285,6 +306,11 @@ class ClusterCoordinator:
         self._seq = seq + 1
         self.events_ingested += 1
         if op == OP_READ or op == OP_WRITE:
+            if a < 0:
+                # admission-filtered access: consumes its cluster-wide seq
+                # (race-line parity with single-node runs) but ships nowhere
+                self.data_filtered += 1
+                return seq
             self.data_routed += 1
             group = self.encoder.shard_of_var(a)
             migration = self._migrations.get(group)
@@ -473,6 +499,12 @@ class ClusterCoordinator:
             events_ingested=self.events_ingested,
             sync_broadcast=self.sync_broadcast,
             data_routed=self.data_routed,
+            data_filtered=self.data_filtered,
+            admit=(
+                self.config.admit.policy
+                if self.config.admit is not None
+                else "off"
+            ),
             races_reported=races,
             interner_version=interner_version(self.encoder.interner),
             migrations_completed=self.migrations_completed,

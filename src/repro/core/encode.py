@@ -102,6 +102,27 @@ _LAST_SIMPLE_SYNC = OP_JOIN
 
 _BIG_ENDIAN = sys.byteorder == "big"
 
+#: sentinel variable id marking an admission-filtered data access; the
+#: record still consumes its sequence number (race-line parity) but is
+#: shipped to no shard and skipped by the kernel.
+FILTERED_VAR = -1
+
+
+class FrameFormatError(ValueError):
+    """A packed frame failed to decode.
+
+    Raised instead of a bare ``struct.error`` on truncated frames and
+    instead of a generic ``ValueError`` on unknown kind bytes, so wire
+    consumers can report *which* byte was bad.  ``kind`` holds the
+    offending kind byte -- the element type tag, opcode, or frame
+    version -- or ``None`` when the data ended before one was read.
+    Subclasses :class:`ValueError`, so existing handlers keep working.
+    """
+
+    def __init__(self, message: str, kind: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.kind = kind
+
 
 def _q_to_bytes(ints: array) -> bytes:
     if _BIG_ENDIAN:  # pragma: no cover - little-endian CI
@@ -155,29 +176,41 @@ def encode_elements(elements: Iterable[LocksetElement]) -> Tuple[bytes, int]:
 def decode_elements(
     data: bytes, offset: int, count: int
 ) -> Tuple[List[LocksetElement], int]:
-    """Inverse of :func:`encode_elements`; returns (elements, new offset)."""
+    """Inverse of :func:`encode_elements`; returns (elements, new offset).
+
+    Truncated input and unknown tags raise :class:`FrameFormatError`
+    carrying the offending element type byte.
+    """
     elements: List[LocksetElement] = []
-    for _ in range(count):
-        etype = data[offset]
-        offset += 1
-        (value,) = _I64.unpack_from(data, offset)
-        offset += 8
-        if etype == _ET_TID:
-            elements.append(Tid(value))
-            continue
-        if etype == _ET_LOCK:
-            elements.append(LockVar(Obj(value)))
-            continue
-        (length,) = _U16.unpack_from(data, offset)
-        offset += 2
-        field = data[offset : offset + length].decode("utf-8")
-        offset += length
-        if etype == _ET_VVAR:
-            elements.append(VolatileVar(Obj(value), field))
-        elif etype == _ET_DVAR:
-            elements.append(DataVar(Obj(value), field))
-        else:
-            raise ValueError(f"unknown element type tag {etype}")
+    etype: Optional[int] = None
+    try:
+        for _ in range(count):
+            etype = data[offset]
+            offset += 1
+            (value,) = _I64.unpack_from(data, offset)
+            offset += 8
+            if etype == _ET_TID:
+                elements.append(Tid(value))
+                continue
+            if etype == _ET_LOCK:
+                elements.append(LockVar(Obj(value)))
+                continue
+            (length,) = _U16.unpack_from(data, offset)
+            offset += 2
+            field = data[offset : offset + length].decode("utf-8")
+            offset += length
+            if etype == _ET_VVAR:
+                elements.append(VolatileVar(Obj(value), field))
+            elif etype == _ET_DVAR:
+                elements.append(DataVar(Obj(value), field))
+            else:
+                raise FrameFormatError(
+                    f"unknown element type tag {etype}", kind=etype
+                )
+    except (struct.error, IndexError) as exc:
+        raise FrameFormatError(
+            f"truncated element delta at byte {offset}: {exc}", kind=etype
+        ) from exc
     return elements, offset
 
 
@@ -208,23 +241,44 @@ def encode_frame(
 
 
 def decode_frame(data: bytes) -> Tuple[int, List[LocksetElement], array, array]:
-    """Unpack a frame; returns ``(base, delta elements, records, extras)``."""
-    version, base = _HEADER.unpack_from(data, 0)
+    """Unpack a frame; returns ``(base, delta elements, records, extras)``.
+
+    Truncation and unknown kind bytes raise :class:`FrameFormatError`
+    (a :class:`ValueError`) instead of leaking a bare ``struct.error``.
+    """
+    try:
+        version, base = _HEADER.unpack_from(data, 0)
+    except struct.error as exc:
+        raise FrameFormatError(
+            f"truncated frame header: {exc}",
+            kind=data[0] if data else None,
+        ) from exc
     if version != FRAME_VERSION:
-        raise ValueError(f"unsupported frame version {version}")
+        raise FrameFormatError(f"unsupported frame version {version}", kind=version)
     offset = _HEADER.size
-    (n_elements,) = _U32.unpack_from(data, offset)
-    offset += 4
-    elements, offset = decode_elements(data, offset, n_elements)
-    (n_record_ints,) = _U32.unpack_from(data, offset)
-    offset += 4
-    records = _q_from_bytes(data[offset : offset + 8 * n_record_ints])
-    offset += 8 * n_record_ints
-    (n_extra_ints,) = _U32.unpack_from(data, offset)
-    offset += 4
-    extras = _q_from_bytes(data[offset : offset + 8 * n_extra_ints])
+    try:
+        (n_elements,) = _U32.unpack_from(data, offset)
+        offset += 4
+        elements, offset = decode_elements(data, offset, n_elements)
+        (n_record_ints,) = _U32.unpack_from(data, offset)
+        offset += 4
+        records = _q_from_bytes(data[offset : offset + 8 * n_record_ints])
+        offset += 8 * n_record_ints
+        (n_extra_ints,) = _U32.unpack_from(data, offset)
+        offset += 4
+        extras = _q_from_bytes(data[offset : offset + 8 * n_extra_ints])
+    except FrameFormatError:
+        raise
+    except (struct.error, ValueError) as exc:
+        # ValueError covers a record/extra section cut mid-int64
+        # (array.frombytes rejects partial items)
+        raise FrameFormatError(
+            f"truncated frame body at byte {offset}: {exc}", kind=version
+        ) from exc
     if len(records) % RECORD_WIDTH:
-        raise ValueError("record section is not a whole number of records")
+        raise FrameFormatError(
+            "record section is not a whole number of records", kind=version
+        )
     return base, elements, records, extras
 
 
@@ -319,11 +373,21 @@ class EventEncoder:
     parsed integers/strings.  ``cache_misses`` counts the slow paths (one
     per newly seen element) -- the deterministic "per-event allocations"
     proxy of the ingest benchmark.
+
+    ``admit`` is an optional static admission filter (any object with
+    ``admit(obj_value, field) -> bool`` and ``note_filtered``, i.e.
+    :class:`repro.analysis.admission.AdmissionFilter`).  Data accesses it
+    rejects encode to the :data:`FILTERED_VAR` sentinel instead of an
+    interned variable id -- they never intern, never route, never reach a
+    kernel.  Sync events, allocs, and commit footprints always pass, so
+    the shared happens-before state stays exact.  Decisions are cached
+    per variable: in steady state a filtered access costs one dict hit.
     """
 
-    def __init__(self, n_shards: int = 1) -> None:
+    def __init__(self, n_shards: int = 1, admit=None) -> None:
         self.interner = Interner()
         self.n_shards = n_shards
+        self.admit = admit
         self.cache_misses = 0
         self.events_encoded = 0
         self._tid_ids: Dict[int, int] = {}
@@ -332,6 +396,10 @@ class EventEncoder:
         self._dvar_ids: Dict[Tuple[int, str], int] = {}
         #: data-variable id -> owning shard (crc32 partition, cached)
         self._var_shard: Dict[int, int] = {}
+        #: (obj, field) -> var id or FILTERED_VAR (admission decision cache)
+        self._access_ids: Dict[Tuple[int, str], int] = {}
+        #: already-interned var id -> admission verdict (wire ingest cache)
+        self._admit_ids: Dict[int, bool] = {}
 
     # -- element id lookups (cached; misses intern and count) ------------------
 
@@ -374,6 +442,61 @@ class EventEncoder:
             )
         return eid
 
+    def _data_var_id(self, obj_value: int, field: str) -> int:
+        """Admission-aware variable id for one data access.
+
+        Returns :data:`FILTERED_VAR` when the admission filter proves the
+        variable race-free -- the variable is then never interned, so it
+        also never travels in an interner delta.  Without a filter this
+        is exactly :meth:`_dvar_id`.
+        """
+        admit = self.admit
+        if admit is None:
+            return self._dvar_id(obj_value, field)
+        key = (obj_value, field)
+        eid = self._access_ids.get(key)
+        if eid is None:
+            if admit.admit(obj_value, field):
+                eid = self._dvar_id(obj_value, field)
+            else:
+                eid = FILTERED_VAR
+            self._access_ids[key] = eid
+        if eid == FILTERED_VAR:
+            admit.note_filtered(obj_value, field)
+        return eid
+
+    def admit_var_id(self, var_id: int) -> bool:
+        """Admission verdict for an already-interned data variable.
+
+        The wire ingest path receives interned ids rather than
+        ``(obj, field)`` pairs; this resolves the variable once, caches
+        the verdict, and folds rejected accesses into the filter's
+        summary exactly like :meth:`_data_var_id`.
+        """
+        admit = self.admit
+        if admit is None:
+            return True
+        verdict = self._admit_ids.get(var_id)
+        if verdict is None:
+            var = self.interner.resolve(var_id)
+            verdict = admit.admit(var.obj.value, var.field)
+            self._admit_ids[var_id] = verdict
+        if not verdict:
+            var = self.interner.resolve(var_id)
+            admit.note_filtered(var.obj.value, var.field)
+        return verdict
+
+    def set_admission(self, admit) -> None:
+        """Install (or clear) the admission filter mid-stream.
+
+        Cached per-variable decisions are discarded; variables already
+        interned stay interned (harmless -- their accesses simply start
+        or stop being dropped from the next event on).
+        """
+        self.admit = admit
+        self._access_ids.clear()
+        self._admit_ids.clear()
+
     def shard_of_var(self, var_id: int) -> int:
         """The crc32 partition of an encoded data variable (cached)."""
         return self._var_shard[var_id]
@@ -415,11 +538,11 @@ class EventEncoder:
         tid_id = self._tid_id(event.tid.value)
         self.events_encoded += 1
         if isinstance(action, Read):
-            return OP_READ, tid_id, event.index, self._dvar_id(
+            return OP_READ, tid_id, event.index, self._data_var_id(
                 action.var.obj.value, action.var.field
             ), 0, None
         if isinstance(action, Write):
-            return OP_WRITE, tid_id, event.index, self._dvar_id(
+            return OP_WRITE, tid_id, event.index, self._data_var_id(
                 action.var.obj.value, action.var.field
             ), 0, None
         if isinstance(action, Acquire):
@@ -501,7 +624,7 @@ class EventEncoder:
 
 def _line_data(op):
     def handle(enc: EventEncoder, args):
-        return op, enc._dvar_id(int(args[0]), args[1]), 0, None
+        return op, enc._data_var_id(int(args[0]), args[1]), 0, None
 
     return handle
 
@@ -595,6 +718,10 @@ class FrameDecoder:
         out: List[Tuple[int, Event]] = []
         for i in range(0, len(records), RECORD_WIDTH):
             op, seq, tid_id, index, a, b = records[i : i + RECORD_WIDTH]
+            if a == FILTERED_VAR and (op == OP_READ or op == OP_WRITE):
+                # admission-filtered access: no variable to resolve, and
+                # nothing for an object-mode consumer to check
+                continue
             tid = resolve(tid_id)
             if op == OP_READ:
                 action = Read(resolve(a))
@@ -631,7 +758,7 @@ class FrameDecoder:
                     (writes if extras[j + 1] else reads).add(var)
                 action = Commit(frozenset(reads), frozenset(writes))
             else:
-                raise ValueError(f"unknown opcode {op}")
+                raise FrameFormatError(f"unknown opcode {op}", kind=op)
             out.append((seq, Event(tid, index, action)))
         return out
 

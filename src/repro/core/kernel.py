@@ -406,6 +406,11 @@ class EncodedGoldilocks(Detector):
                 self.events.enqueue_encoded(op, tid_id, a, b)
                 self._maybe_collect()
             elif op == OP_READ or op == OP_WRITE:
+                if a < 0:
+                    # admission-filtered access (normally dropped at the
+                    # edge; counted here in case a record slips through)
+                    self.stats.accesses_filtered += 1
+                    continue
                 var = resolve(a)
                 if not self._packed_owns(a, var):
                     continue

@@ -45,6 +45,7 @@ METRIC_HELP: Dict[str, str] = {
     "races": "races reported",
     "cells_collected": "cells reclaimed by the synchronization-list GC",
     "partial_evaluations": "locksets advanced by partially-eager evaluation",
+    "accesses_filtered": "data accesses skipped by static admission control",
 }
 
 
@@ -109,6 +110,9 @@ class DetectorStats:
     cells_collected: int = 0
     #: locksets advanced by partially-eager evaluation (Section 5.4)
     partial_evaluations: int = 0
+    #: data accesses skipped because static admission control proved the
+    #: variable race-free (normally 0: filtered records drop at the edge)
+    accesses_filtered: int = 0
 
     @property
     def hb_queries(self) -> int:
@@ -164,6 +168,7 @@ class DetectorStats:
             "races": self.races,
             "cells_collected": self.cells_collected,
             "partial_evaluations": self.partial_evaluations,
+            "accesses_filtered": self.accesses_filtered,
         }
 
     def merge(self, other: "DetectorStats") -> None:

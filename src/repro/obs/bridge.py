@@ -30,6 +30,10 @@ _SERVICE_COUNTERS = {
     "events_ingested": ("ingest_events_total", "events accepted by the ingestion layer"),
     "sync_broadcast": ("ingest_sync_broadcast_total", "sync/alloc/commit events broadcast to every shard"),
     "data_routed": ("ingest_data_routed_total", "data accesses hash-routed to exactly one shard"),
+    "data_admitted": ("ingest_data_admitted_total", "data accesses admitted past the static admission filter"),
+    "data_filtered": ("ingest_data_filtered_total", "data accesses dropped at the edge as statically race-free"),
+    "admit_prefilter_hits": ("admit_prefilter_hits_total", "admission pre-filter positives (exact lookup ran)"),
+    "admit_prefilter_misses": ("admit_prefilter_misses_total", "admission pre-filter misses (admitted on one mask test)"),
     "batches_flushed": ("ingest_batches_flushed_total", "batches flushed to shards"),
     "backpressure_stalls": ("ingest_backpressure_stalls_total", "times ingestion blocked on a full shard queue"),
     "parse_errors": ("ingest_parse_errors_total", "event lines the ingestion layer could not parse"),
@@ -61,6 +65,7 @@ _KERNEL_PLAIN = (
     "rule_applications",
     "cells_collected",
     "partial_evaluations",
+    "accesses_filtered",
 )
 
 #: metric names (sans prefix) that must appear in any healthy exposition;
@@ -70,6 +75,10 @@ REQUIRED_METRICS = (
     "repro_ingest_events_total",
     "repro_ingest_events_per_second",
     "repro_ingest_parse_errors_total",
+    "repro_ingest_data_admitted_total",
+    "repro_ingest_data_filtered_total",
+    "repro_admit_prefilter_hits_total",
+    "repro_admit_prefilter_misses_total",
     "repro_races_reported_total",
     "repro_service_shards",
     "repro_shard_queue_depth",
@@ -102,6 +111,11 @@ def registry_from_stats(
         "engine transport in force (value is always 1; transport is the label)",
         labels=("transport",),
     ).labels(stats.transport).set(1)
+    reg.gauge(
+        "service_admit_info",
+        "admission policy in force (value is always 1; policy is the label)",
+        labels=("policy",),
+    ).labels(stats.admit).set(1)
     reg.gauge(
         "short_circuit_rate",
         "aggregate short-circuit rate, weighted by per-shard query counts",
@@ -158,6 +172,7 @@ _CLUSTER_COUNTERS = {
     "events_ingested": ("cluster_events_ingested_total", "events accepted by the cluster coordinator"),
     "sync_broadcast": ("cluster_sync_broadcast_total", "sync/alloc/commit events broadcast to every node"),
     "data_routed": ("cluster_data_routed_total", "data accesses routed to exactly one node"),
+    "data_filtered": ("cluster_data_filtered_total", "data accesses dropped at the coordinator as statically race-free"),
     "races_reported": ("cluster_races_reported_total", "races reported by all nodes together"),
     "migrations_completed": ("cluster_migrations_completed_total", "shard-group migrations completed"),
 }

@@ -80,6 +80,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sync-event-list length that triggers collection (0 disables)",
     )
     parser.add_argument(
+        "--admit",
+        metavar="FILTER.json",
+        help="static admission-control filter (python -m repro.analysis.admission); "
+        "data accesses it proves race-free are dropped at the edge",
+    )
+    parser.add_argument(
         "--stats", action="store_true", help="print a final stats snapshot to stderr"
     )
     obs = parser.add_argument_group("observability")
@@ -143,6 +149,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--span-sample must be >= 0")
     if args.flightrec_capacity < 1:
         parser.error("--flightrec-capacity must be at least 1")
+    admit_filter = None
+    if args.admit:
+        from ..analysis.admission import load_admission_filter
+
+        try:
+            admit_filter = load_admission_filter(args.admit)
+        except (OSError, ValueError) as exc:
+            parser.error(f"--admit: {exc}")
     config = ServiceConfig(
         n_shards=args.shards,
         batch_size=args.batch_size,
@@ -152,6 +166,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         commit_sync=args.commit_sync,
         gc_threshold=args.gc_threshold or None,
         flush_interval=args.flush_interval,
+        admit=admit_filter,
         obs=ObsConfig(
             counters=not args.no_obs_counters,
             span_sample=args.span_sample,

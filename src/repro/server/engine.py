@@ -78,6 +78,7 @@ from ..core.actions import (
     is_data_access,
 )
 from ..core.encode import (
+    FILTERED_VAR,
     RECORD_WIDTH,
     EventEncoder,
     FrameDecoder,
@@ -218,6 +219,11 @@ class EngineConfig:
     #: global partitions hosted from the start (node mode; may be empty --
     #: a coordinator assigns groups via ``adopt_group``)
     groups: Tuple[int, ...] = ()
+    #: static admission filter (:class:`repro.analysis.admission.AdmissionFilter`)
+    #: consulted at the ingestion edge: data accesses it proves race-free are
+    #: dropped before they reach a queue, a shard, or the kernel.  Sync
+    #: events always pass.  ``None`` admits everything.
+    admit: Optional[object] = None
 
     @property
     def node_mode(self) -> bool:
@@ -428,7 +434,7 @@ class ShardedEngine:
         self._packed = self.config.transport == "packed"
         self._buffers: List[List[Tuple[int, Event]]] = [[] for _ in range(n)]
         self._pbuffers: List[_PackedBuffer] = [_PackedBuffer() for _ in range(n)]
-        self._encoder = EventEncoder(self._partitions)
+        self._encoder = EventEncoder(self._partitions, admit=self.config.admit)
         self._cursors = [1] * n  # every replica interner starts with just TL
         #: node mode: data records for groups this node does not host
         self.foreign_dropped = 0
@@ -467,6 +473,9 @@ class ShardedEngine:
         self.events_ingested = 0
         self.sync_broadcast = 0
         self.data_routed = 0
+        #: data accesses past the admission filter / dropped by it at the edge
+        self.data_admitted = 0
+        self.data_filtered = 0
         self.batches_flushed = 0
         self.backpressure_stalls = 0
         #: bytes shipped to shards (frame bytes, or pickled batch bytes)
@@ -568,7 +577,18 @@ class ShardedEngine:
         self._object_allocs += 1
         action = event.action
         if is_data_access(action):
+            admit = self.config.admit
+            if admit is not None and not admit.admit(
+                action.var.obj.value, action.var.field
+            ):
+                # filtered access: consumes its seq (race-line parity)
+                # but is shipped to no shard
+                admit.note_filtered(action.var.obj.value, action.var.field)
+                self.data_filtered += 1
+                self._drain(block=False)
+                return seq
             self.data_routed += 1
+            self.data_admitted += 1
             targets: Sequence[int] = (shard_of(action.var, self.config.n_shards),)
         else:
             self.sync_broadcast += 1
@@ -616,11 +636,22 @@ class ShardedEngine:
             # saw those sync records through the normal stream).
             targets: Sequence[int] = (only_slot,)
             if op == OP_READ or op == OP_WRITE:
+                if a < 0:
+                    self.data_filtered += 1
+                    self._drain(block=False)
+                    return seq
                 self.data_routed += 1
             else:
                 self.sync_broadcast += 1
         elif op == OP_READ or op == OP_WRITE:
+            if a < 0:
+                # admission-filtered access: consumes its sequence number
+                # (race-line parity with unfiltered runs) but ships nowhere
+                self.data_filtered += 1
+                self._drain(block=False)
+                return seq
             self.data_routed += 1
+            self.data_admitted += 1
             slot = self._slot_of.get(self._encoder.shard_of_var(a))
             if slot is None:
                 # node mode: the owning group lives on some other node
@@ -696,6 +727,8 @@ class ShardedEngine:
                 a = b = 0
             elif op in (OP_READ, OP_WRITE, OP_ALLOC):
                 a = remap[a]
+                if op != OP_ALLOC and not self._encoder.admit_var_id(a):
+                    a = FILTERED_VAR
             else:
                 raise ValueError(f"unknown opcode {op} in wire frame")
             self._ingest_record(op, tid_id, index, a, b, local_extras, None)
@@ -741,6 +774,14 @@ class ShardedEngine:
                 n_vars = extras[a]
                 local_extras = list(extras[a : a + 1 + 2 * n_vars])
                 a = b = 0
+            elif (
+                (op == OP_READ or op == OP_WRITE)
+                and a >= 0
+                and not self._encoder.admit_var_id(a)
+            ):
+                # defense in depth: a coordinator with the same filter
+                # already dropped these, so this normally never fires
+                a = FILTERED_VAR
             self._ingest_record(
                 op, tid_id, index, a, b, local_extras, seq, only_slot=only_slot
             )
@@ -976,12 +1017,23 @@ class ShardedEngine:
         # and its per-shard delta cursors must restart with them (sequence
         # numbers keep counting -- the execution restarts, the stream not).
         n = len(self._slot_groups)
-        self._encoder = EventEncoder(self._partitions)
+        self._encoder = EventEncoder(self._partitions, admit=self.config.admit)
         self._cursors = [1] * n
         self._pbuffers = [_PackedBuffer() for _ in range(n)]
         self._shard_stats = [{} for _ in range(n)]
         if self.recorder is not None:
             self.recorder.rebind(self._encoder.interner)
+
+    def set_admission(self, admit) -> None:
+        """Install (or clear, with ``None``) the admission filter mid-stream.
+
+        Takes effect from the next submitted event; variables already
+        interned stay interned, their accesses simply start or stop being
+        dropped.  Installing a sound filter mid-stream is itself sound:
+        it only removes accesses to variables that can never race.
+        """
+        self.config.admit = admit
+        self._encoder.set_admission(admit)
 
     def checkpoint(self) -> List[bytes]:
         """Serialize every shard's detector state (drains first)."""
@@ -1180,10 +1232,16 @@ class ShardedEngine:
                     sync_decoded=self._sync_decoded[i],
                 )
             )
+        admit = self.config.admit
         snapshot = ServiceStats(
             events_ingested=self.events_ingested,
             sync_broadcast=self.sync_broadcast,
             data_routed=self.data_routed,
+            data_admitted=self.data_admitted,
+            data_filtered=self.data_filtered,
+            admit=admit.policy if admit is not None else "off",
+            admit_prefilter_hits=admit.prefilter_hits if admit is not None else 0,
+            admit_prefilter_misses=admit.prefilter_misses if admit is not None else 0,
             batches_flushed=self.batches_flushed,
             backpressure_stalls=self.backpressure_stalls,
             races_reported=sum(s.races for s in shards),

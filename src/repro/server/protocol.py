@@ -73,7 +73,26 @@ import struct
 from typing import BinaryIO, NamedTuple, Optional, Tuple
 
 from ..core.actions import DataVar, Obj, Tid
+from ..core.encode import FrameFormatError
 from ..core.report import AccessRef, RaceReport
+
+__all__ = [
+    "CONTROL_COMMANDS",
+    "CONTROL_PREFIX",
+    "FRAME_CONTROL",
+    "FRAME_EVENTS",
+    "FRAME_TEXT",
+    #: the protocol's frame-decode error type (truncated data or an
+    #: unknown kind byte; carries the offending byte as ``.kind``)
+    "FrameFormatError",
+    "format_race",
+    "pack_frame",
+    "parse_race",
+    "parse_response",
+    "parse_summary",
+    "read_frame",
+    "summary_line",
+]
 
 CONTROL_PREFIX = "!"
 CONTROL_COMMANDS = (
@@ -85,6 +104,8 @@ CONTROL_COMMANDS = (
     "reset",
     "binary",
     "shutdown",
+    # static admission control (install/clear/report the edge filter)
+    "admit",
     # cluster node verbs (coordinator -> node; see docs/CLUSTER.md)
     "cluster",
     "adopt",

@@ -73,6 +73,11 @@ class ServiceConfig:
     #: recorder); None means the defaults of :class:`~repro.obs.tracing.
     #: ObsConfig` -- counters on, sampling off, no dump directory
     obs: Optional[ObsConfig] = None
+    #: static admission filter (:class:`repro.analysis.admission.
+    #: AdmissionFilter`) dropping provably race-free data accesses at the
+    #: edge; None admits everything.  Also settable at runtime via the
+    #: ``!admit`` control verb.
+    admit: Optional[object] = None
 
     def engine_config(self) -> EngineConfig:
         return EngineConfig(
@@ -85,6 +90,7 @@ class ServiceConfig:
             kernel=self.kernel,
             transport=self.transport,
             obs=self.obs,
+            admit=self.admit,
         )
 
 
@@ -180,6 +186,7 @@ class RaceDetectionService:
                     "interner_version": self.engine.interner_version(),
                     "foreign_dropped": self.engine.foreign_dropped,
                 }
+        admit = self.engine.config.admit
         payload = {
             "status": "ok",
             "uptime_sec": snapshot.uptime_sec,
@@ -197,6 +204,17 @@ class RaceDetectionService:
         }
         if cluster is not None:
             payload["cluster"] = cluster
+        if admit is not None:
+            payload["admit"] = {
+                "policy": snapshot.admit,
+                "workload": getattr(admit, "workload", "?"),
+                "race_free_fields": len(getattr(admit, "race_free", ())),
+                "data_admitted": snapshot.data_admitted,
+                "data_filtered": snapshot.data_filtered,
+                "prefilter_hits": snapshot.admit_prefilter_hits,
+                "prefilter_misses": snapshot.admit_prefilter_misses,
+                "filtered_vars": len(getattr(admit, "filtered_summary", ())),
+            }
         return payload
 
     def dump_flight_recorders(self, reason: str = "signal") -> List[str]:
@@ -311,6 +329,12 @@ class RaceDetectionService:
         if command == "ping":
             writer.write("ok pong\n")
             return False, 0
+        if command == "admit":
+            try:
+                self._admit_control(args, writer)
+            except Exception as exc:
+                writer.write(f"error admit: {exc}\n")
+            return False, 0
         if command == "flush":
             reports = self.barrier()
             written = self._write_races(writer, reports)
@@ -346,6 +370,50 @@ class RaceDetectionService:
             return True, written
         writer.write(f"error unknown control command {command!r}\n")
         return False, 0
+
+    def _admit_control(self, args: str, writer: TextIO) -> None:
+        """The ``!admit`` verb: install, clear, or report the admission filter.
+
+        * ``!admit`` (no args) -- status: policy in force and counters;
+        * ``!admit off`` -- clear the filter;
+        * ``!admit <base64 JSON>`` -- install a filter (as written by
+          :meth:`repro.analysis.admission.AdmissionFilter.to_json`).
+        """
+        args = args.strip()
+        if args and args != "off":
+            from ..analysis.admission import AdmissionFilter
+
+            blob = base64.b64decode(args.encode("ascii"))
+            filt = AdmissionFilter.from_json(blob.decode("utf-8"))
+            with self._lock:
+                self.engine.set_admission(filt)
+            writer.write(
+                summary_line(
+                    "admit",
+                    policy=filt.policy,
+                    workload=filt.workload,
+                    race_free=len(filt.race_free),
+                )
+                + "\n"
+            )
+            return
+        if args == "off":
+            with self._lock:
+                self.engine.set_admission(None)
+            writer.write(summary_line("admit", policy="off") + "\n")
+            return
+        snapshot = self.stats()
+        writer.write(
+            summary_line(
+                "admit",
+                policy=snapshot.admit,
+                admitted=snapshot.data_admitted,
+                filtered=snapshot.data_filtered,
+                prefilter_hits=snapshot.admit_prefilter_hits,
+                prefilter_misses=snapshot.admit_prefilter_misses,
+            )
+            + "\n"
+        )
 
     # -- cluster node verbs (coordinator -> node; docs/CLUSTER.md) --------------
 
@@ -423,6 +491,8 @@ class RaceDetectionService:
         config.transport = "packed"
         config.n_groups = n_groups
         config.groups = ()
+        # carry a runtime-installed admission filter over to the node engine
+        config.admit = self.engine.config.admit
         with self._lock:
             old = self.engine
             self.engine = ShardedEngine(config)
@@ -440,6 +510,7 @@ class RaceDetectionService:
             try:
                 frame = read_frame(binary)
             except ValueError as exc:
+                self._note_bad_input(f"<torn wire frame: {exc}>")
                 writer.write(f"error {exc}\n")
                 writer.flush()
                 return events, races, False

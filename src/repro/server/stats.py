@@ -88,6 +88,16 @@ class ServiceStats:
     sync_broadcast: int = 0
     #: data accesses hash-routed to exactly one shard
     data_routed: int = 0
+    #: data accesses admitted past the static admission filter
+    data_admitted: int = 0
+    #: data accesses dropped at the edge as statically race-free
+    data_filtered: int = 0
+    #: admission policy in force ("off" when no filter is installed)
+    admit: str = "off"
+    #: admission pre-filter positives (exact lookup had to run)
+    admit_prefilter_hits: int = 0
+    #: admission pre-filter misses (admitted on one mask test)
+    admit_prefilter_misses: int = 0
     #: batches flushed to shards (across all shards)
     batches_flushed: int = 0
     #: times ingestion blocked because a shard's queue was full
@@ -152,6 +162,11 @@ class ServiceStats:
             "events_per_sec": self.events_per_sec,
             "sync_broadcast": self.sync_broadcast,
             "data_routed": self.data_routed,
+            "data_admitted": self.data_admitted,
+            "data_filtered": self.data_filtered,
+            "admit": self.admit,
+            "admit_prefilter_hits": self.admit_prefilter_hits,
+            "admit_prefilter_misses": self.admit_prefilter_misses,
             "batches_flushed": self.batches_flushed,
             "backpressure_stalls": self.backpressure_stalls,
             "parse_errors": self.parse_errors,

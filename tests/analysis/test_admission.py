@@ -1,0 +1,210 @@
+"""Admission-control unit tests: decisions, serialization, offline parity."""
+
+import json
+
+import pytest
+
+from repro.analysis.admission import (
+    ADMISSION_FORMAT,
+    ADMISSION_VERSION,
+    AdmissionFilter,
+    ApproximateVarSet,
+    build_admission_filter,
+    combine_race_free,
+    load_admission_filter,
+    record_workload,
+    var_key,
+)
+from repro.analysis.facts import StaticRaceReport
+from repro.core.actions import Read, Write
+
+
+def make_filter(**overrides):
+    kwargs = dict(
+        race_free={("Counter", "hits"), ("Counter", "total"), ("Log", "buf")},
+        objmap={1: "Counter", 2: "Counter", 3: "Log", 9: "Racy"},
+        policy="intersect",
+        workload="unit",
+    )
+    kwargs.update(overrides)
+    return AdmissionFilter(**kwargs)
+
+
+class TestApproximateVarSet:
+    def test_member_always_hits(self):
+        pre = ApproximateVarSet(64)
+        keys = [var_key(obj, "f") for obj in range(50)]
+        for key in keys:
+            pre.add(key)
+        assert all(key in pre for key in keys)
+
+    def test_miss_is_definitive_by_construction(self):
+        pre = ApproximateVarSet(8)
+        pre.add(3)
+        # 4 % 8 bit is unset, so 4 was definitely never added
+        assert 4 not in pre
+        assert 3 in pre
+        assert 11 in pre  # collision: false positive, never false negative
+
+    def test_hex_roundtrip(self):
+        pre = ApproximateVarSet(128)
+        for key in (1, 17, 99, 1000):
+            pre.add(key)
+        back = ApproximateVarSet.from_hex(128, pre.to_hex())
+        assert back.bits == pre.bits
+        assert len(back) == len(pre)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            ApproximateVarSet(0)
+
+
+class TestAdmissionDecision:
+    def test_drops_only_proven_race_free_vars(self):
+        filt = make_filter()
+        assert not filt.admit(1, "hits")  # Counter.hits: droppable
+        assert not filt.admit(3, "buf")
+        assert filt.admit(9, "hits")  # Racy class: may race
+        assert filt.admit(1, "other")  # field never proven
+        assert filt.admit(77, "hits")  # object unknown to the objmap
+
+    def test_array_indices_collapse_to_static_field(self):
+        filt = make_filter(race_free={("Buf", "[]")}, objmap={5: "Buf"})
+        assert not filt.admit(5, "[0]")
+        assert not filt.admit(5, "[31]")
+        assert filt.admit(5, "len")
+
+    def test_prefilter_counters_track_the_two_paths(self):
+        filt = make_filter()
+        filt.admit(1, "hits")
+        filt.admit(77, "nothere")
+        assert filt.prefilter_hits >= 1
+        assert filt.prefilter_hits + filt.prefilter_misses == 2
+
+    def test_filter_events_keeps_sync_and_racy_data(self):
+        events, _ = record_workload("colt", scale="tiny")
+        filt = build_admission_filter("colt", scale="tiny")
+        kept = filt.filter_events(events)
+        assert len(kept) < len(events)
+        assert filt.filtered_accesses == len(events) - len(kept)
+        for event in kept:
+            if isinstance(event.action, (Read, Write)):
+                var = event.action.var
+                assert filt.clone().admit(var.obj.value, var.field)
+        # every non-data event survives
+        n_sync = sum(
+            1 for e in events if not isinstance(e.action, (Read, Write))
+        )
+        n_sync_kept = sum(
+            1 for e in kept if not isinstance(e.action, (Read, Write))
+        )
+        assert n_sync == n_sync_kept
+
+    def test_note_filtered_summary(self):
+        filt = make_filter()
+        filt.note_filtered(1, "hits")
+        filt.note_filtered(1, "hits")
+        filt.note_filtered(3, "buf")
+        assert filt.filtered_summary == {"1.hits": 2, "3.buf": 1}
+        assert filt.filtered_accesses == 3
+        assert filt.counters()["filtered_vars"] == 2
+
+
+class TestSerialization:
+    def test_json_roundtrip_preserves_decision(self):
+        filt = make_filter()
+        back = AdmissionFilter.from_json(filt.to_json())
+        assert back.race_free == filt.race_free
+        assert back.objmap == filt.objmap
+        assert back.policy == filt.policy
+        assert back.workload == filt.workload
+        assert back.prefilter.nbits == filt.prefilter.nbits
+        assert back.prefilter.bits == filt.prefilter.bits
+        assert back.to_json() == filt.to_json()
+
+    def test_clone_zeroes_counters(self):
+        filt = make_filter()
+        filt.admit(1, "hits")
+        filt.note_filtered(1, "hits")
+        clone = filt.clone()
+        assert clone.prefilter_hits == 0
+        assert clone.filtered_summary == {}
+        assert not clone.admit(1, "hits")
+
+    def test_format_marker_and_version_checked(self):
+        with pytest.raises(ValueError):
+            AdmissionFilter.from_json("{not json")
+        with pytest.raises(ValueError):
+            AdmissionFilter.from_json(json.dumps({"format": "other"}))
+        payload = json.loads(make_filter().to_json())
+        payload["version"] = ADMISSION_VERSION + 1
+        with pytest.raises(ValueError):
+            AdmissionFilter.from_json(json.dumps(payload))
+        assert payload["format"] == ADMISSION_FORMAT
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "filter.json"
+        path.write_text(make_filter().to_json(), encoding="utf-8")
+        filt = load_admission_filter(str(path))
+        assert not filt.admit(1, "hits")
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            make_filter(policy="everything")
+
+
+class TestPolicies:
+    def _report(self, tool, may_race, analyzed, all_fields):
+        return StaticRaceReport(
+            tool=tool,
+            may_race_fields=set(may_race),
+            pairs=[],
+            analyzed_classes=set(analyzed),
+            all_fields=set(all_fields),
+        )
+
+    def test_policy_lattice(self):
+        universe = {("C", "a"), ("C", "b"), ("C", "c")}
+        chord = self._report("chord", {("C", "a")}, {"C"}, universe)
+        rcc = self._report("rccjava", {("C", "b")}, {"C"}, universe)
+        # chord race-free: {b, c}; rccjava race-free: {a, c}
+        assert combine_race_free(chord, rcc, "chord") == {("C", "b"), ("C", "c")}
+        assert combine_race_free(chord, rcc, "rccjava") == {("C", "a"), ("C", "c")}
+        assert combine_race_free(chord, rcc, "intersect") == universe
+        assert combine_race_free(chord, rcc, "union") == {("C", "c")}
+        with pytest.raises(ValueError):
+            combine_race_free(chord, rcc, "nope")
+
+    def test_guarantee_scoped_to_analyzed_classes(self):
+        universe = {("C", "a"), ("D", "x")}
+        chord = self._report("chord", set(), {"C"}, universe)
+        rcc = self._report("rccjava", set(), {"C"}, universe)
+        # D was never analyzed: its fields must not become droppable
+        assert combine_race_free(chord, rcc, "union") == {("C", "a")}
+
+
+class TestOfflineParity:
+    """Dropping proven-race-free accesses must not change any verdict."""
+
+    @pytest.mark.parametrize("workload", ["colt", "tsp", "sor", "moldyn"])
+    @pytest.mark.parametrize("policy", ["intersect", "union"])
+    def test_reports_identical_after_admission(self, workload, policy):
+        from repro.core import EncodedGoldilocks
+
+        events, objmap = record_workload(workload, scale="tiny")
+        filt = build_admission_filter(workload, policy=policy, objmap=objmap)
+        baseline = [str(r) for r in EncodedGoldilocks().process_all(events)]
+        kept = filt.filter_events(events)
+        admitted = [str(r) for r in EncodedGoldilocks().process_all(kept)]
+        assert baseline == admitted
+
+    def test_cli_builds_filter_and_trace(self, tmp_path, capsys):
+        from repro.analysis.admission import main
+
+        out = tmp_path / "colt.json"
+        trace = tmp_path / "colt.trace"
+        assert main(["colt", "-o", str(out), "--trace", str(trace)]) == 0
+        filt = load_admission_filter(str(out))
+        assert filt.workload == "colt"
+        assert trace.read_text().strip()
+        assert "admit[intersect] colt" in capsys.readouterr().out
