@@ -9,12 +9,23 @@ so the performance trajectory is tracked across PRs: wall-clock fields
 indicative, while the counter fields (``cells_traversed``,
 ``detector_work``, ``rule_applications``, ``races``) are deterministic and
 comparable across machines.
+
+Beyond the object-path detectors, the payload carries two *packed* rows
+consuming the identical pre-encoded frames (``PACKED_BATCH`` events each):
+``goldilocks-packed`` (record-at-a-time :meth:`EncodedGoldilocks
+.apply_packed`) and ``goldilocks-batch`` (:class:`~repro.core.batch
+.BatchGoldilocks`, whole-frame application).  ``batch_vs_encoded`` holds
+the counted-work comparison between them -- the batch kernel's acceptance
+gate -- together with a race-line parity flag (seq included) and the
+column backend the run used (``numpy`` or the pure-Python fallback; the
+counters are identical either way).
 """
 
 from __future__ import annotations
 
 import json
 import time
+from array import array
 from typing import Callable, Dict, List, Tuple
 
 from ..baselines import (
@@ -24,11 +35,14 @@ from ..baselines import (
     VectorClockDetector,
 )
 from ..core import (
+    BatchGoldilocks,
     EagerGoldilocksRW,
     EncodedEagerGoldilocksRW,
     EncodedGoldilocks,
     LazyGoldilocks,
+    batch_backend,
 )
+from ..core.encode import EventEncoder, encode_frame
 from ..trace import RandomTraceGenerator
 
 #: the benchmark trace (kept in lockstep with benchmarks/test_detector_throughput.py)
@@ -50,9 +64,74 @@ DETECTORS: List[Tuple[str, Callable[[], object]]] = [
 ]
 
 
+#: events per packed frame for the kernel-vs-batch comparison (the engine's
+#: default batch size, so the frames look like real shard traffic)
+PACKED_BATCH = 64
+
+#: the packed-path contenders: both consume the identical frame list
+PACKED_DETECTORS: List[Tuple[str, Callable[[], object]]] = [
+    ("goldilocks-packed", EncodedGoldilocks),
+    ("goldilocks-batch", BatchGoldilocks),
+]
+
+
 def generate_trace():
     """The fixed benchmark trace (deterministic)."""
     return RandomTraceGenerator(**TRACE_PARAMS).generate(seed=TRACE_SEED)
+
+
+def packed_frames(trace, batch: int = PACKED_BATCH) -> List[bytes]:
+    """Encode ``trace`` into packed frames of ``batch`` events each.
+
+    Same wire format the sharded engine ships to workers (interner-delta
+    header + 6-int64 records + extras pool), so the packed rows below
+    measure exactly the work a shard does per frame.
+    """
+    encoder = EventEncoder()
+    cursor = len(encoder.interner)
+    frames: List[bytes] = []
+    records = array("q")
+    extras = array("q")
+
+    def flush() -> None:
+        nonlocal cursor, records, extras
+        frames.append(
+            encode_frame(
+                cursor, encoder.interner.elements_since(cursor), records, extras
+            )
+        )
+        cursor = len(encoder.interner)
+        records = array("q")
+        extras = array("q")
+
+    for seq, event in enumerate(trace):
+        op, tid_id, index, a, b, extra_ints = encoder.encode_event(event)
+        if extra_ints is not None:
+            a = len(extras)
+            extras.extend(extra_ints)
+        records.extend((op, seq, tid_id, index, a, b))
+        if len(records) >= 6 * batch:
+            flush()
+    if len(records):
+        flush()
+    return frames
+
+
+def _run_packed(factory: Callable[[], object], frames: List[bytes], repeats: int):
+    """Feed ``frames`` to a fresh packed detector; return (race_lines, stats, best)."""
+    best = None
+    detector = None
+    lines: List[Tuple[int, str]] = []
+    for _ in range(max(1, repeats)):
+        detector = factory()
+        lines = []
+        started = time.perf_counter()
+        for frame in frames:
+            reports, _count = detector.apply_packed(frame)
+            lines.extend((seq, str(report)) for seq, report in reports)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    return lines, detector.stats, best
 
 
 def bench_throughput(repeats: int = 1) -> Dict[str, object]:
@@ -82,8 +161,23 @@ def bench_throughput(repeats: int = 1) -> Dict[str, object]:
             "detector_work": stats.detector_work,
             "races": stats.races,
         }
+    frames = packed_frames(trace)
+    packed_lines: Dict[str, List[Tuple[int, str]]] = {}
+    for name, factory in PACKED_DETECTORS:
+        lines, stats, best = _run_packed(factory, frames, repeats)
+        packed_lines[name] = lines
+        detectors[name] = {
+            "elapsed_sec": round(best, 6),
+            "events_per_sec": round(n_events / best) if best > 0 else None,
+            "cells_traversed": stats.cells_traversed,
+            "rule_applications": stats.rule_applications,
+            "detector_work": stats.detector_work,
+            "races": stats.races,
+        }
     kernel = detectors["goldilocks"]
     seed = detectors["goldilocks-seed"]
+    packed = detectors["goldilocks-packed"]
+    batch = detectors["goldilocks-batch"]
     return {
         "benchmark": "detector_throughput",
         "trace": {"generator": TRACE_PARAMS, "seed": TRACE_SEED, "events": n_events},
@@ -95,6 +189,19 @@ def bench_throughput(repeats: int = 1) -> Dict[str, object]:
             "detector_work_ratio": round(
                 seed["detector_work"] / kernel["detector_work"], 4
             ),
+        },
+        "batch_vs_encoded": {
+            "frames": len(frames),
+            "events_per_frame": PACKED_BATCH,
+            "backend": batch_backend(),
+            "detector_work_ratio": round(
+                packed["detector_work"] / batch["detector_work"], 4
+            ),
+            "cells_traversed_ratio": round(
+                packed["cells_traversed"] / batch["cells_traversed"], 4
+            ),
+            "identical_race_lines": packed_lines["goldilocks-packed"]
+            == packed_lines["goldilocks-batch"],
         },
     }
 
@@ -116,6 +223,13 @@ def render_throughput(payload: Dict[str, object]) -> str:
         "kernel vs seed: "
         f"{ratios['cells_traversed_ratio']}x fewer cells, "
         f"{ratios['detector_work_ratio']}x less counted work"
+    )
+    batch = payload["batch_vs_encoded"]
+    lines.append(
+        f"batch vs encoded ({batch['frames']} frames of "
+        f"{batch['events_per_frame']}, {batch['backend']} backend): "
+        f"{batch['detector_work_ratio']}x less counted work, "
+        f"race lines identical: {batch['identical_race_lines']}"
     )
     return "\n".join(lines)
 

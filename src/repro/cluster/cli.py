@@ -62,6 +62,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--batch-size", type=int, default=256)
     parser.add_argument(
+        "--kernel",
+        choices=["encoded", "batch", "seed"],
+        default="encoded",
+        metavar="KERNEL",
+        help="detection kernel for --local-nodes (encoded, batch, or seed; "
+        "remote nodes keep whatever repro-serve was started with)",
+    )
+    parser.add_argument(
         "--balanced",
         action="store_true",
         help="pin groups round-robin over sorted node names at startup",
@@ -124,7 +132,7 @@ def _parse_migration(spec: str) -> Tuple[int, str, int]:
     return int(group_text), node, count
 
 
-def _start_local_nodes(count: int):
+def _start_local_nodes(count: int, kernel: str = "encoded"):
     """In-process nodes for the self-contained mode; returns (nodes, closers)."""
     import threading
 
@@ -134,7 +142,7 @@ def _start_local_nodes(count: int):
     closers = []
     for i in range(count):
         service = RaceDetectionService(
-            ServiceConfig(workers="inline", flush_interval=0)
+            ServiceConfig(workers="inline", flush_interval=0, kernel=kernel)
         )
         server = serve_tcp(service, "127.0.0.1", 0)
         threading.Thread(target=server.serve_forever, daemon=True).start()
@@ -158,7 +166,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.local_nodes is not None:
             if args.local_nodes < 1:
                 parser.error("--local-nodes must be at least 1")
-            nodes, closers = _start_local_nodes(args.local_nodes)
+            nodes, closers = _start_local_nodes(args.local_nodes, args.kernel)
         elif args.node:
             nodes = {}
             for spec in args.node:

@@ -1,0 +1,613 @@
+"""Batch-vectorized frame application for the encoded Goldilocks kernel.
+
+:class:`BatchGoldilocks` keeps every verdict of
+:class:`~repro.core.kernel.EncodedGoldilocks` -- race lines are
+byte-identical, seq included -- but processes a packed frame at array
+granularity instead of record-at-a-time:
+
+* the frame's six int64 columns are decoded **once** into flat Python
+  lists (via strided ``array`` slicing, or ``numpy.frombuffer`` when numpy
+  is importable and ``REPRO_NO_NUMPY`` is unset -- numpy only accelerates
+  the mechanical column work, so counters are identical either way);
+* the opcode column is validated wholesale up front, which makes frame
+  application *atomic* on junk opcodes: a bad frame is rejected with a
+  typed :class:`~repro.core.encode.FrameFormatError` before any record is
+  applied;
+* records are partitioned into maximal **runs** of one class (sync /
+  data / commit / alloc) in one pass.  Sync runs append to the event list
+  through one batched :meth:`~repro.core.synclist.EncodedSyncList
+  .enqueue_run`.  Within a sync-free data run the held-lock map and the
+  sync epoch are frozen, which licenses two batch short circuits on each
+  per-variable group:
+
+  - **same-thread settle**: if every access in the group and every
+    retained info of the variable belong to one thread, every
+    happens-before check would hit the same-thread rung -- the whole
+    group is settled by one mask and collapses to at most two retained
+    infos (last write, last trailing read);
+  - **epoch settle**: if every retained info is anchored at the current
+    tail, replay would apply zero rules, so each check reduces to the
+    constant-time ladder prefix (transactional, same-thread, alock,
+    ownership) with no traversal;
+
+  groups that fit neither settle fall back to the inherited scalar
+  handlers, so nothing is ever approximated;
+* full lockset computations replay the event list with a **skip-scan**:
+  the per-key position indexes of the encoded list (``index_keys``) yield
+  only the cells whose rule can actually fire -- the positions of the
+  current lockset's keys plus every commit row -- merged in ascending
+  order through a heap that grows as the lockset grows.
+
+Work accounting: checks settled at batch granularity count in
+``sc_batch`` (excluded from ``hb_queries``/``detector_work``); the
+vectorized primitives that replace them -- column decode, validation,
+partition, batched enqueue, settle masks, index lookups -- count in
+``batch_ops``, which *is* part of ``detector_work``.  Counters are
+deterministic and backend-independent; the bench gate compares
+``detector_work`` against the record-at-a-time kernel on the same frames.
+"""
+
+from __future__ import annotations
+
+import os
+from heapq import heappop, heappush
+from typing import Dict, List, Optional, Tuple
+
+from .actions import (
+    OP_ACQUIRE,
+    OP_ALLOC,
+    OP_COMMIT,
+    OP_JOIN,
+    OP_READ,
+    OP_RELEASE,
+    OP_WRITE,
+    DataVar,
+    Tid,
+)
+from .kernel import MEMO_CAP, EncodedGoldilocks, KInfo
+from .lockset import (
+    IntLockset,
+    ls_add,
+    ls_has,
+    ls_ids,
+    ls_intersects,
+    ls_union,
+)
+from .report import RaceReport
+from .synclist import SEGMENT_SIZE, EncodedSyncList
+
+try:  # pragma: no cover - exercised via both CI legs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: ints per packed record (kept local: encode imports nothing from here)
+_RECORD_WIDTH = 6
+
+#: record classes for run partitioning
+_C_SYNC, _C_COMMIT, _C_DATA, _C_ALLOC = 0, 1, 2, 3
+
+#: opcode -> record class (opcodes are dense: 1..OP_ALLOC)
+_CLS = (-1, 0, 0, 0, 0, 0, 0, _C_COMMIT, _C_DATA, _C_DATA, _C_ALLOC)
+
+if _np is not None:
+    _CLS_NP = _np.array(_CLS, dtype=_np.int64)
+
+
+def _active_numpy():
+    """The numpy module to use, or ``None`` (absent or disabled by env)."""
+    if _np is None or os.environ.get("REPRO_NO_NUMPY"):
+        return None
+    return _np
+
+
+def batch_backend() -> str:
+    """``"numpy"`` or ``"python"``: which column backend new detectors get."""
+    return "python" if _active_numpy() is None else "numpy"
+
+
+class BatchGoldilocks(EncodedGoldilocks):
+    """The encoded kernel with whole-frame batch application.
+
+    Same constructor vocabulary, same verdicts, same ``name`` (reports
+    compare equal); only :meth:`apply_records` and the full-replay
+    strategy differ.  The event list is built with ``index_keys`` so the
+    skip-scan replay has its per-key position indexes.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.events = EncodedSyncList(self.events.segment_size, index_keys=True)
+        #: persistent id -> element caches (the interner is append-only,
+        #: so entries never go stale); this is what makes resolution
+        #: per-frame-amortized instead of per-record
+        self._var_cache: Dict[int, DataVar] = {}
+        self._tid_cache: Dict[int, Tid] = {}
+        self._np = _active_numpy()
+        # With indexed (skip-scan) replay, the full computation visits
+        # fewer cells than the owner-pair restricted scan, and a restricted
+        # success implies a full success (rules only ever add elements), so
+        # the restricted rung is strictly unprofitable here.  Verdicts are
+        # unchanged; the configured flag is preserved for checkpoints.
+        self.sc_thread_restricted = False
+
+    def __setstate__(self, state: dict) -> None:
+        super().__setstate__(state)
+        self._var_cache = {}
+        self._tid_cache = {}
+        self._np = _active_numpy()
+        self.sc_thread_restricted = False
+
+    def _tid(self, tid_id: int) -> Tid:
+        tid = self._tid_cache.get(tid_id)
+        if tid is None:
+            tid = self._tid_cache[tid_id] = self.interner.resolve(tid_id)
+        return tid
+
+    # -- whole-frame application --------------------------------------------------
+
+    def apply_records(
+        self, records, extras
+    ) -> Tuple[List[Tuple[int, RaceReport]], int]:
+        n = len(records) // _RECORD_WIDTH
+        if n == 0:
+            return [], 0
+        stats = self.stats
+        np = self._np
+        # One charge each for column decode, opcode validation, and run
+        # partition -- identical on both backends by construction.
+        stats.batch_ops += 3
+        if np is not None:
+            cols = np.frombuffer(records, dtype=np.int64).reshape(n, _RECORD_WIDTH)
+            ops_col = cols[:, 0]
+            invalid = (ops_col < OP_ACQUIRE) | (ops_col > OP_ALLOC)
+            if invalid.any():
+                r = int(np.argmax(invalid))
+                self._reject_opcode(r, int(ops_col[r]))
+            cls = _CLS_NP[ops_col]
+            bounds = (np.flatnonzero(cls[1:] != cls[:-1]) + 1).tolist()
+            ops_l = ops_col.tolist()
+            seqs_l = cols[:, 1].tolist()
+            tids_l = cols[:, 2].tolist()
+            idx_l = cols[:, 3].tolist()
+            a_l = cols[:, 4].tolist()
+            b_l = cols[:, 5].tolist()
+        else:
+            ops_l = records[0::6].tolist()
+            for r, op in enumerate(ops_l):
+                if op < OP_ACQUIRE or op > OP_ALLOC:
+                    self._reject_opcode(r, op)
+            seqs_l = records[1::6].tolist()
+            tids_l = records[2::6].tolist()
+            idx_l = records[3::6].tolist()
+            a_l = records[4::6].tolist()
+            b_l = records[5::6].tolist()
+            bounds = []
+            prev = _CLS[ops_l[0]]
+            for r in range(1, n):
+                c = _CLS[ops_l[r]]
+                if c != prev:
+                    bounds.append(r)
+                    prev = c
+        reports: List[Tuple[int, RaceReport]] = []
+        lo = 0
+        for hi in bounds + [n]:
+            c = _CLS[ops_l[lo]]
+            if c == _C_SYNC:
+                self._apply_sync_run(lo, hi, ops_l, tids_l, a_l, b_l)
+            elif c == _C_DATA:
+                self._apply_data_run(
+                    lo, hi, ops_l, seqs_l, tids_l, idx_l, a_l, reports
+                )
+            elif c == _C_COMMIT:
+                for r in range(lo, hi):
+                    reports.extend(
+                        self._packed_commit(
+                            seqs_l[r], tids_l[r], idx_l[r], a_l[r], extras, r, r
+                        )
+                    )
+            else:  # _C_ALLOC
+                for r in range(lo, hi):
+                    self._apply_alloc(a_l[r], ops_l[r], r)
+            lo = hi
+        # Groups are processed per variable, not per record; a stable sort
+        # on seq restores the scalar path's emission order exactly (ties
+        # only occur within one record and keep their check order).
+        reports.sort(key=lambda item: item[0])
+        return reports, n
+
+    def _reject_opcode(self, record: int, op: int) -> None:
+        """Frame-atomic junk-opcode rejection: nothing has been applied."""
+        from .encode import FrameFormatError
+
+        self.stats.frame_faults += 1
+        raise FrameFormatError(
+            f"unknown opcode {op} at record {record} (0 records applied; "
+            f"frame rejected atomically)",
+            kind=op,
+            record=record,
+            applied=0,
+        )
+
+    def _apply_alloc(self, a: int, op: int, record: int) -> None:
+        if a < 0:
+            self.stats.accesses_filtered += 1
+            return
+        element = self._resolve_packed(a, op, record, record)
+        obj = getattr(element, "obj", None)
+        if obj is None:
+            from .encode import FrameFormatError
+
+            self.stats.frame_faults += 1
+            raise FrameFormatError(
+                f"alloc id {a} resolves to {element!r}, not an object "
+                f"proxy, at record {record} ({record} records applied)",
+                kind=op,
+                record=record,
+                applied=record,
+            )
+        self._handle_alloc(obj)
+
+    def _apply_sync_run(self, lo, hi, ops_l, tids_l, a_l, b_l) -> None:
+        """Track held locks, then append the whole run in one batched call."""
+        self.stats.sync_events += hi - lo
+        self.stats.batch_ops += 1  # one batched enqueue for the run
+        held_map = self._held
+        for r in range(lo, hi):
+            op = ops_l[r]
+            if op == OP_ACQUIRE:  # a is the lock id
+                held_map.setdefault(tids_l[r], []).append(a_l[r])
+            elif op == OP_RELEASE:  # b is the lock id (innermost hold)
+                held = held_map.get(tids_l[r], [])
+                b = b_l[r]
+                for k in range(len(held) - 1, -1, -1):
+                    if held[k] == b:
+                        del held[k]
+                        break
+        self.events.enqueue_run(
+            ops_l[lo:hi], tids_l[lo:hi], a_l[lo:hi], b_l[lo:hi]
+        )
+        self._maybe_collect()
+
+    # -- sync-free data runs ------------------------------------------------------
+
+    def _apply_data_run(
+        self, lo, hi, ops_l, seqs_l, tids_l, idx_l, a_l, reports
+    ) -> None:
+        """Group a run by variable and settle each group wholesale if we can.
+
+        Within the run no sync is enqueued and no lock is acquired or
+        released, so the epoch and the held-lock map are frozen; and the
+        kernel's per-variable states are independent, so groups may be
+        processed out of record order (the final stable sort on seq
+        restores emission order).
+        """
+        stats = self.stats
+        stats.batch_runs += 1
+        stats.batch_ops += 1  # fused grouping + settle-mask pass over the run
+        groups: Dict[int, List[int]] = {}
+        filtered = 0
+        for r in range(lo, hi):
+            vid = a_l[r]
+            if vid < 0:
+                filtered += 1
+                continue
+            rows = groups.get(vid)
+            if rows is None:
+                groups[vid] = [r]
+            else:
+                rows.append(r)
+        if filtered:
+            stats.accesses_filtered += filtered
+        tail = self.events.total_enqueued
+        var_cache = self._var_cache
+        for vid, rows in groups.items():
+            var = var_cache.get(vid)
+            if var is None:
+                r0 = rows[0]
+                var = self._resolve_packed(vid, ops_l[r0], r0, r0)
+                var_cache[vid] = var
+            if not self._packed_owns(vid, var):
+                continue
+            stats.accesses_checked += len(rows)
+            tid_id = tids_l[rows[0]]
+            same_thread = True
+            for r in rows:
+                if tids_l[r] != tid_id:
+                    same_thread = False
+                    break
+            prev_write = self.write_info.get(var)
+            readers = self.read_info.get(var)
+            if (
+                same_thread
+                and (prev_write is None or prev_write.owner_id == tid_id)
+                and (
+                    not readers
+                    or all(i.owner_id == tid_id for i in readers.values())
+                )
+            ):
+                self._settle_same_thread(var, tid_id, rows, ops_l, idx_l)
+                continue
+            if (prev_write is None or prev_write.pos == tail) and (
+                not readers or all(i.pos == tail for i in readers.values())
+            ):
+                self._settle_epoch(
+                    var, rows, ops_l, seqs_l, tids_l, idx_l, reports
+                )
+                continue
+            # Fallback: scalar handlers, full ladder, normal counters.
+            for r in rows:
+                tid = self._tid(tids_l[r])
+                if ops_l[r] == OP_READ:
+                    found = self._handle_read(tid, idx_l[r], var, None)
+                else:
+                    found = self._handle_write(tid, idx_l[r], var, None)
+                for report in found:
+                    reports.append((seqs_l[r], report))
+
+    def _settle_same_thread(self, var, tid_id, rows, ops_l, idx_l) -> None:
+        """One thread owns the variable and every access in the group.
+
+        Every happens-before check would hit the same-thread rung, so the
+        group is race-free wholesale; only the net state update remains:
+        the last write (if any) becomes the write info, a trailing read
+        after it becomes the sole read info.  Dict-slot discipline mirrors
+        the scalar handlers exactly (report order depends on it).
+        """
+        self.stats.sc_batch += len(rows)
+        tid = self._tid(tid_id)
+        last_write = -1
+        for k in range(len(rows) - 1, -1, -1):
+            if ops_l[rows[k]] == OP_WRITE:
+                last_write = k
+                break
+        if last_write >= 0:
+            r = rows[last_write]
+            info = self._new_info(tid, idx_l[r], "write", False, 0)
+            readers = self.read_info.pop(var, None)
+            if readers:
+                for old in readers.values():
+                    self._discard(old)
+            self._discard(self.write_info.get(var))
+            self.write_info[var] = info
+            if last_write + 1 < len(rows):  # trailing reads after the write
+                r2 = rows[-1]
+                rinfo = self._new_info(tid, idx_l[r2], "read", False, 0)
+                self.read_info[var] = {(tid, False): rinfo}
+        else:  # reads only
+            r2 = rows[-1]
+            rinfo = self._new_info(tid, idx_l[r2], "read", False, 0)
+            readers = self.read_info.setdefault(var, {})
+            stale = readers.pop((tid, True), None)
+            if stale is not None:
+                self._discard(stale)
+            self._discard(readers.get((tid, False)))
+            # Plain assignment: an existing (tid, False) slot keeps its
+            # insertion position, exactly like the scalar read handler.
+            readers[(tid, False)] = rinfo
+        self._by_obj.setdefault(var.obj, set()).add(var)
+
+    def _settle_epoch(
+        self, var, rows, ops_l, seqs_l, tids_l, idx_l, reports
+    ) -> None:
+        """Every retained info is anchored at the frozen tail.
+
+        Replay over ``[tail, tail)`` applies zero rules, so each check is
+        the constant-time ladder prefix followed by the decisive ownership
+        test -- no traversal, no full computation.  State mechanics mirror
+        the scalar handlers line for line.
+        """
+        stats = self.stats
+        stats.batch_ops += 1  # one settle decision covers the group
+        for r in rows:
+            tid = self._tid(tids_l[r])
+            found: List[RaceReport] = []
+            if ops_l[r] == OP_READ:
+                info = self._new_info(tid, idx_l[r], "read", False, 0)
+                prev_write = self.write_info.get(var)
+                if prev_write is not None:
+                    stats.sc_batch += 1
+                    if not self._hb_epoch(prev_write, info):
+                        found.append(self._report(var, prev_write, info))
+                if found and self.suppress_racy_updates:
+                    self._discard(info)
+                    for report in found:
+                        reports.append((seqs_l[r], report))
+                    continue
+                per_thread = self.read_info.setdefault(var, {})
+                stale = per_thread.pop((tid, True), None)
+                if stale is not None:
+                    self._discard(stale)
+                self._discard(per_thread.get((tid, False)))
+                per_thread[(tid, False)] = info
+            else:
+                info = self._new_info(tid, idx_l[r], "write", False, 0)
+                readers = self.read_info.get(var)
+                if readers:
+                    for reader_info in readers.values():
+                        stats.sc_batch += 1
+                        if not self._hb_epoch(reader_info, info):
+                            found.append(self._report(var, reader_info, info))
+                prev_write = self.write_info.get(var)
+                if prev_write is not None:
+                    stats.sc_batch += 1
+                    if not self._hb_epoch(prev_write, info):
+                        found.append(self._report(var, prev_write, info))
+                if found and self.suppress_racy_updates:
+                    self._discard(info)
+                    for report in found:
+                        reports.append((seqs_l[r], report))
+                    continue
+                if readers:
+                    for reader_info in readers.values():
+                        self._discard(reader_info)
+                    del self.read_info[var]
+                self._discard(prev_write)
+                self.write_info[var] = info
+            self._by_obj.setdefault(var.obj, set()).add(var)
+            for report in found:
+                reports.append((seqs_l[r], report))
+
+    def _hb_epoch(self, info1: KInfo, info2: KInfo) -> bool:
+        """The constant-time ladder prefix, rung order preserved.
+
+        Valid only when ``info1.pos`` equals the current tail (epoch
+        settle precondition): the lockset cannot have grown, so after the
+        transactional / same-thread / alock rungs the ownership test is
+        decisive -- exactly what ``_check_happens_before`` computes, with
+        every traversal path provably empty.
+        """
+        if self.sc_xact and info1.xact and info2.xact:
+            return True
+        if self.sc_same_thread and info1.owner_id == info2.owner_id:
+            return True
+        if (
+            self.sc_alock
+            and info1.alock_id is not None
+            and info1.alock_id in self._held.get(info2.owner_id, ())
+        ):
+            return True
+        return self._owned(info1.ls, info2)
+
+    # -- skip-scan replay ---------------------------------------------------------
+
+    def _skip_scan(
+        self,
+        ls: IntLockset,
+        start: int,
+        end: int,
+        target: Optional[KInfo],
+    ) -> Tuple[IntLockset, bool]:
+        """Replay only the cells whose rule can fire, in ascending order.
+
+        A simple sync row fires only when its ``key`` is in the lockset,
+        and a commit row only when the lockset holds one of its incoming
+        ids or its committer -- and the index lists every row under
+        exactly those ids.  So the candidate positions are the index
+        entries of the lockset's current ids, extended whenever a rule
+        adds an id.  Candidates merge through a heap; each id's index is
+        queried once (``queried``), and both rule kinds are idempotent,
+        so a row reachable through several ids is harmless (and visited
+        once -- ``last`` dedupes).  The lockset computed is identical to
+        the linear scan's; only ``cells_traversed`` (cells actually
+        visited) and ``batch_ops`` (index probes) differ.
+
+        With a ``target`` info the scan stops as soon as the ownership
+        test succeeds -- sound because rules only ever *add* elements, so
+        ownership now implies ownership at ``end``.  Returns
+        ``(lockset, reached)`` where ``reached`` is the position the
+        lockset is valid *at*: ``end`` for a completed scan, the position
+        after the last visited cell for an early exit.  The invariant
+        making partial results usable is that cells are visited in
+        ascending order and a skipped cell's rule could not have fired,
+        so at any moment the lockset equals the linear replay's lockset
+        at ``last visited + 1`` -- an early exit is therefore a valid
+        (shorter) advancement, not a throwaway.
+        """
+        stats = self.stats
+        events = self.events
+        table = events.commit_table
+        heap: List[Tuple[int, List[int], int]] = []
+        queried = set()
+
+        def query(eid: int, frm: int) -> None:
+            if eid in queried:
+                return
+            queried.add(eid)
+            positions, k = events.key_positions(eid, frm)
+            if k < len(positions) and positions[k] < end:
+                stats.batch_ops += 1
+                heappush(heap, (positions[k], positions, k + 1))
+
+        # One primitive gathers the index lists for the lockset's initial
+        # ids (a fixed-shape batched lookup); only data-dependent probes
+        # that contribute candidates mid-scan add further ops.
+        stats.batch_ops += 1
+        for eid in ls_ids(ls):
+            queried.add(eid)
+            positions, k = events.key_positions(eid, start)
+            if k < len(positions) and positions[k] < end:
+                heappush(heap, (positions[k], positions, k + 1))
+        visited = 0
+        last = -1
+        grew = False
+        try:
+            while heap:
+                pos, arr, k = heappop(heap)
+                if k < len(arr) and arr[k] < end:
+                    heappush(heap, (arr[k], arr, k + 1))
+                if pos == last:
+                    continue  # same cell reached through two index lists
+                last = pos
+                visited += 1
+                op, _tid, key, gain = events.at(pos)
+                if op != OP_COMMIT:
+                    if ls_has(ls, key) and not ls_has(ls, gain):
+                        ls = ls_add(ls, gain)
+                        grew = True
+                        query(gain, pos + 1)
+                else:
+                    incoming, outgoing, committer = table[key]
+                    if ls_intersects(ls, incoming) and not ls_has(ls, committer):
+                        ls = ls_add(ls, committer)
+                        grew = True
+                        query(committer, pos + 1)
+                    if ls_has(ls, committer):
+                        new_ls = ls_union(ls, outgoing)
+                        if new_ls != ls:
+                            for g in ls_ids(outgoing):
+                                if not ls_has(ls, g):
+                                    query(g, pos + 1)
+                            ls = new_ls
+                            grew = True
+                if grew and target is not None and self._owned(ls, target):
+                    return ls, pos + 1
+                grew = False
+        finally:
+            stats.cells_traversed += visited
+        return ls, end
+
+    def _replay(self, ls: IntLockset, start: int, end: int) -> IntLockset:
+        """Index-driven replay (GC partial evaluation, memo advancement)."""
+        if start >= end or not self.events.index_keys:
+            return super()._replay(ls, start, end)
+        new_ls, _reached = self._skip_scan(ls, start, end, None)
+        return new_ls
+
+    def _full_traversal(self, info1: KInfo, info2: KInfo) -> bool:
+        """The full computation on the skip-scan, with a restricted-style
+        early exit: the moment the advancing lockset owns ``info2`` the
+        verdict is settled (rules only add elements), so the scan stops.
+        Unlike the scalar restricted rung, an early exit is not thrown
+        away: the partial lockset is exact for the scanned prefix, so the
+        anchor still advances (to the exit position) and the memo still
+        learns -- repeated checks against a hot racy variable do not
+        rescan the same window.
+        """
+        events = self.events
+        if not events.index_keys:
+            return super()._full_traversal(info1, info2)
+        self.stats.full_lockset_computations += 1
+        end = events.total_enqueued
+        start = info1.pos
+        ls = info1.ls
+        scan_start, scan_ls = start, ls
+        if self.memo_shared:
+            hit = self._memo.get((start, ls))
+            if hit is not None:
+                self.stats.memo_shared_hits += 1
+                scan_start, scan_ls = hit
+        if scan_start >= end:
+            new_ls, reached = scan_ls, end
+        else:
+            new_ls, reached = self._skip_scan(scan_ls, scan_start, end, info2)
+        if self.memo_shared:
+            if len(self._memo) >= MEMO_CAP:
+                self._memo.clear()
+            self._memo[(start, ls)] = (reached, new_ls)
+        if self.memoize:
+            events.decref(info1.pos)
+            info1.pos = reached
+            events.incref(reached)
+            info1.ls = new_ls
+        return self._owned(new_ls, info2)

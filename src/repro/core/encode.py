@@ -117,11 +117,24 @@ class FrameFormatError(ValueError):
     offending kind byte -- the element type tag, opcode, or frame
     version -- or ``None`` when the data ended before one was read.
     Subclasses :class:`ValueError`, so existing handlers keep working.
+
+    When the kernel rejects a frame mid-application, ``record`` is the
+    0-based index of the faulting record and ``applied`` the number of
+    records fully applied before the fault, so callers can account for
+    the partially-consumed frame ("atomic-or-reported").
     """
 
-    def __init__(self, message: str, kind: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        message: str,
+        kind: Optional[int] = None,
+        record: Optional[int] = None,
+        applied: Optional[int] = None,
+    ) -> None:
         super().__init__(message)
         self.kind = kind
+        self.record = record
+        self.applied = applied
 
 
 def _q_to_bytes(ints: array) -> bytes:
@@ -746,6 +759,9 @@ class FrameDecoder:
                 self.sync_decoded += 1
                 action = Join(resolve(a))
             elif op == OP_ALLOC:
+                if a < 0:
+                    # admission-filtered alloc proxy: nothing to resolve
+                    continue
                 self.sync_decoded += 1
                 action = Alloc(resolve(a).obj)
             elif op == OP_COMMIT:
@@ -754,11 +770,19 @@ class FrameDecoder:
                 reads = set()
                 writes = set()
                 for j in range(a + 1, a + 1 + 2 * n, 2):
-                    var = resolve(extras[j])
+                    var_id = extras[j]
+                    if var_id < 0:
+                        # admission-filtered footprint entry
+                        continue
+                    var = resolve(var_id)
                     (writes if extras[j + 1] else reads).add(var)
                 action = Commit(frozenset(reads), frozenset(writes))
             else:
-                raise FrameFormatError(f"unknown opcode {op}", kind=op)
+                raise FrameFormatError(
+                    f"unknown opcode {op} at record {i // RECORD_WIDTH}",
+                    kind=op,
+                    record=i // RECORD_WIDTH,
+                )
             out.append((seq, Event(tid, index, action)))
         return out
 

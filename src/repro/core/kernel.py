@@ -387,12 +387,51 @@ class EncodedGoldilocks(Detector):
 
         base, delta, records, extras = decode_frame(frame)
         extend_interner(self.interner, base, delta)
+        return self.apply_records(records, extras)
+
+    def ingest_delta(self, base: int, delta) -> None:
+        """Apply an interner delta without a framed buffer (fused transport)."""
+        from .encode import extend_interner
+
+        extend_interner(self.interner, base, delta)
+
+    def _resolve_packed(self, eid: int, op: int, record: int, applied: int):
+        """Guarded interner lookup for ids arriving in packed records.
+
+        A stale id (out of the replica's range) means the frame and the
+        interner state disagree -- surfaced as a typed
+        :class:`~repro.core.encode.FrameFormatError` instead of leaking an
+        ``IndexError`` from list indexing.
+        """
+        if 0 <= eid < len(self.interner):
+            return self.interner.resolve(eid)
+        from .encode import FrameFormatError
+
+        self.stats.frame_faults += 1
+        raise FrameFormatError(
+            f"stale interner id {eid} at record {record} "
+            f"(opcode {op}, {applied} records applied)",
+            kind=op,
+            record=record,
+            applied=applied,
+        )
+
+    def apply_records(
+        self, records, extras
+    ) -> Tuple[List[Tuple[int, RaceReport]], int]:
+        """Apply decoded ``(records, extras)`` arrays record-at-a-time.
+
+        This is the scalar reference path; :class:`repro.core.batch
+        .BatchGoldilocks` overrides it with run-partitioned processing.
+        A malformed record raises :class:`~repro.core.encode
+        .FrameFormatError` carrying the record offset and the number of
+        records fully applied before the fault.
+        """
         resolve = self.interner.resolve
         reports: List[Tuple[int, RaceReport]] = []
         count = 0
         for i in range(0, len(records), 6):
             op, seq, tid_id, index, a, b = records[i : i + 6]
-            count += 1
             if op <= OP_JOIN:
                 self.stats.sync_events += 1
                 if op == OP_ACQUIRE:  # a is the lock id, b the acquirer
@@ -410,9 +449,11 @@ class EncodedGoldilocks(Detector):
                     # admission-filtered access (normally dropped at the
                     # edge; counted here in case a record slips through)
                     self.stats.accesses_filtered += 1
+                    count += 1
                     continue
-                var = resolve(a)
+                var = self._resolve_packed(a, op, i // 6, count)
                 if not self._packed_owns(a, var):
+                    count += 1
                     continue
                 self.stats.accesses_checked += 1
                 tid = resolve(tid_id)
@@ -423,36 +464,106 @@ class EncodedGoldilocks(Detector):
                 for report in found:
                     reports.append((seq, report))
             elif op == OP_COMMIT:
-                reports.extend(self._packed_commit(seq, tid_id, index, a, extras))
+                reports.extend(
+                    self._packed_commit(seq, tid_id, index, a, extras, i // 6, count)
+                )
             elif op == OP_ALLOC:
-                self._handle_alloc(resolve(a).obj)
+                if a < 0:
+                    # admission-filtered alloc: nothing to invalidate
+                    self.stats.accesses_filtered += 1
+                else:
+                    element = self._resolve_packed(a, op, i // 6, count)
+                    obj = getattr(element, "obj", None)
+                    if obj is None:
+                        from .encode import FrameFormatError
+
+                        self.stats.frame_faults += 1
+                        raise FrameFormatError(
+                            f"alloc id {a} resolves to {element!r}, not an "
+                            f"object proxy, at record {i // 6} "
+                            f"({count} records applied)",
+                            kind=op,
+                            record=i // 6,
+                            applied=count,
+                        )
+                    self._handle_alloc(obj)
             else:
-                raise ValueError(f"unknown opcode {op} in packed frame")
+                from .encode import FrameFormatError
+
+                self.stats.frame_faults += 1
+                raise FrameFormatError(
+                    f"unknown opcode {op} at record {i // 6} "
+                    f"({count} records applied)",
+                    kind=op,
+                    record=i // 6,
+                    applied=count,
+                )
+            count += 1
         return reports, count
 
     def _packed_commit(
-        self, seq: int, tid_id: int, index: int, offset, extras
+        self,
+        seq: int,
+        tid_id: int,
+        index: int,
+        offset,
+        extras,
+        record: int = -1,
+        applied: int = 0,
     ) -> List[Tuple[int, RaceReport]]:
-        """Section 5.3 on a packed commit: gains come straight from the ids."""
+        """Section 5.3 on a packed commit: gains come straight from the ids.
+
+        Footprint entries holding the :data:`~repro.core.encode.FILTERED_VAR`
+        sentinel (an admission filter dropped the variable at some edge) are
+        skipped -- not resolved -- and counted in ``accesses_filtered``, so
+        the gain lockset matches what the encoder actually shipped.
+        """
         self.stats.sync_events += 1
+        if not 0 <= offset < len(extras):
+            from .encode import FrameFormatError
+
+            self.stats.frame_faults += 1
+            raise FrameFormatError(
+                f"commit extras offset {offset} outside the extras array "
+                f"at record {record} ({applied} records applied)",
+                kind=OP_COMMIT,
+                record=record,
+                applied=applied,
+            )
         n_vars = extras[offset]
         end = offset + 1 + 2 * n_vars
+        if n_vars < 0 or end > len(extras):
+            from .encode import FrameFormatError
+
+            self.stats.frame_faults += 1
+            raise FrameFormatError(
+                f"commit footprint of {n_vars} vars overruns the extras "
+                f"array at record {record} ({applied} records applied)",
+                kind=OP_COMMIT,
+                record=record,
+                applied=applied,
+            )
         if self.commit_sync == "footprint":
             gain_ls: IntLockset = 0
             for j in range(offset + 1, end, 2):
-                gain_ls = ls_add(gain_ls, extras[j])
+                var_id = extras[j]
+                if var_id < 0:
+                    continue  # admission-filtered footprint entry
+                gain_ls = ls_add(gain_ls, var_id)
             incoming_ls = outgoing_ls = gain_ls
         else:
             incoming_ls = outgoing_ls = ls_add(0, TL_ID)
         row = self.events.add_commit_row(incoming_ls, outgoing_ls, tid_id)
         self.events.enqueue_encoded(OP_COMMIT, tid_id, row, 0)
         reports: List[Tuple[int, RaceReport]] = []
-        resolve = self.interner.resolve
-        tid = resolve(tid_id)
+        tid = self.interner.resolve(tid_id)
         # extras arrive in the canonical (obj, field) order of _commit_vars
         for j in range(offset + 1, end, 2):
             var_id = extras[j]
-            var = resolve(var_id)
+            if var_id < 0:
+                self.stats.accesses_filtered += 1
+                continue
+            var = self._resolve_packed(var_id, OP_COMMIT, record, applied)
             if not self._packed_owns(var_id, var):
                 continue
             self.stats.accesses_checked += 1

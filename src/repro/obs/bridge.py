@@ -66,6 +66,10 @@ _KERNEL_PLAIN = (
     "cells_collected",
     "partial_evaluations",
     "accesses_filtered",
+    "sc_batch",
+    "batch_runs",
+    "batch_ops",
+    "frame_faults",
 )
 
 #: metric names (sans prefix) that must appear in any healthy exposition;

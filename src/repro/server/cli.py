@@ -62,6 +62,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="shard transport: packed integer frames (default) or pickled Events",
     )
     parser.add_argument(
+        "--kernel",
+        choices=["encoded", "batch", "seed"],
+        default="encoded",
+        help="detection kernel: record-at-a-time integer kernel (default), "
+        "whole-frame batch application of the same kernel, or the seed "
+        "reference detector",
+    )
+    parser.add_argument(
         "--flush-interval",
         type=float,
         default=0.05,
@@ -163,6 +171,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         queue_depth=args.queue_depth,
         workers=args.workers,
         transport=args.transport,
+        kernel=args.kernel,
         commit_sync=args.commit_sync,
         gc_threshold=args.gc_threshold or None,
         flush_interval=args.flush_interval,

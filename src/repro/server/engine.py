@@ -77,11 +77,13 @@ from ..core.actions import (
     Write,
     is_data_access,
 )
+from ..core.batch import BatchGoldilocks
 from ..core.encode import (
     FILTERED_VAR,
     RECORD_WIDTH,
     EventEncoder,
     FrameDecoder,
+    FrameFormatError,
     decode_frame,
     decode_interner_snapshot,
     encode_frame,
@@ -179,10 +181,22 @@ class PartitionedSeedGoldilocks(_PartitionMixin, LazyGoldilocks):
     """The same partition discipline on the seed ``LazyGoldilocks``."""
 
 
+class PartitionedBatchGoldilocks(_PartitionMixin, BatchGoldilocks):
+    """The partition discipline on the batch-vectorized frame kernel.
+
+    Same verdicts as :class:`PartitionedGoldilocks` (race lines are
+    byte-identical, seq included); frames are applied at run/column
+    granularity instead of record-at-a-time, and on the inline packed
+    transport the engine skips framing entirely (:meth:`ShardedEngine
+    ._push` hands the shard buffer straight to ``apply_records``).
+    """
+
+
 #: engine kernels selectable via :attr:`EngineConfig.kernel`
 PARTITION_KERNELS = {
     "encoded": PartitionedGoldilocks,
     "seed": PartitionedSeedGoldilocks,
+    "batch": PartitionedBatchGoldilocks,
 }
 
 #: engine transports selectable via :attr:`EngineConfig.transport`
@@ -203,7 +217,8 @@ class EngineConfig:
     #: forwarded to each shard's detector
     commit_sync: str = "footprint"
     gc_threshold: Optional[int] = 50_000
-    #: "encoded" (the integer kernel, default) or "seed" (reference lazy)
+    #: "encoded" (the integer kernel, default), "batch" (whole-frame
+    #: vectorized application of the same kernel), or "seed" (reference lazy)
     kernel: str = "encoded"
     #: "packed" (encode-once frames, default) or "object" (pickled Events)
     transport: str = "packed"
@@ -299,7 +314,26 @@ def _shard_worker(
             if kind == "frame":
                 t_apply = time.perf_counter() if timed else 0.0
                 if packed_kernel:
-                    reports, n = detector.apply_packed(msg[1])
+                    try:
+                        reports, n = detector.apply_packed(msg[1])
+                    except FrameFormatError as exc:
+                        # A malformed frame must not kill the worker (the
+                        # router would hang at the next barrier waiting for
+                        # this ack).  Acknowledge the batch as an error;
+                        # ``applied`` says how much of it took effect.
+                        result_q.put(
+                            (
+                                "ack",
+                                shard_id,
+                                exc.applied or 0,
+                                ("err", (str(exc), exc.kind, exc.record,
+                                         exc.applied or 0)),
+                                detector.stats.as_dict(),
+                                sync_decoded,
+                                time.perf_counter() - t_apply if timed else 0.0,
+                            )
+                        )
+                        continue
                     payload = (
                         "packed",
                         [
@@ -457,7 +491,7 @@ class ShardedEngine:
             # its first frame rather than a full interner re-send.  Seed
             # shards decode through a fresh FrameDecoder whose replica starts
             # empty, so their cursor genuinely is 1.
-            if self.config.kernel == "encoded":
+            if self.config.kernel in ("encoded", "batch"):
                 master = max((d.interner for d in restored), key=len)
                 self._encoder.prime(master)
                 self._cursors = [
@@ -478,8 +512,13 @@ class ShardedEngine:
         self.data_filtered = 0
         self.batches_flushed = 0
         self.backpressure_stalls = 0
-        #: bytes shipped to shards (frame bytes, or pickled batch bytes)
+        #: bytes shipped to shards (frame bytes, or pickled batch bytes;
+        #: the fused inline path counts the raw record/extra ints it hands
+        #: over, so the meaning -- payload shipped to a shard -- is stable)
         self.queue_bytes = 0
+        #: frame-application faults (malformed frames a shard rejected);
+        #: drained by the service into its parse-error ring
+        self.apply_errors: List[str] = []
         #: per-event object materializations forced by the object transport
         self._object_allocs = 0
         # -- observability: lifecycle tracer plus the race flight recorder.
@@ -710,27 +749,53 @@ class ShardedEngine:
             if base + i < len(remap):
                 continue
             remap.append(self._encoder.intern_element(element))
+        def wire_id(cid: int, record: int, applied: int) -> int:
+            """Remap one client id; typed error on ids never announced."""
+            if not 0 <= cid < len(remap):
+                raise FrameFormatError(
+                    f"wire frame references unannounced client id {cid} "
+                    f"at record {record}",
+                    record=record,
+                    applied=applied,
+                )
+            return remap[cid]
+
         count = 0
         for i in range(0, len(records), RECORD_WIDTH):
+            record = i // RECORD_WIDTH
             op, _seq, tid_id, index, a, b = records[i : i + RECORD_WIDTH]
-            tid_id = remap[tid_id]
+            tid_id = wire_id(tid_id, record, count)
             local_extras: Optional[List[int]] = None
             if op <= OP_JOIN:
-                a = remap[a]
-                b = remap[b]
+                a = wire_id(a, record, count)
+                b = wire_id(b, record, count)
             elif op == OP_COMMIT:
                 n_vars = extras[a]
                 local_extras = [n_vars]
                 for j in range(a + 1, a + 1 + 2 * n_vars, 2):
-                    local_extras.append(remap[extras[j]])
+                    cid = extras[j]
+                    # A filtered footprint entry travels as FILTERED_VAR;
+                    # remapping it would silently alias the *last* announced
+                    # element (remap[-1]) -- preserve the sentinel instead.
+                    local_extras.append(
+                        cid if cid < 0 else wire_id(cid, record, count)
+                    )
                     local_extras.append(extras[j + 1])
                 a = b = 0
             elif op in (OP_READ, OP_WRITE, OP_ALLOC):
-                a = remap[a]
-                if op != OP_ALLOC and not self._encoder.admit_var_id(a):
-                    a = FILTERED_VAR
+                # Same sentinel rule: an already-filtered access stays
+                # filtered; only real ids go through the remap.
+                if a >= 0:
+                    a = wire_id(a, record, count)
+                    if op != OP_ALLOC and not self._encoder.admit_var_id(a):
+                        a = FILTERED_VAR
             else:
-                raise ValueError(f"unknown opcode {op} in wire frame")
+                raise FrameFormatError(
+                    f"unknown opcode {op} in wire frame at record {record}",
+                    kind=op,
+                    record=record,
+                    applied=count,
+                )
             self._ingest_record(op, tid_id, index, a, b, local_extras, None)
             count += 1
         return count
@@ -811,18 +876,33 @@ class ShardedEngine:
         if self._packed:
             buffer, self._pbuffers[shard] = self._pbuffers[shard], _PackedBuffer()
             n_events = buffer.count
-            frame = encode_frame(
-                self._cursors[shard],
-                self._encoder.interner.elements_since(self._cursors[shard]),
-                buffer.records,
-                buffer.extras,
-            )
-            self._cursors[shard] = len(self._encoder.interner)
-            self.queue_bytes += len(frame)
+            inline = self.config.workers == "inline"
+            fused = inline and isinstance(self._detectors[shard], BatchGoldilocks)
+            if fused:
+                # Fused routing+apply: the shard is in-process and consumes
+                # raw columns, so building (and immediately re-parsing) a
+                # framed byte buffer is pure overhead -- hand the interner
+                # delta and the record arrays over directly.
+                cursor = self._cursors[shard]
+                delta = self._encoder.interner.elements_since(cursor)
+                self._cursors[shard] = len(self._encoder.interner)
+                self.queue_bytes += 8 * (len(buffer.records) + len(buffer.extras))
+                frame = None
+            else:
+                frame = encode_frame(
+                    self._cursors[shard],
+                    self._encoder.interner.elements_since(self._cursors[shard]),
+                    buffer.records,
+                    buffer.extras,
+                )
+                self._cursors[shard] = len(self._encoder.interner)
+                self.queue_bytes += len(frame)
             self._sent_events[shard] += n_events
             if self.recorder is not None:
                 # The buffer's arrays would be garbage after this point;
-                # the flight recorder adopts them instead (no copy).
+                # the flight recorder adopts them instead (no copy).  On
+                # the fused path this happens *before* apply, so a frame
+                # the kernel later faults on is still in the ring.
                 self.recorder.record(shard, buffer.records, buffer.extras)
             route_sec = tracer.clock() - t_route
             tracer.observe_elapsed("route", route_sec)
@@ -832,21 +912,35 @@ class ShardedEngine:
                 else None
             )
             self._inflight[shard].append((ordinal, n_events, tracer.clock(), span))
-            if self.config.workers == "inline":
+            if inline:
                 detector = self._detectors[shard]
                 decoder = self._decoders[shard]
                 t_apply = tracer.clock()
-                if decoder is None:
-                    reports, n = detector.apply_packed(frame)
-                else:
-                    before = decoder.sync_decoded
-                    reports = []
-                    n = 0
-                    for seq, event in decoder.decode_payload(frame):
-                        n += 1
-                        for report in detector.process(event):
-                            reports.append((seq, report))
-                    self._sync_decoded[shard] += decoder.sync_decoded - before
+                # Never raise between the in-flight append and the ack --
+                # an escaped exception would wedge the next barrier().
+                try:
+                    if fused:
+                        detector.ingest_delta(cursor, delta)
+                        reports, n = detector.apply_records(
+                            buffer.records, buffer.extras
+                        )
+                    elif decoder is None:
+                        reports, n = detector.apply_packed(frame)
+                    else:
+                        before = decoder.sync_decoded
+                        reports = []
+                        n = 0
+                        for seq, event in decoder.decode_payload(frame):
+                            n += 1
+                            for report in detector.process(event):
+                                reports.append((seq, report))
+                        self._sync_decoded[shard] += decoder.sync_decoded - before
+                except FrameFormatError as exc:
+                    self.apply_errors.append(
+                        f"<frame rejected by shard {self._slot_groups[shard]}: "
+                        f"{exc} ({exc.applied or 0}/{n_events} records applied)>"
+                    )
+                    reports, n = [], exc.applied or 0
                 apply_sec = tracer.clock() - t_apply
                 self._apply_ack_inline(shard, n, reports, detector, apply_sec)
                 return
@@ -913,7 +1007,14 @@ class ShardedEngine:
         self._acked_batches[shard] += 1
         self._acked_events[shard] += n_events
         tag, rows = payload
-        if tag == "packed":
+        if tag == "err":
+            message, _kind, record, applied = rows
+            self.apply_errors.append(
+                f"<frame rejected by shard {self._slot_groups[shard]}: "
+                f"{message} (record {record}, {applied} applied)>"
+            )
+            rows = []
+        elif tag == "packed":
             rows = unpack_reports(rows, self._encoder.interner)
         if rows:
             self._reports.extend(rows)

@@ -61,7 +61,8 @@ class ServiceConfig:
     workers: str = "process"
     commit_sync: str = "footprint"
     gc_threshold: Optional[int] = 50_000
-    #: "encoded" (integer kernel) or "seed" (reference lazy detector)
+    #: "encoded" (integer kernel), "batch" (whole-frame vectorized
+    #: application of the same kernel), or "seed" (reference lazy detector)
     kernel: str = "encoded"
     #: "packed" (encode-once integer frames) or "object" (pickled Events)
     transport: str = "packed"
@@ -160,8 +161,26 @@ class RaceDetectionService:
             self._races_seen += len(reports)
             return reports
 
+    def _drain_apply_errors(self) -> None:
+        """Move shard frame-rejection notes into the parse-error ring.
+
+        A malformed frame that survives parsing but faults inside a shard
+        (junk opcode, unannounced id) is acknowledged as an error rather
+        than killing the worker; surfacing it through the same ring as
+        parse errors keeps ``!health`` the one place to look.  Caller must
+        hold the lock.
+        """
+        errors = self.engine.apply_errors
+        if errors:
+            self.engine.apply_errors = []
+            self._parse_errors += len(errors)
+            self._bad_lines.extend(errors)
+            for note in errors:
+                self.tracer.log_parse_error(note)
+
     def stats(self) -> ServiceStats:
         with self._lock:
+            self._drain_apply_errors()
             snapshot = self.engine.stats()
         # Re-derive the rates against the *service* start time (monotonic,
         # so the published uptime never goes backwards across snapshots).

@@ -25,7 +25,7 @@ def split_trace(seed=11):
     return events, mid
 
 
-@pytest.mark.parametrize("kernel", ["encoded", "seed"])
+@pytest.mark.parametrize("kernel", ["encoded", "batch", "seed"])
 def test_detector_checkpoint_restore_delta_replay(kernel):
     """Single shard, pure kernel: restore + delta == uninterrupted."""
     detector_cls = EngineConfig(kernel=kernel).detector_class()
@@ -46,7 +46,7 @@ def test_detector_checkpoint_restore_delta_replay(kernel):
     assert tail_continuous, "the delta must contain races for this to bite"
 
 
-@pytest.mark.parametrize("kernel", ["encoded", "seed"])
+@pytest.mark.parametrize("kernel", ["encoded", "batch", "seed"])
 def test_engine_restart_from_checkpoints(kernel):
     """Engine restart: the second half replayed into a restored engine
     yields the same remaining races, with the original seq numbering."""
@@ -71,7 +71,7 @@ def test_engine_restart_from_checkpoints(kernel):
     with second:
         # Restored encoded shards hold the full pre-checkpoint interner, so
         # their first delta must be empty, not a wasteful full re-send.
-        if kernel == "encoded":
+        if kernel in ("encoded", "batch"):
             assert second._cursors == [len(second._encoder.interner)] * 4
         for event in events[mid:]:
             second.submit(event)

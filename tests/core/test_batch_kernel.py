@@ -1,0 +1,156 @@
+"""The batch frame kernel: parity, backends, counters, checkpointing.
+
+The acceptance contract of :class:`~repro.core.batch.BatchGoldilocks` is
+byte-identical race lines (``seq`` included) against record-at-a-time
+:meth:`~repro.core.kernel.EncodedGoldilocks.apply_packed` on identical
+frames -- with *less* counted work -- and identical deterministic counters
+whether numpy or the pure-Python column fallback decodes the frames.
+"""
+
+import pickle
+from array import array
+
+import pytest
+
+from repro.core import BatchGoldilocks, EncodedGoldilocks, batch_backend
+from repro.core.encode import EventEncoder, encode_frame
+from repro.trace import RandomTraceGenerator
+
+
+def frames_of(events, batch=32, encoder=None):
+    """Pack a trace into frames of ``batch`` events, the way the engine does."""
+    encoder = encoder or EventEncoder()
+    cursor = len(encoder.interner)
+    frames = []
+    records = array("q")
+    extras = array("q")
+
+    def flush():
+        nonlocal cursor, records, extras
+        frames.append(
+            encode_frame(
+                cursor, encoder.interner.elements_since(cursor), records, extras
+            )
+        )
+        cursor = len(encoder.interner)
+        records = array("q")
+        extras = array("q")
+
+    for seq, event in enumerate(events):
+        op, tid_id, index, a, b, extra = encoder.encode_event(event)
+        if extra is not None:
+            a = len(extras)
+            extras.extend(extra)
+        records.extend((op, seq, tid_id, index, a, b))
+        if len(records) >= 6 * batch:
+            flush()
+    if len(records):
+        flush()
+    return frames
+
+
+def race_lines(detector, frames):
+    """Apply every frame; return the [(seq, race line)] transcript."""
+    lines = []
+    for frame in frames:
+        reports, _count = detector.apply_packed(frame)
+        lines.extend((seq, str(report)) for seq, report in reports)
+    return lines
+
+
+def random_trace(seed, discipline=0.5, steps=150):
+    return RandomTraceGenerator(
+        max_threads=6,
+        steps_per_thread=steps,
+        p_discipline=discipline,
+        n_objects=6,
+        n_fields=3,
+    ).generate(seed=seed)
+
+
+@pytest.mark.parametrize("seed", range(8))
+@pytest.mark.parametrize("commit_sync", ["footprint", "atomic-order"])
+def test_batch_matches_encoded_on_random_frames(seed, commit_sync):
+    events = random_trace(seed, discipline=0.3 + 0.08 * seed)
+    frames = frames_of(events)
+    expected = race_lines(EncodedGoldilocks(commit_sync=commit_sync), frames)
+    got = race_lines(BatchGoldilocks(commit_sync=commit_sync), frames)
+    assert got == expected  # byte-identical lines, seq included
+
+
+@pytest.mark.parametrize("batch", [1, 7, 64, 10_000])
+def test_parity_is_frame_boundary_independent(batch):
+    events = random_trace(3)
+    frames = frames_of(events, batch=batch)
+    expected = race_lines(EncodedGoldilocks(), frames)
+    assert race_lines(BatchGoldilocks(), frames) == expected
+
+
+def test_batch_counters_identical_across_backends(monkeypatch):
+    """numpy only accelerates column extraction -- it must not change counters."""
+    events = random_trace(5)
+    frames = frames_of(events)
+    with_numpy = BatchGoldilocks()
+    lines = race_lines(with_numpy, frames)
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    assert batch_backend() == "python"
+    fallback = BatchGoldilocks()
+    assert fallback._np is None
+    assert race_lines(fallback, frames) == lines
+    assert fallback.stats.as_dict() == with_numpy.stats.as_dict()
+
+
+def test_batch_short_circuits_are_counted_and_cheaper():
+    events = random_trace(7)
+    frames = frames_of(events, batch=64)
+    encoded = EncodedGoldilocks()
+    batch = BatchGoldilocks()
+    race_lines(encoded, frames)
+    race_lines(batch, frames)
+    stats = batch.stats
+    assert stats.batch_runs > 0
+    assert stats.batch_ops > 0
+    assert stats.sc_batch > 0  # batch-settled checks happened...
+    # ...and they are excluded from the per-access ladder accounting.
+    assert stats.hb_queries < encoded.stats.hb_queries
+    assert stats.detector_work < encoded.stats.detector_work
+    # The run partitioner saw every event the scalar path saw.
+    assert stats.accesses_checked == encoded.stats.accesses_checked
+    assert stats.sync_events == encoded.stats.sync_events
+    assert stats.frame_faults == 0
+
+
+def test_checkpoint_roundtrip_resumes_mid_stream():
+    """Pickling mid-stream preserves verdicts AND the skip-scan indexes."""
+    events = random_trace(11)
+    frames = frames_of(events)
+    cut = len(frames) // 2
+    detector = BatchGoldilocks()
+    head = race_lines(detector, frames[:cut])
+    resumed = pickle.loads(pickle.dumps(detector))
+    assert resumed.events._by_key  # index_keys survives __setstate__
+    assert resumed.sc_thread_restricted is False
+    tail = race_lines(resumed, frames[cut:])
+    assert head + tail == race_lines(BatchGoldilocks(), frames)
+
+
+def test_gc_interplay_keeps_parity():
+    """Aggressive collection prunes the synclist under the batch indexes."""
+    events = random_trace(13, steps=250)
+    frames = frames_of(events, batch=16)
+    expected = race_lines(EncodedGoldilocks(gc_threshold=64), frames)
+    detector = BatchGoldilocks(gc_threshold=64)
+    assert race_lines(detector, frames) == expected
+    assert detector.stats.cells_collected > 0
+
+
+def test_batch_backend_reports_the_active_column_decoder(monkeypatch):
+    monkeypatch.delenv("REPRO_NO_NUMPY", raising=False)
+    try:
+        import numpy  # noqa: F401
+
+        assert batch_backend() == "numpy"
+    except ImportError:  # pragma: no cover - numpy-less environments
+        assert batch_backend() == "python"
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    assert batch_backend() == "python"

@@ -1,0 +1,184 @@
+"""Regressions for the packed-path hardening (the bugfix part of the PR).
+
+Three bugs, three hand-built malformed/filtered frames, asserted on BOTH
+packed kernels (scalar and batch):
+
+1. commit footprints carrying the ``FILTERED_VAR`` sentinel used to be
+   resolved as ``interner[-1]`` (silently aliasing the newest element);
+   they must be skipped and counted in ``accesses_filtered``;
+2. ``OP_ALLOC`` with a sentinel or stale id used to leak ``IndexError`` /
+   invalidate an arbitrary object; sentinels are counted, stale and
+   mistyped ids raise a typed :class:`FrameFormatError`;
+3. an unknown opcode mid-frame used to kill the worker with a bare
+   ``KeyError``; it must raise :class:`FrameFormatError` carrying the
+   opcode, record offset, and applied count.
+"""
+
+from array import array
+
+import pytest
+
+from repro.core import BatchGoldilocks, EncodedGoldilocks
+from repro.core.actions import DataVar, Event, Obj, Tid, Write, commit
+from repro.core.encode import (
+    FILTERED_VAR,
+    OP_ALLOC,
+    OP_COMMIT,
+    EventEncoder,
+    FrameFormatError,
+    decode_frame,
+    encode_frame,
+)
+
+KERNELS = [EncodedGoldilocks, BatchGoldilocks]
+VAR = DataVar(Obj(1), "f")
+OTHER = DataVar(Obj(2), "g")
+
+
+def raw_frame(rows, extras=(), seed_events=()):
+    """Hand-build one frame: encode ``seed_events`` for the interner delta,
+    then splice in literal ``(op, seq, tid_id, index, a, b)`` rows."""
+    encoder = EventEncoder()
+    base = len(encoder.interner)  # the pinned prelude (TL) never ships
+    records = array("q")
+    extra_pool = array("q", extras)
+    seq = 0
+    for event in seed_events:
+        op, tid_id, index, a, b, extra = encoder.encode_event(event)
+        if extra is not None:
+            a = len(extra_pool)
+            extra_pool.extend(extra)
+        records.extend((op, seq, tid_id, index, a, b))
+        seq += 1
+    for row in rows:
+        records.extend(row)
+    delta = encoder.interner.elements_since(base)
+    return encode_frame(base, delta, records, extra_pool), encoder
+
+
+def ids_for(encoder, *elements):
+    return tuple(encoder.interner.intern(e) for e in elements)
+
+
+@pytest.mark.parametrize("factory", KERNELS)
+def test_filtered_commit_footprint_entries_are_skipped(factory):
+    """Bug 1: FILTERED_VAR in a commit footprint must not resolve."""
+    # Two racy writers on VAR establish candidate infos, then a commit
+    # whose footprint holds one real var and one filtered sentinel.
+    seed_events = [
+        Event(Tid(1), 0, Write(VAR)),
+        Event(Tid(2), 1, Write(VAR)),
+    ]
+    frame, encoder = raw_frame(rows=[], seed_events=seed_events)
+    vid, tid3 = ids_for(encoder, VAR, Tid(3))
+    base, _delta, records, _extras = decode_frame(frame)
+    records.extend((OP_COMMIT, 2, tid3, 2, 0, 0))
+    extras = array("q", [2, vid, 1, FILTERED_VAR, 1])  # n, (var_id, is_write)*
+    frame = encode_frame(base, encoder.interner.elements_since(base), records, extras)
+
+    detector = factory()
+    reports, count = detector.apply_packed(frame)
+    assert count == 3  # nothing raised; whole frame applied
+    assert detector.stats.accesses_filtered == 1
+    assert detector.stats.frame_faults == 0
+    # the real entry still participates: the transactional write on VAR
+    # races; the filtered entry contributed neither a gain nor a check
+    assert any(
+        report.var == VAR and report.second.xact for _seq, report in reports
+    )
+
+
+@pytest.mark.parametrize("factory", KERNELS)
+def test_commit_extras_offset_out_of_range_is_a_typed_error(factory):
+    seed_events = [Event(Tid(1), 0, Write(VAR))]
+    frame, encoder = raw_frame(
+        rows=[], seed_events=seed_events + [Event(Tid(1), 1, commit(writes=[VAR]))]
+    )
+    from repro.core.encode import decode_frame
+
+    base, delta, records, extras = decode_frame(frame)
+    records[10] = len(extras) + 5  # commit row's `a` column: bogus offset
+    bad = encode_frame(base, delta, records, extras)
+    detector = factory()
+    with pytest.raises(FrameFormatError) as excinfo:
+        detector.apply_packed(bad)
+    assert excinfo.value.kind == OP_COMMIT
+    assert excinfo.value.record == 1
+    assert detector.stats.frame_faults == 1
+
+
+@pytest.mark.parametrize("factory", KERNELS)
+def test_alloc_sentinel_is_counted_not_resolved(factory):
+    """Bug 2a: an admission-filtered alloc id must not alias interner[-1]."""
+    seed_events = [Event(Tid(1), 0, Write(VAR)), Event(Tid(2), 1, Write(VAR))]
+    frame, encoder = raw_frame(
+        rows=[(OP_ALLOC, 2, 1, 2, FILTERED_VAR, 0)], seed_events=seed_events
+    )
+    detector = factory()
+    _reports, count = detector.apply_packed(frame)
+    assert count == 3
+    assert detector.stats.accesses_filtered == 1
+    assert detector.stats.frame_faults == 0
+    # Nothing was invalidated: the two writes still race with a third.
+    reports, _ = detector.apply_packed(
+        raw_frame(rows=[], seed_events=[Event(Tid(3), 2, Write(VAR))])[0]
+    )
+
+
+@pytest.mark.parametrize("factory", KERNELS)
+def test_alloc_stale_id_raises_typed_error(factory):
+    seed_events = [Event(Tid(1), 0, Write(VAR))]
+    frame, encoder = raw_frame(
+        rows=[(OP_ALLOC, 1, 1, 1, 10_000, 0)], seed_events=seed_events
+    )
+    detector = factory()
+    with pytest.raises(FrameFormatError) as excinfo:
+        detector.apply_packed(frame)
+    assert excinfo.value.kind == OP_ALLOC
+    assert "stale interner id 10000" in str(excinfo.value)
+    assert detector.stats.frame_faults == 1
+
+
+@pytest.mark.parametrize("factory", KERNELS)
+def test_alloc_id_of_wrong_element_type_raises_typed_error(factory):
+    seed_events = [Event(Tid(1), 0, Write(VAR))]
+    frame, encoder = raw_frame(rows=[], seed_events=seed_events)
+    (tid_id,) = ids_for(encoder, Tid(1))
+    from repro.core.encode import decode_frame
+
+    base, delta, records, extras = decode_frame(frame)
+    records.extend((OP_ALLOC, 1, tid_id, 1, tid_id, 0))  # a Tid, not an Obj
+    detector = factory()
+    with pytest.raises(FrameFormatError) as excinfo:
+        detector.apply_packed(encode_frame(base, delta, records, extras))
+    assert excinfo.value.kind == OP_ALLOC
+    assert "not an object proxy" in str(excinfo.value)
+    assert detector.stats.frame_faults == 1
+
+
+def test_unknown_opcode_mid_frame_scalar_reports_applied_count():
+    """Bug 3, scalar path: the fault carries opcode, offset, applied."""
+    seed_events = [Event(Tid(1), 0, Write(VAR)), Event(Tid(1), 1, Write(OTHER))]
+    frame, _ = raw_frame(rows=[(99, 2, 1, 2, 0, 0)], seed_events=seed_events)
+    detector = EncodedGoldilocks()
+    with pytest.raises(FrameFormatError) as excinfo:
+        detector.apply_packed(frame)
+    assert excinfo.value.kind == 99
+    assert excinfo.value.record == 2
+    assert excinfo.value.applied == 2  # the two writes landed first
+    assert detector.stats.accesses_checked == 2
+    assert detector.stats.frame_faults == 1
+
+
+def test_unknown_opcode_batch_rejects_the_frame_atomically():
+    """Bug 3, batch path: wholesale validation fires before any record."""
+    seed_events = [Event(Tid(1), 0, Write(VAR)), Event(Tid(1), 1, Write(OTHER))]
+    frame, _ = raw_frame(rows=[(99, 2, 1, 2, 0, 0)], seed_events=seed_events)
+    detector = BatchGoldilocks()
+    with pytest.raises(FrameFormatError) as excinfo:
+        detector.apply_packed(frame)
+    assert excinfo.value.kind == 99
+    assert excinfo.value.record == 2
+    assert excinfo.value.applied == 0  # frame-atomic: nothing was applied
+    assert detector.stats.accesses_checked == 0
+    assert detector.stats.frame_faults == 1

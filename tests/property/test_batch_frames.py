@@ -1,0 +1,126 @@
+"""Property tests: the batch kernel agrees with the scalar packed path.
+
+Frames are fuzzed along the axes the hardening work covers -- admission
+sentinels in data rows, alloc rows, and commit footprints, plus junk
+opcodes -- and :class:`BatchGoldilocks` must agree with record-at-a-time
+:class:`EncodedGoldilocks` on every well-formed frame (byte-identical
+race lines, identical filter/fault counters) and must classify every
+malformed frame with the same typed error.
+"""
+
+from array import array
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BatchGoldilocks, EncodedGoldilocks
+from repro.core.encode import (
+    FILTERED_VAR,
+    OP_ALLOC,
+    OP_COMMIT,
+    OP_READ,
+    OP_WRITE,
+    FrameFormatError,
+    decode_frame,
+    encode_frame,
+)
+from repro.trace import RandomTraceGenerator
+
+from tests.core.test_batch_kernel import frames_of
+
+GENERATOR = RandomTraceGenerator(
+    max_threads=5, steps_per_thread=60, p_discipline=0.4, n_objects=4, n_fields=2
+)
+seeds = st.integers(min_value=0, max_value=10**9)
+
+
+def filtered_frames(seed, batch, stride):
+    """Frames for trace ``seed`` with every ``stride``-th filterable id
+    (data var, alloc target, commit footprint entry) replaced by the
+    admission sentinel -- the shape an edge filter actually produces."""
+    frames = []
+    tick = 0
+    for frame in frames_of(GENERATOR.generate(seed), batch=batch):
+        base, delta, records, extras = decode_frame(frame)
+        for i in range(0, len(records), 6):
+            op = records[i]
+            if op in (OP_READ, OP_WRITE, OP_ALLOC):
+                tick += 1
+                if tick % stride == 0:
+                    records[i + 4] = FILTERED_VAR
+            elif op == OP_COMMIT:
+                offset = records[i + 4]
+                n_vars = extras[offset]
+                for j in range(offset + 1, offset + 1 + 2 * n_vars, 2):
+                    tick += 1
+                    if tick % stride == 0:
+                        extras[j] = FILTERED_VAR
+        frames.append(encode_frame(base, delta, records, extras))
+    return frames
+
+
+def run(detector, frames):
+    lines = []
+    for frame in frames:
+        reports, _count = detector.apply_packed(frame)
+        lines.extend((seq, str(report)) for seq, report in reports)
+    return lines
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, batch=st.integers(min_value=1, max_value=96),
+       stride=st.integers(min_value=2, max_value=9))
+def test_batch_matches_scalar_on_filtered_frames(seed, batch, stride):
+    frames = filtered_frames(seed, batch, stride)
+    encoded = EncodedGoldilocks()
+    batched = BatchGoldilocks()
+    assert run(batched, frames) == run(encoded, frames)
+    assert batched.stats.accesses_filtered == encoded.stats.accesses_filtered
+    assert batched.stats.frame_faults == encoded.stats.frame_faults == 0
+    assert batched.stats.races == encoded.stats.races
+    assert batched.stats.accesses_checked == encoded.stats.accesses_checked
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, batch=st.integers(min_value=1, max_value=96),
+       opcode=st.integers(min_value=11, max_value=2**31),
+       position=st.integers(min_value=0, max_value=10**6))
+def test_both_kernels_reject_junk_opcodes_identically(seed, batch, opcode, position):
+    frames = frames_of(GENERATOR.generate(seed), batch=batch)
+    base, delta, records, extras = decode_frame(frames[-1])
+    slot = 6 * (position % (len(records) // 6))
+    records[slot] = opcode
+    frames[-1] = encode_frame(base, delta, records, extras)
+
+    verdicts = []
+    for factory in (EncodedGoldilocks, BatchGoldilocks):
+        detector = factory()
+        with pytest.raises(FrameFormatError) as excinfo:
+            run(detector, frames)
+        verdicts.append((excinfo.value.kind, excinfo.value.record))
+        assert detector.stats.frame_faults == 1
+    # same opcode, same record offset, from both kernels
+    assert verdicts[0] == verdicts[1] == (opcode, slot // 6)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, batch=st.integers(min_value=1, max_value=96))
+def test_batch_junk_rejection_is_frame_atomic(seed, batch):
+    """The batch kernel applies nothing from a frame with a junk opcode,
+    so the detector state is exactly the pre-frame state: retrying with
+    the repaired frame yields the scalar transcript."""
+    frames = frames_of(GENERATOR.generate(seed), batch=batch)
+    base, delta, records, extras = decode_frame(frames[-1])
+    good_tail = encode_frame(base, delta, records, extras)
+    bad_records = array("q", records)
+    bad_records[0] = 77
+    bad_tail = encode_frame(base, delta, bad_records, extras)
+
+    batched = BatchGoldilocks()
+    lines = run(batched, frames[:-1])
+    with pytest.raises(FrameFormatError) as excinfo:
+        batched.apply_packed(bad_tail)
+    assert excinfo.value.applied == 0
+    reports, _ = batched.apply_packed(good_tail)  # retry after repair
+    lines.extend((seq, str(report)) for seq, report in reports)
+    assert lines == run(EncodedGoldilocks(), frames)
