@@ -5,10 +5,14 @@ trace through the streaming service under three observability
 configurations and writes ``BENCH_obs_overhead.json`` (committed at the
 repo root, like the other benchmark artifacts):
 
-* ``all-off``     -- tracer disabled, flight rings off: the bare engine;
-* ``counters-on`` -- the defaults: stage counters, per-batch latency
+* ``all-off``       -- tracer disabled, flight rings off: the bare engine;
+* ``counters-on``   -- the defaults: stage counters, per-batch latency
   histograms, and the flight recorder rings (no dump directory);
-* ``spans-on``    -- counters plus 1-in-N span sampling to a JSONL log.
+* ``spans-on``      -- counters plus 1-in-N span sampling to a JSONL log;
+* ``provenance-on`` -- counters plus per-race lockset-transfer chain
+  capture (the chain derivation replays the anchor window, but only when
+  a race fires -- never on the clean path);
+* ``trace-on``      -- counters plus trace-context stamping on spans.
 
 The claim the suite asserts is deterministic: **observability must add
 zero detector work**.  Every mode runs the identical trace on the packed
@@ -41,7 +45,13 @@ SPAN_SAMPLE = 8
 
 #: mode names in presentation order; all-off first -- it is the baseline
 #: every overhead number is measured against
-MODES: Tuple[str, ...] = ("all-off", "counters-on", "spans-on")
+MODES: Tuple[str, ...] = (
+    "all-off",
+    "counters-on",
+    "spans-on",
+    "provenance-on",
+    "trace-on",
+)
 
 
 def _obs_config(mode: str, span_log: Optional[str]) -> ObsConfig:
@@ -51,6 +61,10 @@ def _obs_config(mode: str, span_log: Optional[str]) -> ObsConfig:
         return ObsConfig(counters=True, span_sample=0)
     if mode == "spans-on":
         return ObsConfig(counters=True, span_sample=SPAN_SAMPLE, span_log=span_log)
+    if mode == "provenance-on":
+        return ObsConfig(counters=True, span_sample=0, provenance=True)
+    if mode == "trace-on":
+        return ObsConfig(counters=True, span_sample=0, trace=True, node="bench")
     raise ValueError(f"unknown obs bench mode {mode!r}")
 
 

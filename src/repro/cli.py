@@ -167,8 +167,113 @@ def cmd_shrink(args) -> int:
     return 0
 
 
+def _render_provenance(race_line: str, chain: Optional[dict], index: int) -> None:
+    """Print one race's lockset-transfer chain in a readable form."""
+    print(f"race {index}: {race_line}")
+    if chain is None:
+        print(
+            "  no provenance in this recording; re-record with --provenance"
+            " (the replay below could not derive one either)"
+        )
+        return
+    elements = {int(k): v for k, v in (chain.get("elements") or {}).items()}
+
+    def name(eid) -> str:
+        return elements.get(int(eid), f"#{eid}")
+
+    anchor = chain.get("anchor") or {}
+    print(
+        f"  anchor: pos={anchor.get('pos')} "
+        f"(segment {anchor.get('segment')}, slot {anchor.get('slot')}), "
+        f"window [{anchor.get('pos')}..{chain.get('end_pos')})"
+    )
+    print(
+        f"  owners: first={name(chain.get('first_owner'))} "
+        f"second={name(chain.get('second_owner'))} "
+        f"owned={chain.get('owned')}"
+    )
+    entries = chain.get("entries") or []
+    applied = chain.get("rules_applied", len(entries))
+    if not entries:
+        print(
+            "  0 transfer rules fired in the window: the second access's "
+            "owner never entered the lockset -- the race is evident at the "
+            "anchor already"
+        )
+        return
+    print(f"  {applied} rule application(s)" + (" (truncated)" if chain.get("truncated") else "") + ":")
+    for entry in entries:
+        where = (
+            f"pos={entry.get('pos')} seg={entry.get('segment')} "
+            f"slot={entry.get('slot')}"
+        )
+        rule = entry.get("rule")
+        if rule == "transfer":
+            detail = f"{name(entry.get('key'))} already held -> gains {name(entry.get('gain'))}"
+        elif rule == "commit-incoming":
+            detail = (
+                f"commit row {entry.get('row')} intersects lockset -> "
+                f"gains committer {name(entry.get('committer'))}"
+            )
+        else:
+            detail = (
+                f"committer {name(entry.get('committer'))} held -> "
+                f"union with commit row {entry.get('row')}'s outgoing set"
+            )
+        print(f"    [{where}] {rule}: {detail}")
+
+
+def _explain_flightrec(args) -> int:
+    """``repro-race explain --race N FILE.flightrec``: render the chain."""
+    from .obs.flightrec import load_flightrec, replay_flightrec
+    from .server.protocol import format_race
+
+    try:
+        recording = load_flightrec(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    header = recording.header
+    recorded_lines = [str(line) for line in header.get("races", [])]
+    recorded_prov = header.get("provenance")
+    if (
+        isinstance(recorded_prov, list)
+        and args.race < len(recorded_prov)
+        and recorded_prov[args.race] is not None
+    ):
+        # The service recorded the chain online -- no replay needed.
+        line = (
+            recorded_lines[args.race]
+            if args.race < len(recorded_lines)
+            else "<recorded race>"
+        )
+        _render_provenance(line, recorded_prov[args.race], args.race)
+        return 0
+    result = replay_flightrec(recording, provenance=True)
+    reports = result.reports or []
+    if args.race >= len(reports):
+        print(
+            f"error: the window replays {len(reports)} race(s); "
+            f"--race {args.race} is out of range",
+            file=sys.stderr,
+        )
+        return 2
+    seq, report = reports[args.race]
+    _render_provenance(format_race(seq, report), report.provenance, args.race)
+    return 0
+
+
 def cmd_explain(args) -> int:
     """Print the Figure 6/7-style lockset evolution for one variable."""
+    if args.race is not None:
+        return _explain_flightrec(args)
+    if not args.var:
+        print(
+            "error: --var <obj>.<field> is required (or --race N with a "
+            ".flightrec file)",
+            file=sys.stderr,
+        )
+        return 2
     events = _load(args.trace)
     obj_part, _, field = args.var.partition(".")
     var = DataVar(Obj(int(obj_part)), field)
@@ -275,9 +380,22 @@ def main(argv: List[str] = None) -> int:
     shrink.add_argument("--out", default=None)
     shrink.set_defaults(func=cmd_shrink)
 
-    explain = sub.add_parser("explain", help="print one variable's lockset evolution")
-    explain.add_argument("trace", help="trace file, .gz, or - for stdin")
-    explain.add_argument("--var", required=True, help="variable as <obj>.<field>")
+    explain = sub.add_parser(
+        "explain",
+        help="print one variable's lockset evolution, or a recorded race's "
+        "lockset-transfer chain from a .flightrec file",
+    )
+    explain.add_argument(
+        "trace", help="trace file, .gz, - for stdin, or a .flightrec with --race"
+    )
+    explain.add_argument("--var", help="variable as <obj>.<field>")
+    explain.add_argument(
+        "--race",
+        type=int,
+        metavar="N",
+        help="treat the positional argument as a .flightrec file and render "
+        "race N's provenance chain (recorded, or re-derived by replay)",
+    )
     explain.set_defaults(func=cmd_explain)
 
     replay = sub.add_parser(

@@ -26,9 +26,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
-from typing import Dict, List, Optional, Tuple
+import time
+from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs.tracing import ObsConfig
 from .coordinator import ClusterConfig, ClusterCoordinator
 
 
@@ -104,7 +107,49 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--metrics-out",
         metavar="FILE",
-        help="write a final metrics exposition ('-' for stderr)",
+        help="write the federated metrics exposition periodically during "
+        "the stream (atomic replace), on SIGTERM, and at exit "
+        "('-' for stderr: final write only)",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        metavar="PORT",
+        help="serve the live federated exposition on "
+        "http://METRICS_HOST:PORT/metrics (plus /healthz with the "
+        "cluster SLO verdict); 0 picks a free port",
+    )
+    parser.add_argument(
+        "--metrics-host", default="127.0.0.1", metavar="HOST",
+        help="bind address for --metrics-port (default 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=2.0,
+        metavar="SEC",
+        help="seconds between federation refreshes (node !metrics polls, "
+        "SLO evaluation, --metrics-out rewrite; default 2.0)",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="stamp shipped frames with per-window trace ids so node "
+        "spans stitch into cross-node timelines (repro-obs trace)",
+    )
+    parser.add_argument(
+        "--span-sample",
+        type=int,
+        default=0,
+        metavar="N",
+        help="sample 1-in-N batches into span logs (coordinator migration "
+        "spans and, with --local-nodes, each node's batch spans)",
+    )
+    parser.add_argument(
+        "--span-log",
+        metavar="BASE",
+        help="span JSONL base path: the coordinator writes BASE, local "
+        "nodes write BASE.nodeN (separate files, no interleaving)",
     )
     parser.add_argument(
         "--keep-nodes",
@@ -132,7 +177,11 @@ def _parse_migration(spec: str) -> Tuple[int, str, int]:
     return int(group_text), node, count
 
 
-def _start_local_nodes(count: int, kernel: str = "encoded"):
+def _start_local_nodes(
+    count: int,
+    kernel: str = "encoded",
+    obs_of: Optional[Callable[[int], Optional[ObsConfig]]] = None,
+):
     """In-process nodes for the self-contained mode; returns (nodes, closers)."""
     import threading
 
@@ -142,13 +191,36 @@ def _start_local_nodes(count: int, kernel: str = "encoded"):
     closers = []
     for i in range(count):
         service = RaceDetectionService(
-            ServiceConfig(workers="inline", flush_interval=0, kernel=kernel)
+            ServiceConfig(
+                workers="inline",
+                flush_interval=0,
+                kernel=kernel,
+                obs=obs_of(i) if obs_of is not None else None,
+            )
         )
         server = serve_tcp(service, "127.0.0.1", 0)
         threading.Thread(target=server.serve_forever, daemon=True).start()
         nodes[f"node{i}"] = ("127.0.0.1", server.server_address[1])
         closers.append((server, service))
     return nodes, closers
+
+
+def _write_exposition(path: str, text: str) -> None:
+    """Write a metrics exposition; regular-file targets get an atomic
+    replace so a concurrent scraper never reads a torn half-write."""
+    if path == "-":
+        sys.stderr.write(text)
+        return
+    if os.path.exists(path) and not os.path.isfile(path):
+        # a FIFO or device (/dev/null, /dev/stdout): replacing it with a
+        # temp file would destroy the special file -- write through it
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        return
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    os.replace(tmp, path)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -163,10 +235,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             (_parse_migration(spec) for spec in args.migrate),
             key=lambda item: item[2],
         )
+        obs_wanted = args.trace or args.span_sample > 0 or args.span_log
+        node_obs: Optional[Callable[[int], Optional[ObsConfig]]] = None
+        if obs_wanted:
+
+            def node_obs(i: int) -> ObsConfig:
+                return ObsConfig(
+                    trace=args.trace,
+                    node=f"node{i}",
+                    span_sample=args.span_sample,
+                    span_log=(
+                        f"{args.span_log}.node{i}" if args.span_log else None
+                    ),
+                )
+
         if args.local_nodes is not None:
             if args.local_nodes < 1:
                 parser.error("--local-nodes must be at least 1")
-            nodes, closers = _start_local_nodes(args.local_nodes, args.kernel)
+            nodes, closers = _start_local_nodes(
+                args.local_nodes, args.kernel, obs_of=node_obs
+            )
         elif args.node:
             nodes = {}
             for spec in args.node:
@@ -188,18 +276,59 @@ def main(argv: Optional[List[str]] = None) -> int:
             admit_filter = load_admission_filter(args.admit)
         except (OSError, ValueError) as exc:
             parser.error(f"--admit: {exc}")
+    coordinator_obs = None
+    if obs_wanted:
+        coordinator_obs = ObsConfig(
+            trace=args.trace,
+            node="coordinator",
+            span_sample=args.span_sample,
+            span_log=args.span_log,
+        )
     config = ClusterConfig(
         nodes=nodes,
         n_groups=args.groups,
         batch_size=args.batch_size,
         balanced=args.balanced,
         admit=admit_filter,
+        obs=coordinator_obs,
     )
     out = sys.stdout
     races = 0
+    metrics_server = None
     stream = open(args.trace, "r", encoding="utf-8") if args.trace else sys.stdin
     try:
         with ClusterCoordinator(config) as coordinator:
+            coordinator.refresh_federation()
+            if args.metrics_port is not None:
+                from ..obs.httpd import start_metrics_server
+
+                metrics_server = start_metrics_server(
+                    coordinator.metrics_adapter(),
+                    args.metrics_port,
+                    host=args.metrics_host,
+                )
+                host, port = metrics_server.address
+                print(
+                    f"repro-cluster: federated metrics on http://{host}:{port}/metrics",
+                    file=sys.stderr,
+                )
+
+            def _drain_metrics(signum, _frame):
+                # Signal-safe by construction: write only the *cached*
+                # exposition -- refreshing here would interleave node
+                # socket I/O with whatever send the signal interrupted.
+                if args.metrics_out and args.metrics_out != "-":
+                    _write_exposition(
+                        args.metrics_out, coordinator.federation_text()
+                    )
+                raise SystemExit(128 + signum)
+
+            import signal
+
+            try:
+                signal.signal(signal.SIGTERM, _drain_metrics)
+            except ValueError:  # pragma: no cover - non-main thread
+                pass
             # (group, dst, begin_at, complete_at), consumed front to back.
             pending = [
                 (group, dst, at, at + args.window)
@@ -207,6 +336,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             ]
             in_window: List[Tuple[int, int]] = []  # (complete_at, group)
             count = 0
+            last_refresh = time.monotonic()
             for line in stream:
                 text = line.strip()
                 if not text or text.startswith("#"):
@@ -220,6 +350,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 coordinator.submit_line(text)
                 count += 1
                 coordinator.heartbeat()
+                now = time.monotonic()
+                if now - last_refresh >= args.metrics_interval:
+                    last_refresh = now
+                    coordinator.refresh_federation()
+                    if args.metrics_out and args.metrics_out != "-":
+                        _write_exposition(
+                            args.metrics_out, coordinator.federation_text()
+                        )
             # Anything still pending fires at end-of-stream.
             for group, dst, _at, _done in pending:
                 coordinator.begin_migration(group, dst)
@@ -232,23 +370,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             races = stats.races_reported
             if args.stats:
                 print(json.dumps(stats.as_dict(), sort_keys=True), file=sys.stderr)
+            if args.metrics_out or args.metrics_port is not None:
+                coordinator.refresh_federation()
             if args.metrics_out:
-                from ..obs.bridge import registry_from_cluster
-
-                exposition = registry_from_cluster(
-                    stats, tracer=coordinator.tracer
-                ).render()
-                if args.metrics_out == "-":
-                    sys.stderr.write(exposition)
-                else:
-                    with open(args.metrics_out, "w", encoding="utf-8") as fh:
-                        fh.write(exposition)
+                _write_exposition(
+                    args.metrics_out, coordinator.federation_text()
+                )
             if not args.keep_nodes:
                 coordinator.shutdown_nodes()
     except (OSError, RuntimeError, ValueError, ConnectionError) as exc:
         print(f"repro-cluster: error: {exc}", file=sys.stderr)
         return 2
     finally:
+        if metrics_server is not None:
+            metrics_server.close()
         if stream is not sys.stdin:
             stream.close()
         for server, service in closers:

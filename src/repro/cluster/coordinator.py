@@ -42,7 +42,17 @@ from ..core.actions import (
     OP_WRITE,
     Event,
 )
-from ..core.encode import EventEncoder, encode_frame, interner_version
+from ..core.encode import (
+    EventEncoder,
+    encode_frame,
+    format_trace_id,
+    interner_version,
+    make_trace_id,
+    stamp_trace,
+)
+from ..obs.bridge import federate_expositions, registry_from_cluster
+from ..obs.registry import parse_exposition
+from ..obs.slo import SloWatchdog
 from ..obs.tracing import LifecycleTracer, ObsConfig
 from ..server.protocol import (
     FRAME_CONTROL,
@@ -178,6 +188,28 @@ class NodeHandle:
     def ping(self) -> bool:
         return self.command("!ping") == "pong"
 
+    def metrics(self) -> str:
+        """One ``!metrics`` round trip; returns the node's raw exposition.
+
+        The ``ok metrics lines=<n>`` summary announces the block length,
+        so the exposition is read without sniffing for a terminator.  Any
+        race lines queued ahead of the summary are banked by
+        :meth:`_read_reply` as usual; after the summary the ``n`` lines
+        are contiguous (the node connection is single-threaded).
+        """
+        reply = self.command("!metrics")  # "metrics lines=<n>"
+        n = int(reply.rpartition("lines=")[2])
+        lines: List[str] = []
+        while len(lines) < n:
+            line = self._reader.readline()
+            if not line:
+                raise ConnectionError(
+                    f"node {self.name} closed mid-metrics "
+                    f"({len(lines)}/{n} lines)"
+                )
+            lines.append(line.rstrip("\n"))
+        return "\n".join(lines) + "\n" if lines else ""
+
     def close(self) -> None:
         for closer in (self._reader, self._sock):
             if closer is None:
@@ -256,6 +288,20 @@ class ClusterCoordinator:
         )
         self.encoder = EventEncoder(config.n_groups, admit=config.admit)
         self.tracer = LifecycleTracer(config.obs or ObsConfig())
+        #: trace-context propagation: when on, every shipped frame is
+        #: wrapped in a trace envelope.  Ids are minted per ingest
+        #: *window* (one per batch_size events), so frames flushed to
+        #: different nodes inside a window share an id and their spans
+        #: stitch into one cross-node lifecycle.
+        self._trace_on = self.tracer.config.trace
+        self._trace_node = self.tracer.config.node or "coordinator"
+        #: federation: the coordinator polls member ``!metrics`` from its
+        #: single ingestion thread and caches the merged exposition; the
+        #: HTTP endpoint (see :meth:`metrics_adapter`) serves the cache so
+        #: scrapes never touch a node socket concurrently with ingestion.
+        self.slo = SloWatchdog()
+        self._federated_text = ""
+        self._federated_health: Dict[str, object] = {"status": "ok"}
         self._handles: Dict[str, NodeHandle] = {}
         self._migrations: Dict[int, _Migration] = {}
         self._seq = 0
@@ -336,7 +382,9 @@ class ClusterCoordinator:
             migration.log.append(op, seq, tid_id, index, a, b, extras)
         return seq
 
-    def _flush_node(self, handle: NodeHandle) -> None:
+    def _flush_node(
+        self, handle: NodeHandle, trace_id: Optional[int] = None
+    ) -> None:
         if not handle.buffer.count:
             return
         buffer, handle.buffer = handle.buffer, _NodeBuffer()
@@ -347,7 +395,16 @@ class ClusterCoordinator:
             buffer.extras,
         )
         handle.cursor = len(self.encoder.interner)
+        if self._trace_on:
+            if trace_id is None:
+                trace_id = self._window_trace_id()
+            payload = stamp_trace(trace_id, payload)
         handle.send_events(payload, buffer.count)
+
+    def _window_trace_id(self) -> int:
+        """The current ingest window's trace id (deterministic, no RNG)."""
+        window = max(0, self.events_ingested - 1) // self.config.batch_size
+        return make_trace_id(self._trace_node, window)
 
     def flush(self) -> None:
         """Push every node's pending buffer (no drain)."""
@@ -422,11 +479,19 @@ class ClusterCoordinator:
             raise ValueError(f"group {group} is not migrating")
         target = self._handles[migration.dst]
         t0 = time.monotonic()
+        # The whole hand-off -- pending flush, delta replay, and the
+        # migration span below -- shares one minted trace id, so the
+        # timeline view shows the replayed window under the migration.
+        mig_trace: Optional[int] = None
+        if self._trace_on:
+            mig_trace = make_trace_id(
+                self._trace_node + ":migration", self.migrations_completed + 1
+            )
         # Ship the target's *pending* buffer first: any window sync queued
         # there must arrive while the group is still absent (broadcast skips
         # it), because the replay below delivers that same sync to the group
         # -- adopt-before-flush would double-apply it.
-        self._flush_node(target)
+        self._flush_node(target, trace_id=mig_trace)
         target.command(f"!adopt {group} {migration.blob_b64}")
         target.command(f"!replay {group}")
         log = migration.log
@@ -438,6 +503,8 @@ class ClusterCoordinator:
                 log.extras,
             )
             target.cursor = len(self.encoder.interner)
+            if mig_trace is not None:
+                payload = stamp_trace(mig_trace, payload)
             target.send_events(payload, log.count)
         target.command("!replay done")
         self.placement.pin(group, migration.dst)
@@ -454,6 +521,10 @@ class ClusterCoordinator:
                 "window": t0 - migration.started - migration.checkpoint_sec,
                 "replay": time.monotonic() - t0,
             },
+            trace_id=(
+                format_trace_id(mig_trace) if mig_trace is not None else None
+            ),
+            node=self._trace_node if self._trace_on else None,
         )
 
     def migrate(self, group: int, dst: str) -> None:
@@ -514,6 +585,64 @@ class ClusterCoordinator:
             membership=self.membership.as_dict(),
         )
 
+    # -- federated metrics plane -------------------------------------------------
+
+    def refresh_federation(self) -> str:
+        """Poll member ``!metrics``, merge, evaluate cluster SLOs, cache.
+
+        Called from the (single-threaded) ingestion loop between batches;
+        the HTTP endpoint and ``--metrics-out`` serve the cached text, so
+        this is the only place node sockets are touched for metrics.  A
+        node that fails the poll is skipped -- its absence is visible as a
+        missing ``node`` label, and the heartbeat sweep handles liveness.
+        Returns the merged exposition.
+        """
+        members: Dict[str, str] = {}
+        for name in sorted(self._handles):
+            try:
+                members[name] = self._handles[name].metrics()
+            except (OSError, RuntimeError, ConnectionError, ValueError):
+                continue
+        # The coordinator participates as a member too: its tracer carries
+        # the migration spans and any coordinator-side stage counters.
+        members[self._trace_node] = self.tracer.registry.render()
+        verdict = self.slo.evaluate_samples(
+            parse_exposition("".join(members.values()))
+        )
+        stats = self.stats()
+        cluster_reg = registry_from_cluster(stats)
+        self.slo.export(cluster_reg, verdict)
+        text = federate_expositions(members, cluster_reg.render())
+        self._federated_text = text
+        self._federated_health = {
+            "status": "degraded" if verdict.degraded else "ok",
+            "events_ingested": stats.events_ingested,
+            "races_reported": stats.races_reported,
+            "migrations_completed": stats.migrations_completed,
+            "migrations_active": stats.migrations_active,
+            "nodes": {
+                str(node["name"]): str(node["status"]) for node in stats.nodes
+            },
+            "members_polled": sorted(members),
+            "slo": verdict.as_dict(),
+        }
+        return text
+
+    def federation_text(self) -> str:
+        """The cached federated exposition (refresh to update)."""
+        return self._federated_text
+
+    def federation_health(self) -> Dict[str, object]:
+        """The cached federation health payload (refresh to update)."""
+        return dict(self._federated_health)
+
+    def metrics_adapter(self) -> "_FederationAdapter":
+        """A service-shaped facade for :func:`repro.obs.httpd
+        .start_metrics_server`: ``/metrics`` and ``/healthz`` serve the
+        cached federation snapshots (atomic string/dict swaps, no node
+        sockets touched from scrape threads)."""
+        return _FederationAdapter(self)
+
     # -- lifecycle ---------------------------------------------------------------
 
     def shutdown_nodes(self) -> None:
@@ -534,3 +663,21 @@ class ClusterCoordinator:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+
+class _FederationAdapter:
+    """Duck-types the two methods :mod:`repro.obs.httpd` calls on a service.
+
+    Scrape threads only read the coordinator's cached federation strings
+    (replaced wholesale by :meth:`ClusterCoordinator.refresh_federation`),
+    so no lock and no node I/O happen on the HTTP path.
+    """
+
+    def __init__(self, coordinator: ClusterCoordinator) -> None:
+        self._coordinator = coordinator
+
+    def render_metrics(self) -> str:
+        return self._coordinator.federation_text()
+
+    def health(self) -> Dict[str, object]:
+        return self._coordinator.federation_health()

@@ -457,6 +457,12 @@ class BatchGoldilocks(EncodedGoldilocks):
         decisive -- exactly what ``_check_happens_before`` computes, with
         every traversal path provably empty.
         """
+        if self.provenance:
+            # Same snapshot discipline as _check_happens_before: a failing
+            # epoch verdict reports directly, and its replay window
+            # [pos, tail) is empty by the settle precondition, so the
+            # derived chain is empty -- which is exactly the explanation.
+            self._prov_anchor = (info1.pos, info1.ls)
         if self.sc_xact and info1.xact and info2.xact:
             return True
         if self.sc_same_thread and info1.owner_id == info2.owner_id:

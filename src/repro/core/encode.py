@@ -295,6 +295,66 @@ def decode_frame(data: bytes) -> Tuple[int, List[LocksetElement], array, array]:
     return base, elements, records, extras
 
 
+# -- trace-context envelope (frame v2 = u8 version + u64 trace id + v1) --------
+
+#: version byte of a trace-stamped frame; the envelope wraps an unmodified
+#: v1 frame so every downstream consumer keeps operating on v1 bytes
+TRACE_VERSION = 2
+_TRACE_HEADER = struct.Struct("<BQ")
+
+
+def make_trace_id(node: str, ordinal: int) -> int:
+    """A compact 64-bit trace id: crc32(node) high half, batch ordinal low.
+
+    The node half keeps ids minted independently on different edges from
+    colliding; the ordinal half makes ids monotone per edge, so a stitched
+    timeline sorts naturally.
+    """
+    return ((zlib.crc32(node.encode("utf-8")) & 0xFFFFFFFF) << 32) | (
+        ordinal & 0xFFFFFFFF
+    )
+
+
+def format_trace_id(trace_id: int) -> str:
+    """Canonical textual form (16 hex digits) used in spans and CLIs."""
+    return f"{trace_id & 0xFFFFFFFFFFFFFFFF:016x}"
+
+
+def parse_trace_id(text: str) -> int:
+    """Inverse of :func:`format_trace_id`; also accepts plain decimal."""
+    text = text.strip()
+    if len(text) == 16:
+        return int(text, 16)
+    try:
+        return int(text)
+    except ValueError:
+        return int(text, 16)
+
+
+def stamp_trace(trace_id: int, frame: bytes) -> bytes:
+    """Wrap a v1 frame in the v2 trace envelope."""
+    return _TRACE_HEADER.pack(TRACE_VERSION, trace_id & 0xFFFFFFFFFFFFFFFF) + frame
+
+
+def split_trace(data: bytes) -> Tuple[Optional[int], bytes]:
+    """Strip a v2 trace envelope; plain v1 frames pass through unchanged.
+
+    Call this *before* :func:`decode_frame` on any wire payload: the
+    decoder hard-rejects version bytes other than 1, which is what keeps
+    the envelope from silently leaking into flight recordings, replay, or
+    parity comparisons.
+    """
+    if data and data[0] == TRACE_VERSION:
+        try:
+            _version, trace_id = _TRACE_HEADER.unpack_from(data, 0)
+        except struct.error as exc:
+            raise FrameFormatError(
+                f"truncated trace envelope: {exc}", kind=TRACE_VERSION
+            ) from exc
+        return trace_id, data[_TRACE_HEADER.size :]
+    return None, data
+
+
 def extend_interner(
     interner: Interner, base: int, delta: Sequence[LocksetElement]
 ) -> None:
@@ -793,8 +853,13 @@ _KIND_CODES = {"read": 0, "write": 1, "commit": 2}
 _KIND_NAMES = {0: "read", 1: "write", 2: "commit"}
 
 
-def pack_report(seq: int, report: RaceReport, interner: Interner) -> Tuple[int, ...]:
-    """One race as a flat int tuple (ids resolvable by the edge interner)."""
+def pack_report(seq: int, report: RaceReport, interner: Interner) -> Tuple:
+    """One race as a flat int tuple (ids resolvable by the edge interner).
+
+    The first ten fields are fixed; a report carrying a provenance chain
+    appends it as an optional eleventh element (the chain is plain dicts
+    and ints, so it crosses the worker queue with the row).
+    """
     first = report.first
     if first is None:
         head: Tuple[int, ...] = (-1, 0, 0, 0)
@@ -806,7 +871,7 @@ def pack_report(seq: int, report: RaceReport, interner: Interner) -> Tuple[int, 
             1 if first.xact else 0,
         )
     second = report.second
-    return (
+    row = (
         seq,
         interner.intern(report.var),
         *head,
@@ -815,6 +880,9 @@ def pack_report(seq: int, report: RaceReport, interner: Interner) -> Tuple[int, 
         _KIND_CODES[second.kind],
         1 if second.xact else 0,
     )
+    if report.provenance is not None:
+        return row + (report.provenance,)
+    return row
 
 
 def unpack_reports(
@@ -825,7 +893,9 @@ def unpack_reports(
     """Reconstitute ``(seq, RaceReport)`` pairs at the service edge."""
     resolve = interner.resolve
     out: List[Tuple[int, RaceReport]] = []
-    for (seq, var_id, t1, i1, k1, x1, t2, i2, k2, x2) in rows:
+    for row in rows:
+        seq, var_id, t1, i1, k1, x1, t2, i2, k2, x2 = row[:10]
+        provenance = row[10] if len(row) > 10 else None
         first = (
             None
             if t1 < 0
@@ -834,6 +904,6 @@ def unpack_reports(
         second = AccessRef(resolve(t2), i2, _KIND_NAMES[k2], bool(x2))
         out.append(
             (seq, RaceReport(var=resolve(var_id), first=first, second=second,
-                             detector=detector))
+                             detector=detector, provenance=provenance))
         )
     return out

@@ -109,6 +109,10 @@ class KInfo:
 #: entries the shared memo may hold before it is wholesale cleared
 MEMO_CAP = 4096
 
+#: rule applications a provenance chain records before truncating; the
+#: chain stays bounded no matter how long the replayed window was
+PROVENANCE_CAP = 64
+
 
 class EncodedGoldilocks(Detector):
     """The production Goldilocks algorithm on the integer-encoded kernel.
@@ -141,6 +145,7 @@ class EncodedGoldilocks(Detector):
         sc_epoch: bool = True,
         memo_shared: bool = True,
         segment_size: int = SEGMENT_SIZE,
+        provenance: bool = False,
     ) -> None:
         super().__init__()
         from .goldilocks import COMMIT_SYNC_POLICIES, _commit_gains
@@ -161,6 +166,7 @@ class EncodedGoldilocks(Detector):
             "sc_epoch": sc_epoch,
             "memo_shared": memo_shared,
             "segment_size": segment_size,
+            "provenance": provenance,
         }
         self.commit_sync = commit_sync
         self._commit_gains = _commit_gains
@@ -173,6 +179,11 @@ class EncodedGoldilocks(Detector):
         self.gc_threshold = gc_threshold
         self.trim_fraction = trim_fraction
         self.memoize = memoize
+        self.provenance = provenance
+        #: (position, lockset) of the last checked info, snapshotted at
+        #: ladder entry -- the full traversal advances the info in place,
+        #: so the anchor must be captured before any rung runs
+        self._prov_anchor: Optional[Tuple[int, IntLockset]] = None
 
         self.interner = Interner()
         self.events = EncodedSyncList(segment_size)
@@ -594,6 +605,11 @@ class EncodedGoldilocks(Detector):
 
     def _check_happens_before(self, info1: KInfo, info2: KInfo) -> bool:
         """The six-rung ladder: cheap constant-time checks first."""
+        if self.provenance:
+            # Snapshot before any rung runs: the full traversal advances
+            # info1 in place under memoize, destroying the replay window a
+            # failing verdict would need to explain itself.
+            self._prov_anchor = (info1.pos, info1.ls)
         if self.sc_xact and info1.xact and info2.xact:
             self.stats.sc_xact += 1
             return True
@@ -743,7 +759,93 @@ class EncodedGoldilocks(Detector):
 
     def _report(self, var: DataVar, info1: KInfo, info2: KInfo) -> RaceReport:
         self.stats.races += 1
-        return RaceReport(var=var, first=info1.ref, second=info2.ref, detector=self.name)
+        provenance = self._derive_provenance(info1, info2) if self.provenance else None
+        return RaceReport(
+            var=var,
+            first=info1.ref,
+            second=info2.ref,
+            detector=self.name,
+            provenance=provenance,
+        )
+
+    def _derive_provenance(self, info1: KInfo, info2: KInfo):
+        """Re-derive the lockset-transfer chain behind a failed verdict.
+
+        Replays the anchor window ``[anchor_pos, total_enqueued)`` that the
+        failing check just traversed (no event has been enqueued and no GC
+        has run between the check and the report, so the window is intact)
+        and records every rule application that grew or transferred the
+        lockset, with ``(segment, slot)`` storage positions.  The chain is
+        bounded by :data:`PROVENANCE_CAP`; derivation touches no counters,
+        so race lines and deterministic work stay identical either way.
+        """
+        anchor = self._prov_anchor
+        if anchor is None:
+            return None
+        anchor_pos, anchor_ls = anchor
+        events = self.events
+        end = events.total_enqueued
+        size = events.segment_size
+        table = events.commit_table
+        ls = anchor_ls
+        entries: List[Dict[str, object]] = []
+        applied = 0
+        element_ids: Set[int] = set()
+
+        def note(pos: int, rule: str, **detail: object) -> None:
+            nonlocal applied
+            applied += 1
+            if len(entries) < PROVENANCE_CAP:
+                entry: Dict[str, object] = {
+                    "pos": pos,
+                    "segment": pos // size,
+                    "slot": pos % size,
+                    "rule": rule,
+                }
+                entry.update(detail)
+                entries.append(entry)
+
+        pos = anchor_pos
+        while pos < end:
+            op, _tid, key, gain = events.at(pos)
+            if op != OP_COMMIT:
+                if ls_has(ls, key) and not ls_has(ls, gain):
+                    ls = ls_add(ls, gain)
+                    element_ids.update((key, gain))
+                    note(pos, "transfer", op=op, key=key, gain=gain)
+            else:
+                incoming, outgoing, committer = table[key]
+                if ls_intersects(ls, incoming) and not ls_has(ls, committer):
+                    ls = ls_add(ls, committer)
+                    element_ids.add(committer)
+                    note(pos, "commit-incoming", row=key, committer=committer)
+                if ls_has(ls, committer):
+                    new_ls = ls_union(ls, outgoing)
+                    if new_ls != ls:
+                        ls = new_ls
+                        element_ids.add(committer)
+                        note(pos, "commit-outgoing", row=key, committer=committer)
+            pos += 1
+        element_ids.update((info1.owner_id, info2.owner_id))
+        elements = {}
+        for eid in sorted(element_ids):
+            if 0 <= eid < len(self.interner):
+                elements[eid] = repr(self.interner.resolve(eid))
+        return {
+            "anchor": {
+                "pos": anchor_pos,
+                "segment": anchor_pos // size,
+                "slot": anchor_pos % size,
+            },
+            "end_pos": end,
+            "first_owner": info1.owner_id,
+            "second_owner": info2.owner_id,
+            "owned": self._owned(ls, info2),
+            "rules_applied": applied,
+            "truncated": applied > len(entries),
+            "entries": entries,
+            "elements": elements,
+        }
 
     # -- garbage collection and partially-eager evaluation ---------------------------
 
@@ -840,6 +942,9 @@ class EncodedGoldilocks(Detector):
             if key not in ("segment_size",):
                 setattr(self, key, value)
         self._commit_gains = _commit_gains
+        # Checkpoints written before provenance existed lack the key.
+        self.provenance = bool(self._config.get("provenance", False))
+        self._prov_anchor = None
         self.suppress_racy_updates = state["suppress_racy_updates"]
         self.stats = state["stats"]
         self.events = state["events"]

@@ -15,7 +15,7 @@ variable and both conflicting accesses.  What happens next is policy:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import Any, Dict, List, Optional, Set
 
 from .actions import Action, Commit, DataVar, Obj, Read, Tid
 
@@ -61,6 +61,12 @@ class RaceReport:
     first: Optional[AccessRef]
     second: AccessRef
     detector: str = "goldilocks"
+    #: optional lockset-transfer provenance (the bounded chain of rule
+    #: applications behind the verdict); excluded from equality, hashing,
+    #: and repr so reports compare identically with provenance on or off
+    provenance: Optional[Dict[str, Any]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def __str__(self) -> str:
         if self.first is None:

@@ -41,6 +41,7 @@ _SERVICE_COUNTERS = {
     "edge_allocs": ("ingest_edge_allocs_total", "per-event allocation proxy at the ingestion edge"),
     "sync_decoded": ("sync_decoded_total", "sync records materialized as Events across all shards"),
     "races_reported": ("races_reported_total", "races reported by all shards together"),
+    "provenance_attached": ("races_provenance_attached_total", "race reports that arrived with a provenance chain attached"),
     "unknown_fields": ("stats_unknown_fields_total", "snapshot keys dropped by from_dict"),
 }
 
@@ -243,6 +244,86 @@ def registry_from_cluster(
     if tracer is not None:
         _merge_registry(reg, tracer.registry)
     return reg
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"')
+
+
+def _inject_node_label(line: str, node: str) -> str:
+    """Rewrite one exposition sample line with ``node=...`` as first label."""
+    escaped = _escape_label(node)
+    brace = line.find("{")
+    space = line.find(" ")
+    if brace != -1 and (space == -1 or brace < space):
+        head, rest = line.split("{", 1)
+        return f'{head}{{node="{escaped}",{rest}'
+    name, _, value = line.partition(" ")
+    return f'{name}{{node="{escaped}"}} {value}'
+
+
+def federate_expositions(
+    members: "dict[str, str]", cluster_text: str = ""
+) -> str:
+    """Merge member node expositions into one cluster-wide scrape text.
+
+    Each member's sample lines are rewritten with a ``node`` label
+    (injected first) and regrouped per family so the merged text stays a
+    valid exposition -- all samples of a family contiguous under one
+    HELP/TYPE block (the first member's, since the families are the same
+    code on every node).  This is *textual* federation on purpose:
+    re-playing member counters through a shared
+    :class:`MetricsRegistry` would collide on family names and trip
+    ``set_total``'s monotonicity when nodes restart.
+
+    ``cluster_text`` (the coordinator's own cluster-scope registry --
+    ``repro_cluster_*`` / ``repro_node_*`` families plus the unlabeled
+    cluster-wide ``repro_slo_*`` verdict) is merged through the same
+    family grouping *without* a node label, so a family that exists at
+    both scopes (the SLO gauges) still renders as one HELP/TYPE block.
+    """
+    meta: "dict[str, dict[str, str]]" = {}  # family -> {"HELP": .., "TYPE": ..}
+    samples: "dict[str, list[str]]" = {}
+    order: "list[str]" = []
+
+    def family(name: str) -> "list[str]":
+        if name not in samples:
+            meta[name] = {}
+            samples[name] = []
+            order.append(name)
+        return samples[name]
+
+    def absorb(text: str, node: Optional[str]) -> None:
+        current = ""
+        for line in text.splitlines():
+            stripped = line.strip()
+            if not stripped:
+                continue
+            if stripped.startswith("# HELP ") or stripped.startswith("# TYPE "):
+                _hash, kind, current = stripped.split(None, 3)[:3]
+                family(current)
+                meta[current].setdefault(kind, stripped)
+                continue
+            if stripped.startswith("#"):
+                continue
+            family(current).append(
+                stripped if node is None else _inject_node_label(stripped, node)
+            )
+
+    for node in sorted(members):
+        absorb(members[node], node)
+    if cluster_text:
+        absorb(cluster_text, None)
+    blocks: "list[str]" = []
+    for name in order:
+        blocks.extend(
+            meta[name][kind] for kind in ("HELP", "TYPE") if kind in meta[name]
+        )
+        blocks.extend(samples[name])
+    text = "\n".join(blocks)
+    if text:
+        text += "\n"
+    return text
 
 
 def _merge_registry(dest: MetricsRegistry, src: MetricsRegistry) -> None:

@@ -112,6 +112,86 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def _health_from_args(args) -> dict:
+    if args.url:
+        from urllib.request import urlopen
+
+        with urlopen(args.url.rstrip("/") + "/healthz", timeout=10.0) as resp:
+            return json.loads(resp.read().decode("utf-8"))
+    with _client_from_args(args) as client:
+        return client.health()
+
+
+def cmd_errors(args) -> int:
+    """Print the service's parse-error ring, typed reasons included."""
+    try:
+        payload = _health_from_args(args)
+    except (ConnectionError, OSError, ValueError) as exc:
+        print(f"repro-obs: {exc}", file=sys.stderr)
+        return 2
+    total = payload.get("parse_errors", 0)
+    detail = payload.get("parse_error_detail") or []
+    print(f"parse errors: {total} total, last {len(detail)} with detail")
+    for entry in detail:
+        line = entry.get("line", "")
+        message = entry.get("message") or "unparseable line"
+        print(f"  line: {line!r}")
+        print(f"    error: {message}")
+        if entry.get("kind") is not None:
+            print(
+                f"    frame: kind={entry['kind']} record={entry.get('record')} "
+                f"applied={entry.get('applied')}"
+            )
+    # Plain-ring fallback for older services that predate the detail ring.
+    if not detail:
+        for line in payload.get("last_parse_errors") or []:
+            print(f"  line: {line!r}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    """Stitch one trace id's spans from span-log files into a timeline."""
+    spans = []
+    for path in args.log:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                for raw in fh:
+                    raw = raw.strip()
+                    if not raw:
+                        continue
+                    try:
+                        record = json.loads(raw)
+                    except ValueError:
+                        continue
+                    if record.get("trace_id") == args.id:
+                        spans.append(record)
+        except OSError as exc:
+            print(f"repro-obs: {exc}", file=sys.stderr)
+            return 2
+    if not spans:
+        print(f"trace {args.id}: no spans found in {len(args.log)} log(s)")
+        return 1
+    spans.sort(key=lambda record: record.get("ts_sec", 0.0))
+    nodes = sorted({record.get("node", "?") for record in spans})
+    print(
+        f"trace {args.id}: {len(spans)} span(s) across "
+        f"{len(nodes)} node(s): {', '.join(nodes)}"
+    )
+    base = spans[0].get("ts_sec", 0.0)
+    for record in spans:
+        offset = record.get("ts_sec", 0.0) - base
+        stages = record.get("stage_sec") or {}
+        stage_text = " ".join(
+            f"{stage}={stages[stage] * 1e6:.0f}us" for stage in sorted(stages)
+        )
+        print(
+            f"  +{offset:9.6f}s {record.get('node', '?'):<12} "
+            f"shard {record.get('shard', '?')} batch {record.get('batch', '?')} "
+            f"events {record.get('events', '?'):>4}  {stage_text}"
+        )
+    return 0
+
+
 def _add_source_args(parser: argparse.ArgumentParser) -> None:
     source = parser.add_mutually_exclusive_group(required=True)
     source.add_argument("--tcp", metavar="HOST:PORT", help="service TCP address")
@@ -135,8 +215,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     _add_source_args(metrics)
     metrics.set_defaults(func=cmd_metrics)
 
+    errors = sub.add_parser(
+        "errors", help="print the parse-error ring with typed frame reasons"
+    )
+    _add_source_args(errors)
+    errors.set_defaults(func=cmd_errors)
+
+    trace = sub.add_parser(
+        "trace", help="stitch one trace id's spans from span logs into a timeline"
+    )
+    trace.add_argument("id", help="16-hex trace id (see span JSONL trace_id)")
+    trace.add_argument(
+        "--log",
+        action="append",
+        required=True,
+        metavar="FILE",
+        help="span JSONL file (repeatable: one per node)",
+    )
+    trace.set_defaults(func=cmd_trace)
+
     args = parser.parse_args(argv)
-    if args.tcp:
+    if getattr(args, "tcp", None):
         port_text = args.tcp.rpartition(":")[2]
         if not port_text.isdigit():
             parser.error(f"--tcp expects HOST:PORT, got {args.tcp!r}")

@@ -142,8 +142,27 @@ class FlightRecorder:
 
     # -- dumping ---------------------------------------------------------------
 
-    def dump_bytes(self, shard: int, races: List[str], reason: str) -> bytes:
-        """Serialize one shard's window to ``.flightrec`` bytes."""
+    def dump_bytes(
+        self,
+        shard: int,
+        races: List[str],
+        reason: str,
+        stats: Optional[Dict[str, int]] = None,
+        provenance: Optional[List[Optional[dict]]] = None,
+    ) -> bytes:
+        """Serialize one shard's window to ``.flightrec`` bytes.
+
+        ``stats`` is the dumping shard's detector-counter snapshot; the
+        batch-kernel subset (``sc_batch``/``batch_runs``/``frame_faults``)
+        lands in the header as ``kernel_stats`` so an offline replay can
+        assert kernel-*mode* parity, not just race-line parity.
+        ``provenance`` is a list parallel to ``races`` holding each
+        report's lockset-transfer chain (or None); it makes the recording
+        self-explaining -- ``repro-race explain --race N`` renders it
+        without needing the provenance-enabled replay to fire first.
+        Both keys are optional and old readers ignore them (the loader
+        validates only ``version``).
+        """
         records, extras = self.window(shard)
         seqs = [records[i + 1] for i in range(0, len(records), RECORD_WIDTH)]
         header = {
@@ -159,6 +178,13 @@ class FlightRecorder:
             "seq_first": min(seqs) if seqs else None,
             "seq_last": max(seqs) if seqs else None,
         }
+        if stats:
+            header["kernel_stats"] = {
+                key: int(stats.get(key, 0))
+                for key in ("sc_batch", "batch_runs", "frame_faults")
+            }
+        if provenance is not None:
+            header["provenance"] = list(provenance)
         frame = encode_frame(1, self.interner.elements_since(1), records, extras)
         header_bytes = json.dumps(header, sort_keys=True).encode("utf-8")
         return b"".join(
@@ -172,7 +198,12 @@ class FlightRecorder:
         )
 
     def dump(
-        self, shard: int, races: List[str], reason: str = "race"
+        self,
+        shard: int,
+        races: List[str],
+        reason: str = "race",
+        stats: Optional[Dict[str, int]] = None,
+        provenance: Optional[List[Optional[dict]]] = None,
     ) -> Optional[str]:
         """Write one shard's window to the configured directory.
 
@@ -191,7 +222,7 @@ class FlightRecorder:
             self.directory,
             f"{reason}-{self.dumps_written:04d}-shard{shard}.flightrec",
         )
-        data = self.dump_bytes(shard, races, reason)
+        data = self.dump_bytes(shard, races, reason, stats=stats, provenance=provenance)
         with open(path, "wb") as fh:
             fh.write(data)
         self.dumps_written += 1
@@ -225,6 +256,9 @@ class ReplayResult(NamedTuple):
     replayed: List[str]  #: every race line the replay produced
     reproduced: List[str]  #: recorded lines found in the replay
     missing: List[str]  #: recorded lines the window could not reproduce
+    kernel: str = "encoded"  #: kernel the replay actually ran
+    counters: Optional[Dict[str, int]] = None  #: replay detector counters
+    reports: Optional[list] = None  #: seq-tagged RaceReports from the replay
 
     @property
     def ok(self) -> bool:
@@ -252,28 +286,58 @@ def load_flightrec(path: str) -> FlightRecording:
     return FlightRecording(header, frame)
 
 
-def replay_flightrec(recording: FlightRecording) -> ReplayResult:
-    """Re-run a recorded window through a fresh encoded kernel.
+def replay_flightrec(
+    recording: FlightRecording,
+    kernel: Optional[str] = None,
+    provenance: bool = False,
+) -> ReplayResult:
+    """Re-run a recorded window through a fresh kernel of the recorded mode.
 
-    The replay applies the window's packed frame to an unsharded
-    :class:`EncodedGoldilocks`; because the window is exactly the record
-    subsequence the shard saw (all sync, owned data accesses), the
-    verdicts for the shard's variables match the online run, and every
-    seq tag is carried inside the records themselves.
+    The replay applies the window's packed frame to an unsharded detector;
+    because the window is exactly the record subsequence the shard saw
+    (all sync, owned data accesses), the verdicts for the shard's
+    variables match the online run, and every seq tag is carried inside
+    the records themselves.
+
+    ``kernel`` defaults to the recording's own ``header["kernel"]`` so a
+    batch-mode service is replayed through :class:`~repro.core.batch
+    .BatchGoldilocks` (and the result's ``counters`` can be checked
+    against the header's ``kernel_stats`` for kernel-*mode* parity); any
+    other recorded kernel -- including ``"seed"``, whose verdicts are
+    identical -- replays through :class:`EncodedGoldilocks`.  With
+    ``provenance`` the replay kernel derives each race's lockset-transfer
+    chain, available on ``result.reports``.
     """
     # Imported here: repro.obs must stay importable without repro.server
     # (the engine imports obs; a module-level import would be circular).
     from ..server.protocol import format_race
 
     header = recording.header
-    detector = EncodedGoldilocks(
-        commit_sync=str(header.get("commit_sync", "footprint")),
-        gc_threshold=None,
-    )
+    kernel_name = kernel if kernel is not None else str(header.get("kernel", "encoded"))
+    kwargs = {
+        "commit_sync": str(header.get("commit_sync", "footprint")),
+        "gc_threshold": None,
+        "provenance": provenance,
+    }
+    if kernel_name == "batch":
+        from ..core.batch import BatchGoldilocks
+
+        detector = BatchGoldilocks(**kwargs)
+    else:
+        kernel_name = "encoded"
+        detector = EncodedGoldilocks(**kwargs)
     reports, _count = detector.apply_packed(recording.frame)
     replayed = [format_race(seq, report) for seq, report in reports]
     recorded = [str(line) for line in header.get("races", [])]
     replayed_set = set(replayed)
     reproduced = [line for line in recorded if line in replayed_set]
     missing = [line for line in recorded if line not in replayed_set]
-    return ReplayResult(header, replayed, reproduced, missing)
+    return ReplayResult(
+        header,
+        replayed,
+        reproduced,
+        missing,
+        kernel=kernel_name,
+        counters=detector.stats.as_dict(),
+        reports=reports,
+    )

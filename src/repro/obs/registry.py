@@ -377,11 +377,12 @@ def parse_exposition(text: str) -> Dict[str, List[Tuple[Dict[str, str], float]]]
         labels: Dict[str, str] = {}
         if match.group("labels"):
             for pair in _LABEL_RE.finditer(match.group("labels")):
-                labels[pair.group("k")] = (
-                    pair.group("v")
-                    .replace("\\n", "\n")
-                    .replace('\\"', '"')
-                    .replace("\\\\", "\\")
+                # One left-to-right pass: sequential str.replace would
+                # mis-handle adjacent escapes like a backslash before "n".
+                labels[pair.group("k")] = re.sub(
+                    r"\\(.)",
+                    lambda m: {"n": "\n"}.get(m.group(1), m.group(1)),
+                    pair.group("v"),
                 )
         value_text = match.group("value")
         value = math.inf if value_text == "+Inf" else float(value_text)

@@ -65,6 +65,20 @@ class ObsConfig:
         Packed records retained per shard ring.
     flightrec_max_dumps:
         Bound on files written per process (disk-flood guard).
+    trace:
+        Trace-context propagation (default off): stamp each batch with a
+        compact trace id at the encoder edge, honor trace envelopes on
+        incoming wire frames, and tag sampled spans with
+        ``trace_id``/``node`` so cross-node spans stitch into one
+        end-to-end lifecycle.
+    node:
+        Label naming this process in spans and trace ids (the high half
+        of a minted trace id is ``crc32(node)``).
+    provenance:
+        Race provenance (default off): kernels attach the bounded
+        lockset-transfer chain behind each verdict to its
+        :class:`~repro.core.report.RaceReport`.  Pure side-channel -- race
+        lines and deterministic counters are identical either way.
     """
 
     counters: bool = True
@@ -74,10 +88,13 @@ class ObsConfig:
     flightrec_dir: Optional[str] = None
     flightrec_capacity: int = 4096
     flightrec_max_dumps: int = 16
+    trace: bool = False
+    node: str = ""
+    provenance: bool = False
 
     @property
     def enabled(self) -> bool:
-        return self.counters or self.span_sample > 0
+        return self.counters or self.span_sample > 0 or self.trace
 
 
 class _SpanLog:
@@ -193,21 +210,26 @@ class LifecycleTracer:
         shard: int,
         events: int,
         stage_sec: Dict[str, float],
+        trace_id: Optional[str] = None,
+        node: Optional[str] = None,
     ) -> None:
         self.spans_written += 1
         self._spans_sampled.inc()
         if self._span_log is None:
             return
-        self._span_log.write(
-            {
-                "kind": "span",
-                "batch": batch,
-                "shard": shard,
-                "events": events,
-                "stage_sec": {k: round(v, 9) for k, v in stage_sec.items()},
-                "ts_sec": round(time.monotonic() - self.started, 9),
-            }
-        )
+        record: Dict[str, object] = {
+            "kind": "span",
+            "batch": batch,
+            "shard": shard,
+            "events": events,
+            "stage_sec": {k: round(v, 9) for k, v in stage_sec.items()},
+            "ts_sec": round(time.monotonic() - self.started, 9),
+        }
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        if node is not None:
+            record["node"] = node
+        self._span_log.write(record)
 
     def log_parse_error(self, line: str) -> None:
         """Structured trail for malformed input (ring-buffered by the service)."""

@@ -127,6 +127,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="JSONL file for sampled spans and parse errors ('-' for stderr)",
     )
     obs.add_argument(
+        "--trace",
+        action="store_true",
+        help="stamp spans with trace ids (locally minted, or carried in "
+        "from !binary frames a coordinator stamped)",
+    )
+    obs.add_argument(
+        "--node-label",
+        default="",
+        metavar="NAME",
+        help="node name recorded in spans and trace ids (default: empty)",
+    )
+    obs.add_argument(
+        "--provenance",
+        action="store_true",
+        help="capture each race's lockset-transfer rule chain (encoded and "
+        "batch kernels) for flight recordings and repro-race explain",
+    )
+    obs.add_argument(
         "--flightrec-dir",
         metavar="DIR",
         help="write .flightrec dumps here when races are reported (and on SIGTERM)",
@@ -180,6 +198,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             counters=not args.no_obs_counters,
             span_sample=args.span_sample,
             span_log=args.span_log,
+            trace=args.trace,
+            node=args.node_label,
+            provenance=args.provenance,
             flightrec_dir=args.flightrec_dir,
             flightrec_capacity=args.flightrec_capacity,
         ),

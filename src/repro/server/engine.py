@@ -88,7 +88,10 @@ from ..core.encode import (
     decode_interner_snapshot,
     encode_frame,
     encode_interner_snapshot,
+    format_trace_id,
+    make_trace_id,
     pack_report,
+    split_trace,
     unpack_reports,
 )
 from ..core.kernel import EncodedGoldilocks
@@ -245,7 +248,17 @@ class EngineConfig:
         return self.n_groups is not None
 
     def detector_kwargs(self) -> dict:
-        return {"commit_sync": self.commit_sync, "gc_threshold": self.gc_threshold}
+        kwargs = {"commit_sync": self.commit_sync, "gc_threshold": self.gc_threshold}
+        # Race provenance is an integer-kernel feature; the seed reference
+        # detector takes no such kwarg and never needs one (A/B parity is
+        # judged on race lines, which provenance never alters).
+        if (
+            self.kernel in ("encoded", "batch")
+            and self.obs is not None
+            and self.obs.provenance
+        ):
+            kwargs["provenance"] = True
+        return kwargs
 
     def detector_class(self):
         try:
@@ -519,6 +532,16 @@ class ShardedEngine:
         #: frame-application faults (malformed frames a shard rejected);
         #: drained by the service into its parse-error ring
         self.apply_errors: List[str] = []
+        #: structured mirror of ``apply_errors``: the typed
+        #: :class:`FrameFormatError` detail (kind/record/applied) the
+        #: service surfaces through ``!health`` and ``repro-obs errors``
+        self.apply_faults: List[dict] = []
+        #: reports that arrived carrying a provenance chain
+        self.provenance_attached = 0
+        #: trace context adopted from the most recent traced wire frame
+        #: (a coordinator-minted id); None until one arrives, in which
+        #: case locally pushed batches mint their own ids when tracing
+        self._trace_ctx: Optional[int] = None
         #: per-event object materializations forced by the object transport
         self._object_allocs = 0
         # -- observability: lifecycle tracer plus the race flight recorder.
@@ -731,6 +754,13 @@ class ShardedEngine:
         ``seq`` -- race lines come out tagged exactly as a single-node run
         would tag them.
         """
+        # A trace envelope (frame version 2) is peeled off before any
+        # decoding: downstream consumers -- decoders, shards, the flight
+        # recorder -- always see plain v1 bytes, so traced and untraced
+        # ingestion of the same stream stay byte-identical past this line.
+        trace_id, payload = split_trace(payload)
+        if trace_id is not None:
+            self._trace_ctx = trace_id
         if state.decoder is not None:  # object transport: reconstitute
             count = 0
             for _seq, event in state.decoder.decode_payload(payload):
@@ -867,6 +897,29 @@ class ShardedEngine:
                 self._push(shard)
         self._drain(block=False)
 
+    def _make_span(
+        self, ordinal: int, n_events: int, route_sec: float
+    ) -> Optional[dict]:
+        """A sampled batch's span seed, trace-tagged when tracing is on.
+
+        The trace id is the adopted wire context when one exists (cluster
+        node: every node stamps the coordinator's id, so the spans stitch),
+        otherwise minted locally from (node label, batch ordinal).  The
+        trace fields ride the span dict and are popped back out in
+        :meth:`_finish_batch` before the rest becomes ``stage_sec``.
+        """
+        if not self.tracer.should_sample(ordinal):
+            return None
+        span = {"batch": ordinal, "events": n_events, "route": route_sec}
+        if self.obs_config.trace:
+            ctx = self._trace_ctx
+            if ctx is None:
+                ctx = make_trace_id(self.obs_config.node, ordinal)
+            span["trace_id"] = format_trace_id(ctx)
+            if self.obs_config.node:
+                span["node"] = self.obs_config.node
+        return span
+
     def _push(self, shard: int) -> None:
         self.batches_flushed += 1
         ordinal = self.batches_flushed
@@ -906,11 +959,7 @@ class ShardedEngine:
                 self.recorder.record(shard, buffer.records, buffer.extras)
             route_sec = tracer.clock() - t_route
             tracer.observe_elapsed("route", route_sec)
-            span = (
-                {"batch": ordinal, "events": n_events, "route": route_sec}
-                if tracer.should_sample(ordinal)
-                else None
-            )
+            span = self._make_span(ordinal, n_events, route_sec)
             self._inflight[shard].append((ordinal, n_events, tracer.clock(), span))
             if inline:
                 detector = self._detectors[shard]
@@ -940,6 +989,15 @@ class ShardedEngine:
                         f"<frame rejected by shard {self._slot_groups[shard]}: "
                         f"{exc} ({exc.applied or 0}/{n_events} records applied)>"
                     )
+                    self.apply_faults.append(
+                        {
+                            "message": str(exc),
+                            "kind": exc.kind,
+                            "record": exc.record,
+                            "applied": exc.applied or 0,
+                            "shard": self._slot_groups[shard],
+                        }
+                    )
                     reports, n = [], exc.applied or 0
                 apply_sec = tracer.clock() - t_apply
                 self._apply_ack_inline(shard, n, reports, detector, apply_sec)
@@ -955,11 +1013,7 @@ class ShardedEngine:
             self.queue_bytes += len(blob)
             route_sec = tracer.clock() - t_route
             tracer.observe_elapsed("route", route_sec)
-            span = (
-                {"batch": ordinal, "events": n_events, "route": route_sec}
-                if tracer.should_sample(ordinal)
-                else None
-            )
+            span = self._make_span(ordinal, n_events, route_sec)
             self._inflight[shard].append((ordinal, n_events, tracer.clock(), span))
             if self.config.workers == "inline":
                 detector = self._detectors[shard]
@@ -995,10 +1049,13 @@ class ShardedEngine:
     ) -> None:
         self._acked_batches[shard] += 1
         self._acked_events[shard] += n_events
+        self._shard_stats[shard] = detector.stats.as_dict()
         if reports:
             self._reports.extend(reports)
+            self.provenance_attached += sum(
+                1 for _seq, r in reports if r.provenance is not None
+            )
             self._dump_on_race(shard, reports)
-        self._shard_stats[shard] = detector.stats.as_dict()
         self._finish_batch(shard, apply_sec)
 
     def _apply_ack(
@@ -1008,19 +1065,31 @@ class ShardedEngine:
         self._acked_events[shard] += n_events
         tag, rows = payload
         if tag == "err":
-            message, _kind, record, applied = rows
+            message, kind, record, applied = rows
             self.apply_errors.append(
                 f"<frame rejected by shard {self._slot_groups[shard]}: "
                 f"{message} (record {record}, {applied} applied)>"
             )
+            self.apply_faults.append(
+                {
+                    "message": message,
+                    "kind": kind,
+                    "record": record,
+                    "applied": applied,
+                    "shard": self._slot_groups[shard],
+                }
+            )
             rows = []
         elif tag == "packed":
             rows = unpack_reports(rows, self._encoder.interner)
-        if rows:
-            self._reports.extend(rows)
-            self._dump_on_race(shard, rows)
         self._shard_stats[shard] = stats_dict
         self._sync_decoded[shard] = sync_decoded
+        if rows:
+            self._reports.extend(rows)
+            self.provenance_attached += sum(
+                1 for _seq, r in rows if r.provenance is not None
+            )
+            self._dump_on_race(shard, rows)
         self._finish_batch(shard, apply_sec)
 
     def _finish_batch(self, shard: int, apply_sec: float) -> None:
@@ -1036,9 +1105,18 @@ class ShardedEngine:
         tracer.observe_elapsed("queue", queue_sec)
         tracer.observe_elapsed("apply", apply_sec)
         if span is not None:
+            trace_id = span.pop("trace_id", None)
+            node = span.pop("node", None)
             span["queue"] = queue_sec
             span["apply"] = apply_sec
-            tracer.emit_span(span.pop("batch"), shard, span.pop("events"), span)
+            tracer.emit_span(
+                span.pop("batch"),
+                shard,
+                span.pop("events"),
+                span,
+                trace_id=trace_id,
+                node=node,
+            )
 
     def _dump_on_race(self, shard: int, reports: List[SeqReport]) -> None:
         """Snapshot the shard's flight ring the moment it reports races."""
@@ -1046,7 +1124,16 @@ class ShardedEngine:
         if recorder is None or recorder.directory is None:
             return
         lines = [format_race(seq, report) for seq, report in reports]
-        recorder.dump(shard, lines, "race")
+        provenance = [report.provenance for _seq, report in reports]
+        if not any(p is not None for p in provenance):
+            provenance = None
+        recorder.dump(
+            shard,
+            lines,
+            "race",
+            stats=self._shard_stats[shard],
+            provenance=provenance,
+        )
 
     def _drain(self, block: bool) -> None:
         if self.config.workers == "inline":
@@ -1353,6 +1440,7 @@ class ShardedEngine:
             sync_decoded=sum(self._sync_decoded),
             spans_sampled=self.tracer.spans_written,
             flightrec_dumps=self.recorder.dumps_written if self.recorder else 0,
+            provenance_attached=self.provenance_attached,
             shards=shards,
         )
         snapshot.derive_rates(time.monotonic() - self._started)

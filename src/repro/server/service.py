@@ -35,6 +35,7 @@ from typing import Any, BinaryIO, Deque, Dict, Iterable, List, Optional, TextIO,
 
 from ..core.actions import Event
 from ..obs.bridge import registry_from_stats
+from ..obs.slo import SloVerdict, SloWatchdog, apply_buckets_from_tracer
 from ..obs.tracing import ObsConfig
 from ..trace.io import follow_trace
 from .engine import EngineConfig, SeqReport, ShardedEngine, WireIngest
@@ -108,6 +109,13 @@ class RaceDetectionService:
         #: counter -- surfaced by ``!health`` so a misbehaving producer can
         #: be diagnosed without replaying its stream
         self._bad_lines: Deque[str] = deque(maxlen=8)
+        #: structured companions to ``_bad_lines``: the typed
+        #: FrameFormatError detail (kind/record/applied) when one exists,
+        #: surfaced by ``!health`` and the ``repro-obs errors`` subcommand
+        self._bad_detail: Deque[Dict[str, Any]] = deque(maxlen=8)
+        #: SLO watchdog: flips ``!health`` to "degraded" and exports
+        #: ``repro_slo_*`` gauges on every metrics render
+        self.slo = SloWatchdog()
         self.tracer = self.engine.tracer
         self._races_seen = 0
         self._shutdown = threading.Event()
@@ -135,17 +143,33 @@ class RaceDetectionService:
         try:
             with self._lock:
                 seq = self.engine.submit_line(line)
-        except Exception:
-            self._note_bad_input(line)
+        except Exception as exc:
+            self._note_bad_input(line, error=exc)
             return None
         self.tracer.observe("ingest", t0)
         return seq
 
-    def _note_bad_input(self, line: str) -> None:
-        """Count one unparseable input and remember it in the health ring."""
+    def _note_bad_input(
+        self, line: str, error: Optional[BaseException] = None
+    ) -> None:
+        """Count one unparseable input and remember it in the health rings.
+
+        When the failure was a typed :class:`~repro.core.encode
+        .FrameFormatError` its kind/record/applied coordinates land in the
+        structured detail ring; plain parse failures record just the line
+        and the exception message.
+        """
+        detail: Dict[str, Any] = {
+            "line": line[:512],
+            "message": str(error) if error is not None else None,
+            "kind": getattr(error, "kind", None),
+            "record": getattr(error, "record", None),
+            "applied": getattr(error, "applied", None),
+        }
         with self._lock:
             self._parse_errors += 1
             self._bad_lines.append(line)
+            self._bad_detail.append(detail)
         self.tracer.log_parse_error(line)
 
     def poll_reports(self) -> List[SeqReport]:
@@ -177,6 +201,10 @@ class RaceDetectionService:
             self._bad_lines.extend(errors)
             for note in errors:
                 self.tracer.log_parse_error(note)
+        faults = self.engine.apply_faults
+        if faults:
+            self.engine.apply_faults = []
+            self._bad_detail.extend(faults)
 
     def stats(self) -> ServiceStats:
         with self._lock:
@@ -188,15 +216,31 @@ class RaceDetectionService:
         snapshot.parse_errors = self._parse_errors
         return snapshot
 
+    def _slo_verdict(self, snapshot: ServiceStats) -> SloVerdict:
+        """Evaluate the SLO objectives against one stats snapshot."""
+        return self.slo.evaluate(
+            apply_buckets=apply_buckets_from_tracer(self.tracer),
+            queue_depth=max(
+                (shard.queue_depth for shard in snapshot.shards), default=0
+            ),
+            parse_errors=snapshot.parse_errors,
+            uptime_sec=snapshot.uptime_sec,
+        )
+
     def render_metrics(self) -> str:
         """The Prometheus text exposition for this service, freshly built."""
-        return registry_from_stats(self.stats(), tracer=self.tracer).render()
+        snapshot = self.stats()
+        registry = registry_from_stats(snapshot, tracer=self.tracer)
+        self.slo.export(registry, self._slo_verdict(snapshot))
+        return registry.render()
 
     def health(self) -> Dict[str, Any]:
         """The ``!health`` / ``GET /healthz`` payload: one JSON-able dict."""
         snapshot = self.stats()
+        verdict = self._slo_verdict(snapshot)
         with self._lock:
             bad_lines = list(self._bad_lines)
+            bad_detail = list(self._bad_detail)
             cluster = None
             if self.engine.config.node_mode:
                 cluster = {
@@ -207,18 +251,21 @@ class RaceDetectionService:
                 }
         admit = self.engine.config.admit
         payload = {
-            "status": "ok",
+            "status": "degraded" if verdict.degraded else "ok",
             "uptime_sec": snapshot.uptime_sec,
             "events_ingested": snapshot.events_ingested,
             "events_per_sec": snapshot.events_per_sec,
             "races_reported": snapshot.races_reported,
             "parse_errors": snapshot.parse_errors,
             "last_parse_errors": bad_lines,
+            "parse_error_detail": bad_detail,
             "n_shards": snapshot.n_shards,
             "transport": snapshot.transport,
             "queue_depths": [shard.queue_depth for shard in snapshot.shards],
             "spans_sampled": snapshot.spans_sampled,
             "flightrec_dumps": snapshot.flightrec_dumps,
+            "provenance_attached": snapshot.provenance_attached,
+            "slo": verdict.as_dict(),
             "stats": snapshot.as_dict(),
         }
         if cluster is not None:

@@ -120,6 +120,8 @@ class ServiceStats:
     spans_sampled: int = 0
     #: ``.flightrec`` files written by the race flight recorder
     flightrec_dumps: int = 0
+    #: race reports that arrived with a provenance chain attached
+    provenance_attached: int = 0
     #: snapshot keys dropped by from_dict (newer-server fields)
     unknown_fields: int = 0
     shards: List[ShardStats] = field(default_factory=list)
@@ -178,6 +180,7 @@ class ServiceStats:
             "sync_decoded": self.sync_decoded,
             "spans_sampled": self.spans_sampled,
             "flightrec_dumps": self.flightrec_dumps,
+            "provenance_attached": self.provenance_attached,
             "unknown_fields": self.unknown_fields,
             "short_circuit_rate": self.short_circuit_rate,
             "shards": [shard.as_dict() for shard in self.shards],
